@@ -1,0 +1,72 @@
+// Ablation of the individual MBS design choices DESIGN.md calls out:
+//   (1) inter-branch reuse (MBS2 vs MBS1) — Sec. 1 claims +20% traffic
+//       without it;
+//   (2) the 1-bit ReLU gradient masks (Sec. 3) — traffic attributable to
+//       activation stashing vs masks;
+//   (3) the weight-gradient partial-sum overhead of serialization (Sec. 3
+//       "Data Synchronization").
+#include <cstdio>
+#include <iostream>
+
+#include "models/zoo.h"
+#include "sched/scheduler.h"
+#include "sched/traffic.h"
+#include "util/table.h"
+
+int main() {
+  using namespace mbs;
+  using sched::TrafficClass;
+
+  std::printf("=== Ablation: MBS feature contributions ===\n\n");
+
+  std::printf("--- (1) inter-branch reuse: MBS1 traffic relative to MBS2 "
+              "(paper: ~1.2x without it) ---\n");
+  util::Table t1({"network", "MBS1 [GiB]", "MBS2 [GiB]", "MBS1/MBS2"});
+  for (const auto& name : models::evaluated_network_names()) {
+    const core::Network net = models::make_network(name);
+    const double m1 = sched::dram_traffic_bytes(
+        net, sched::build_schedule(net, sched::ExecConfig::kMbs1));
+    const double m2 = sched::dram_traffic_bytes(
+        net, sched::build_schedule(net, sched::ExecConfig::kMbs2));
+    t1.add_row({net.name, util::fmt(m1 / (1024.0 * 1024 * 1024), 2),
+                util::fmt(m2 / (1024.0 * 1024 * 1024), 2),
+                util::fmt(m1 / m2, 2)});
+  }
+  t1.print(std::cout);
+
+  std::printf("\n--- (2) ReLU 1-bit masks: mask traffic vs the 16b "
+              "activation re-reads they replace ---\n");
+  util::Table t2({"network", "mask traffic [MiB]", "16b equivalent [MiB]",
+                  "savings"});
+  for (const auto& name : models::evaluated_network_names()) {
+    const core::Network net = models::make_network(name);
+    const auto traffic = sched::compute_traffic(
+        net, sched::build_schedule(net, sched::ExecConfig::kMbs2));
+    const double mask = traffic.dram_bytes_by_class(TrafficClass::kMask);
+    const double equivalent = mask * 16.0;  // 1b vs 16b per element
+    t2.add_row({net.name, util::fmt(mask / (1024.0 * 1024), 1),
+                util::fmt(equivalent / (1024.0 * 1024), 1),
+                util::fmt((equivalent - mask) / (1024.0 * 1024), 1) + " MiB"});
+  }
+  t2.print(std::cout);
+
+  std::printf("\n--- (3) weight-gradient partial-sum overhead of "
+              "serialization ---\n");
+  util::Table t3({"network", "config", "iterations", "wgrad traffic [MiB]",
+                  "share of total"});
+  for (const auto& name : {"resnet50", "alexnet"}) {
+    const core::Network net = models::make_network(name);
+    for (auto cfg : {sched::ExecConfig::kBaseline, sched::ExecConfig::kMbsFs,
+                     sched::ExecConfig::kMbs2}) {
+      const sched::Schedule s = sched::build_schedule(net, cfg);
+      const auto traffic = sched::compute_traffic(net, s);
+      const double wg = traffic.dram_bytes_by_class(TrafficClass::kWgradPartial);
+      t3.add_row({net.name, sched::to_string(cfg),
+                  std::to_string(s.total_iterations()),
+                  util::fmt(wg / (1024.0 * 1024), 1),
+                  util::fmt(100.0 * wg / traffic.dram_bytes(), 1) + "%"});
+    }
+  }
+  t3.print(std::cout);
+  return 0;
+}

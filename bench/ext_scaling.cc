@@ -1,0 +1,49 @@
+// Extension study (Sec. 4.2 "Scalability"): weak scaling of MBS training
+// across multiple WaveCore accelerators. Each device runs the same MBS
+// schedule on its mini-batch shard and joins a ring all-reduce of the 16b
+// parameter gradients at the end of the step — the only communication the
+// paper's scheme requires besides loss computation.
+#include <cstdio>
+#include <iostream>
+
+#include "arch/scaling.h"
+#include "models/zoo.h"
+#include "sched/scheduler.h"
+#include "sim/simulator.h"
+#include "util/table.h"
+
+int main() {
+  using namespace mbs;
+
+  std::printf("=== Extension: multi-accelerator weak scaling of MBS2 "
+              "training ===\n\n");
+
+  util::Table t({"network", "devices", "step [ms]", "all-reduce [ms]",
+                 "efficiency", "samples/s"});
+  for (const char* name : {"resnet50", "inception_v3"}) {
+    const core::Network net = models::make_network(name);
+    const sched::Schedule s =
+        sched::build_schedule(net, sched::ExecConfig::kMbs2);
+    const sim::StepResult r =
+        sim::simulate_step(net, s, sim::WaveCoreConfig{});
+    const double grad_bytes =
+        2.0 * static_cast<double>(net.param_count());  // 16b gradients
+
+    for (const auto& sr : arch::weak_scaling_sweep(
+             r.time_s, grad_bytes, {1, 2, 4, 8, 16, 32})) {
+      const double samples =
+          static_cast<double>(net.mini_batch_per_core) * 2 * sr.devices;
+      t.add_row({net.name, std::to_string(sr.devices),
+                 util::fmt(sr.step_time_s * 1e3, 1),
+                 util::fmt(sr.allreduce_time_s * 1e3, 1),
+                 util::fmt(sr.efficiency * 100, 1) + "%",
+                 util::fmt(samples / sr.step_time_s, 0)});
+    }
+  }
+  t.print(std::cout);
+  std::printf("\nMBS helps scaling indirectly: shorter steps raise the "
+              "relative all-reduce cost, but even at 32 devices efficiency "
+              "stays high because gradients are 16b and the ring moves at "
+              "most 2x their volume.\n");
+  return 0;
+}

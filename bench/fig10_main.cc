@@ -1,0 +1,73 @@
+// Fig. 10: per-training-step execution time (a), energy (b) and DRAM
+// traffic (c) for the six evaluated CNNs under the six Tab. 3
+// configurations. Bars in the paper are absolute values; lines are values
+// normalized to Baseline (time, energy) and to ArchOpt (traffic).
+#include <cstdio>
+#include <iostream>
+
+#include "models/zoo.h"
+#include "sched/scheduler.h"
+#include "sim/simulator.h"
+#include "util/table.h"
+#include "util/units.h"
+
+int main() {
+  using namespace mbs;
+
+  const sched::ExecConfig configs[] = {
+      sched::ExecConfig::kBaseline, sched::ExecConfig::kArchOpt,
+      sched::ExecConfig::kIL,       sched::ExecConfig::kMbsFs,
+      sched::ExecConfig::kMbs1,     sched::ExecConfig::kMbs2};
+
+  std::printf("=== Fig. 10: per-step time / energy / DRAM traffic "
+              "(WaveCore, HBM2, mini-batch 32/core; AlexNet 64) ===\n\n");
+
+  util::Table time_tab({"network", "config", "time [ms]", "vs Baseline",
+                        "vs ArchOpt"});
+  util::Table energy_tab({"network", "config", "energy [J]", "vs Baseline",
+                          "DRAM share"});
+  util::Table traffic_tab({"network", "config", "DRAM [GiB]", "vs ArchOpt"});
+
+  for (const auto& name : models::evaluated_network_names()) {
+    const core::Network net = models::make_network(name);
+    sim::WaveCoreConfig hw;
+
+    double base_time = 0, archopt_time = 0, base_energy = 0, archopt_traffic = 0;
+    for (auto cfg : configs) {
+      const sched::Schedule s = sched::build_schedule(net, cfg);
+      const sim::StepResult r = sim::simulate_step(net, s, hw);
+      if (cfg == sched::ExecConfig::kBaseline) {
+        base_time = r.time_s;
+        base_energy = r.energy.total();
+      }
+      if (cfg == sched::ExecConfig::kArchOpt) {
+        archopt_time = r.time_s;
+        archopt_traffic = r.dram_bytes;
+      }
+      time_tab.add_row({net.name, sched::to_string(cfg),
+                        util::fmt(r.time_s * 1e3, 2),
+                        util::fmt(base_time / r.time_s, 2),
+                        archopt_time > 0
+                            ? util::fmt(archopt_time / r.time_s, 2)
+                            : "-"});
+      energy_tab.add_row({net.name, sched::to_string(cfg),
+                          util::fmt(r.energy.total(), 2),
+                          util::fmt(r.energy.total() / base_energy, 2),
+                          util::fmt(r.energy.dram_fraction() * 100, 1) + "%"});
+      traffic_tab.add_row(
+          {net.name, sched::to_string(cfg),
+           util::fmt(r.dram_bytes / static_cast<double>(util::kGiB), 2),
+           archopt_traffic > 0
+               ? util::fmt(r.dram_bytes / archopt_traffic, 2)
+               : "-"});
+    }
+  }
+
+  std::printf("--- Fig. 10a: execution time per training step ---\n");
+  time_tab.print(std::cout);
+  std::printf("\n--- Fig. 10b: energy per training step ---\n");
+  energy_tab.print(std::cout);
+  std::printf("\n--- Fig. 10c: DRAM traffic per training step ---\n");
+  traffic_tab.print(std::cout);
+  return 0;
+}

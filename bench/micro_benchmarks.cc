@@ -1,0 +1,69 @@
+// google-benchmark microbenchmarks of the library's hot paths: the systolic
+// GEMM timing model, the traffic model, and the full scheduler. These bound
+// the cost of design-space sweeps (Fig. 11/12-style studies run thousands of
+// simulate_step calls).
+#include <benchmark/benchmark.h>
+
+#include "models/zoo.h"
+#include "sched/scheduler.h"
+#include "sched/traffic.h"
+#include "sim/simulator.h"
+
+namespace {
+
+using namespace mbs;
+
+void BM_SimulateGemm(benchmark::State& state) {
+  arch::SystolicConfig cfg;
+  const arch::GemmShape shape{100352, 256, 1152};
+  for (auto _ : state)
+    benchmark::DoNotOptimize(arch::simulate_gemm(cfg, shape));
+}
+BENCHMARK(BM_SimulateGemm);
+
+void BM_BuildScheduleGreedy(benchmark::State& state) {
+  const core::Network net = models::make_network("resnet50");
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        sched::build_schedule(net, sched::ExecConfig::kMbs2));
+}
+BENCHMARK(BM_BuildScheduleGreedy);
+
+void BM_BuildScheduleOptimalDp(benchmark::State& state) {
+  const core::Network net = models::make_network("resnet50");
+  sched::ScheduleParams p;
+  p.optimal_grouping = true;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        sched::build_schedule(net, sched::ExecConfig::kMbs2, p));
+}
+BENCHMARK(BM_BuildScheduleOptimalDp);
+
+void BM_ComputeTraffic(benchmark::State& state) {
+  const core::Network net = models::make_network("resnet50");
+  const sched::Schedule s =
+      sched::build_schedule(net, sched::ExecConfig::kMbs2);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(sched::compute_traffic(net, s));
+}
+BENCHMARK(BM_ComputeTraffic);
+
+void BM_SimulateStep(benchmark::State& state) {
+  const core::Network net = models::make_network("resnet50");
+  const sched::Schedule s =
+      sched::build_schedule(net, sched::ExecConfig::kMbs2);
+  const sim::WaveCoreConfig hw;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(sim::simulate_step(net, s, hw));
+}
+BENCHMARK(BM_SimulateStep);
+
+void BM_BuildResNet50(benchmark::State& state) {
+  for (auto _ : state)
+    benchmark::DoNotOptimize(models::make_network("resnet50"));
+}
+BENCHMARK(BM_BuildResNet50);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,40 @@
+// Tab. 2: accelerator specification comparison — V100 / TPU v1 / TPU v2
+// published specs next to the WaveCore area/power model roll-up (Sec. 4.2).
+#include <cstdio>
+#include <iostream>
+
+#include "arch/area.h"
+#include "util/table.h"
+
+int main() {
+  using namespace mbs;
+  const arch::AreaModel model;
+
+  std::printf("=== Tab. 2: accelerator specification comparison ===\n\n");
+  util::Table t({"", "technology [nm]", "die area [mm^2]", "clock [GHz]",
+                 "TOPS/die", "peak power [W]", "on-chip buffers [MiB]"});
+  for (const auto& s : arch::accelerator_comparison(model)) {
+    t.add_row({s.name, s.technology,
+               s.die_area_mm2 > 0 ? util::fmt(s.die_area_mm2, 1) : "N/A",
+               util::fmt(s.clock_ghz, 2),
+               util::fmt(s.tops, 0) + " (" + s.tops_kind + ")",
+               s.peak_power_w > 0 ? util::fmt(s.peak_power_w, 0) : "N/A",
+               s.on_chip_buffers_mib > 0 ? util::fmt(s.on_chip_buffers_mib, 0)
+                                         : "N/A"});
+  }
+  t.print(std::cout);
+
+  std::printf("\n--- WaveCore area roll-up (Sec. 4.2) ---\n");
+  util::Table roll({"component", "area"});
+  roll.add_row({"one PE", util::fmt(model.pe_area_um2, 0) + " um^2"});
+  roll.add_row({"128x128 PE array", util::fmt(model.array_mm2(), 2) + " mm^2"});
+  roll.add_row({"global buffer / core",
+                util::fmt(model.global_buffer_mm2_per_core, 2) + " mm^2"});
+  roll.add_row({"vector units / core",
+                util::fmt(model.vector_units_mm2_per_core, 2) + " mm^2"});
+  roll.add_row({"total (2 cores)", util::fmt(model.total_mm2(), 1) + " mm^2"});
+  roll.print(std::cout);
+  std::printf("\npaper: PE 12,173 um^2; array 199.45 mm^2 (67%% of die); "
+              "total 534.0 mm^2; 45 FP16 TOPS; 56 W peak.\n");
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Example: explore MBS schedules and traffic for any evaluated network.
+//
+// Usage: schedule_explorer [network] [buffer_MiB]
+//   network:    resnet50 (default) | resnet101 | resnet152 | inception_v3 |
+//               inception_v4 | alexnet
+//   buffer_MiB: per-core global buffer size, default 10
+//
+// Prints, for each Tab. 3 configuration: the layer groups the scheduler
+// forms, their sub-batch sizes/iteration counts (Fig. 5), and the modeled
+// per-step DRAM traffic broken down by class.
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "models/zoo.h"
+#include "sched/scheduler.h"
+#include "sched/traffic.h"
+#include "util/table.h"
+#include "util/units.h"
+
+int main(int argc, char** argv) {
+  using namespace mbs;
+
+  const std::string net_name = argc > 1 ? argv[1] : "resnet50";
+  const double buffer_mib = argc > 2 ? std::stod(argv[2]) : 10.0;
+
+  const core::Network net = models::make_network(net_name);
+  sched::ScheduleParams params;
+  params.buffer_bytes =
+      static_cast<std::int64_t>(buffer_mib * static_cast<double>(util::kMiB));
+
+  std::printf("%s: %d blocks, %d layers, %s params, %.2f GFLOPs/sample\n",
+              net.name.c_str(), static_cast<int>(net.blocks.size()),
+              net.layer_count(), util::fmt_int(net.param_count()).c_str(),
+              static_cast<double>(net.flops_per_sample()) / 1e9);
+  std::printf("mini-batch/core: %d, buffer: %.1f MiB\n\n",
+              net.mini_batch_per_core, buffer_mib);
+
+  const sched::ExecConfig configs[] = {
+      sched::ExecConfig::kBaseline, sched::ExecConfig::kArchOpt,
+      sched::ExecConfig::kIL,       sched::ExecConfig::kMbsFs,
+      sched::ExecConfig::kMbs1,     sched::ExecConfig::kMbs2};
+
+  util::Table summary({"config", "groups", "iterations", "DRAM/step",
+                       "weights", "wgrad", "features", "gradients", "stash"});
+  for (auto cfg : configs) {
+    const sched::Schedule s = sched::build_schedule(net, cfg, params);
+    const std::string err = s.validate(net);
+    if (!err.empty()) {
+      std::fprintf(stderr, "invalid schedule (%s): %s\n",
+                   sched::to_string(cfg), err.c_str());
+      return 1;
+    }
+    const sched::Traffic t = sched::compute_traffic(net, s);
+    summary.add_row(
+        {sched::to_string(cfg), std::to_string(s.groups.size()),
+         std::to_string(s.total_iterations()),
+         util::format_bytes(t.dram_bytes()),
+         util::format_bytes(t.dram_bytes_by_class(sched::TrafficClass::kWeight)),
+         util::format_bytes(
+             t.dram_bytes_by_class(sched::TrafficClass::kWgradPartial)),
+         util::format_bytes(
+             t.dram_bytes_by_class(sched::TrafficClass::kFeature)),
+         util::format_bytes(
+             t.dram_bytes_by_class(sched::TrafficClass::kGradient)),
+         util::format_bytes(
+             t.dram_bytes_by_class(sched::TrafficClass::kStash))});
+
+    if (sched::uses_serialization(cfg)) {
+      std::printf("%s groups (Fig. 5 style):\n", sched::to_string(cfg));
+      for (std::size_t g = 0; g < s.groups.size(); ++g) {
+        const auto& grp = s.groups[g];
+        std::printf("  group %zu: blocks [%d..%d] (%s..%s), sub-batch %d, "
+                    "%d iterations, chunks ",
+                    g + 1, grp.first, grp.last,
+                    net.blocks[static_cast<std::size_t>(grp.first)].name.c_str(),
+                    net.blocks[static_cast<std::size_t>(grp.last)].name.c_str(),
+                    grp.sub_batch, grp.iterations);
+        const auto chunks = grp.chunks(s.mini_batch);
+        for (std::size_t i = 0; i < chunks.size(); ++i)
+          std::printf("%s%d", i ? "," : "", chunks[i]);
+        std::printf("\n");
+      }
+      std::printf("\n");
+    }
+  }
+  summary.print(std::cout);
+  return 0;
+}

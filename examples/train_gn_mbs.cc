@@ -1,0 +1,45 @@
+// Example: functional MBS training with gradient accumulation.
+//
+// Uses the float32 training substrate to run the same model through
+// (a) conventional full-mini-batch GN training and (b) MBS-serialized GN
+// training (sub-batches of 8 with one parameter update per mini-batch), and
+// prints both loss trajectories — they coincide to float32 precision, which
+// is the correctness property MBS rests on (Sec. 3).
+#include <cstdio>
+
+#include "train/data.h"
+#include "train/trainer.h"
+
+int main() {
+  using namespace mbs::train;
+
+  const Dataset train_set = make_synthetic_dataset(256, 4, 1, 12, /*seed=*/51);
+  const Dataset val_set = make_synthetic_dataset(128, 4, 1, 12, /*seed=*/52);
+
+  TrainRunConfig rc;
+  rc.epochs = 8;
+  rc.batch = 32;
+  rc.sgd.lr = 0.05;
+
+  SmallCnnConfig cfg;
+  cfg.norm = NormMode::kGroup;
+  cfg.seed = 12345;
+
+  SmallCnn conventional(cfg);
+  const auto full = train_model(conventional, train_set, val_set, rc);
+
+  rc.chunks = {8, 8, 8, 8};  // MBS: four sub-batch iterations per step
+  SmallCnn serialized(cfg);
+  const auto mbs = train_model(serialized, train_set, val_set, rc);
+
+  std::printf("epoch | full-batch loss / val err | MBS(8,8,8,8) loss / val err\n");
+  std::printf("------+---------------------------+----------------------------\n");
+  for (std::size_t e = 0; e < full.size(); ++e)
+    std::printf("%5d | %12.4f / %6.1f%% | %12.4f / %6.1f%%\n",
+                full[e].epoch, full[e].train_loss, full[e].val_error,
+                mbs[e].train_loss, mbs[e].val_error);
+  std::printf("\nThe trajectories coincide: GN statistics are per-sample, so "
+              "serializing the mini-batch changes memory behaviour, not "
+              "training math.\n");
+  return 0;
+}

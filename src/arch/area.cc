@@ -1,0 +1,34 @@
+#include "arch/area.h"
+
+namespace mbs::arch {
+
+double AreaModel::array_mm2() const {
+  return pe_area_um2 * array_rows * array_cols / 1e6;
+}
+
+double AreaModel::total_mm2() const {
+  const double per_core = array_mm2() + global_buffer_mm2_per_core +
+                          vector_units_mm2_per_core + misc_mm2_per_core;
+  // The crossbar/NoC extends the chip width by noc_width_extension_mm; with
+  // a roughly square ~23 mm die this adds ~0.4 * sqrt(area) mm^2. The paper
+  // folds this into the 534.0 mm^2 total; we keep the same roll-up.
+  const double base = per_core * cores;
+  const double noc = noc_width_extension_mm * 23.1;
+  return base + noc;
+}
+
+double AreaModel::peak_tops() const {
+  return 2.0 * array_rows * array_cols * clock_ghz * cores / 1e3;
+}
+
+std::vector<AcceleratorSpec> accelerator_comparison(const AreaModel& m) {
+  std::vector<AcceleratorSpec> specs;
+  specs.push_back({"V100", "12 FFN", 812.0, 1.53, 125.0, "FP16", 250.0, 33.0});
+  specs.push_back({"TPU v1", "28", 331.0, 0.70, 92.0, "INT8", 43.0, 24.0});
+  specs.push_back({"TPU v2", "N/A", 0.0, 0.70, 45.0, "FP16", 0.0, 0.0});
+  specs.push_back({"WaveCore", "32", m.total_mm2(), m.clock_ghz, m.peak_tops(),
+                   "FP16", m.peak_power_w, 20.0});
+  return specs;
+}
+
+}  // namespace mbs::arch

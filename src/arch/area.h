@@ -1,0 +1,53 @@
+// Area and peak-power estimation (Sec. 4.2, Tab. 2).
+//
+// The paper composes WaveCore's die area from published component designs:
+// a 24T flip-flop (Kim et al. 2014), decimal FP multiplier/adder (Hickmann
+// et al. 2007) scaled to 32 nm, CACTI for SRAM, and Orion 2.0 for the NoC.
+// We embed the resulting per-component constants and reproduce the Tab. 2
+// roll-up.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mbs::arch {
+
+/// Per-component area/power constants at 32 nm (Sec. 4.2).
+struct AreaModel {
+  double pe_area_um2 = 12173.0;          ///< one PE (>90% multiplier+adder)
+  int array_rows = 128;
+  int array_cols = 128;
+  int cores = 2;
+  double global_buffer_mm2_per_core = 18.65;  ///< 10 MiB, 32 banks (CACTI)
+  double vector_units_mm2_per_core = 4.33;
+  double noc_width_extension_mm = 0.4;   ///< crossbar/NoC (Orion/Dadiannao)
+  double misc_mm2_per_core = 39.96;      ///< local buffers, ctrl, mem PHY
+  double clock_ghz = 0.7;
+  double peak_power_w = 56.0;
+
+  /// Area of one 128x128 PE array in mm^2 (paper: 199.45 mm^2).
+  double array_mm2() const;
+  /// Total die area in mm^2 (paper: 534.0 mm^2).
+  double total_mm2() const;
+  /// Peak FP16 TOPS across all cores (paper: 45 TOPS).
+  double peak_tops() const;
+};
+
+/// One row of Tab. 2 (accelerator spec comparison).
+struct AcceleratorSpec {
+  std::string name;
+  std::string technology;
+  double die_area_mm2 = 0;
+  double clock_ghz = 0;
+  double tops = 0;
+  std::string tops_kind;
+  double peak_power_w = 0;
+  double on_chip_buffers_mib = 0;
+};
+
+/// Tab. 2: V100, TPU v1, TPU v2 published specs plus WaveCore computed from
+/// `model`.
+std::vector<AcceleratorSpec> accelerator_comparison(const AreaModel& model);
+
+}  // namespace mbs::arch

@@ -1,0 +1,42 @@
+// Local buffer sizing (Sec. 4.2 "Local Buffers").
+//
+// The A and B local input buffers are double buffered so data transfer
+// overlaps compute; the accumulation buffer is triple buffered (current
+// tile, previous tile draining to memory, next tile's partial sums
+// loading). The sizes derive from the systolic geometry:
+//   half of B  = one 16b word per PE                    = rows*cols*2 B
+//   half of A  = two B halves (to hide the weight load) = 2 * |B half|
+//   acc part   = one full C tile in 32b                 = tile_m*cols*4 B
+// With the 128x128 array this gives the paper's 32 KiB / 64 KiB / 128 KiB.
+#pragma once
+
+#include <cstdint>
+
+#include "arch/systolic.h"
+
+namespace mbs::arch {
+
+struct LocalBufferPlan {
+  std::int64_t b_half_bytes = 0;   ///< one half of the B (weight) buffer
+  std::int64_t a_half_bytes = 0;   ///< one half of the A (input) buffer
+  std::int64_t acc_part_bytes = 0; ///< one part of the accumulation buffer
+  int b_copies = 2;                ///< double buffered
+  int a_copies = 2;
+  int acc_copies = 3;              ///< triple buffered
+
+  std::int64_t total_bytes() const {
+    return b_half_bytes * b_copies + a_half_bytes * a_copies +
+           acc_part_bytes * acc_copies;
+  }
+};
+
+/// Derives the Sec. 4.2 buffer plan from the array geometry.
+inline LocalBufferPlan plan_local_buffers(const SystolicConfig& cfg) {
+  LocalBufferPlan p;
+  p.b_half_bytes = static_cast<std::int64_t>(cfg.rows) * cfg.cols * 2;
+  p.a_half_bytes = 2 * p.b_half_bytes;
+  p.acc_part_bytes = static_cast<std::int64_t>(cfg.tile_m()) * cfg.cols * 4;
+  return p;
+}
+
+}  // namespace mbs::arch

@@ -1,0 +1,17 @@
+#include "arch/energy.h"
+
+namespace mbs::arch {
+
+EnergyBreakdown compute_energy(const EnergyModel& model, double dram_bytes,
+                               double buffer_bytes, double macs,
+                               double vector_ops, double step_seconds) {
+  EnergyBreakdown e;
+  e.dram_j = dram_bytes * model.dram_pj_per_byte * 1e-12;
+  e.buffer_j = buffer_bytes * model.buffer_pj_per_byte * 1e-12;
+  e.mac_j = macs * (1.0 - model.zero_skip_fraction) * model.mac_pj * 1e-12;
+  e.vector_j = vector_ops * model.vector_op_pj * 1e-12;
+  e.static_j = model.static_power_w * step_seconds;
+  return e;
+}
+
+}  // namespace mbs::arch

@@ -1,0 +1,44 @@
+// Analytical V100-class GPU comparator for Fig. 13.
+//
+// The paper measures a TESLA V100 running Caffe. We do not have that
+// hardware, so we model the mechanism Fig. 13 isolates: a GPU with 3x
+// WaveCore's peak compute and memory bandwidth still loses on deep CNNs
+// because (a) per-layer parallelism limits occupancy (few thread blocks for
+// small sub-problems), (b) Caffe materializes im2col-expanded inputs in
+// DRAM (R*S times the feature volume, written then re-read), and (c) every
+// layer launch pays a fixed kernel overhead. See DESIGN.md substitutions.
+#pragma once
+
+#include <cstdint>
+
+#include "core/network.h"
+
+namespace mbs::arch {
+
+/// GPU model parameters (defaults: V100 SXM2 + Caffe-style execution).
+struct GpuModel {
+  double peak_flops = 125e12;       ///< FP16 tensor-core peak (Tab. 2)
+  double mem_bw_bytes = 900e9;      ///< HBM2 bandwidth
+  int sm_count = 80;
+  int tile = 128;                   ///< GEMM thread-block tile (128x128)
+  int blocks_per_sm = 2;            ///< concurrent tiles per SM
+  double kernel_overhead_s = 12e-6; ///< launch + framework overhead per kernel
+  double gemm_efficiency = 0.55;    ///< achieved/peak at full occupancy (Caffe)
+  bool materialize_im2col = true;   ///< Caffe lowers conv via explicit im2col
+};
+
+/// Per-training-step GPU execution estimate.
+struct GpuStepResult {
+  double time_s = 0;
+  double dram_bytes = 0;
+  double compute_time_s = 0;
+  double memory_time_s = 0;
+  double overhead_s = 0;
+};
+
+/// Estimates one training step (forward + both backward passes) of `net`
+/// with `mini_batch` samples on the modeled GPU.
+GpuStepResult simulate_gpu_step(const GpuModel& gpu, const core::Network& net,
+                                int mini_batch);
+
+}  // namespace mbs::arch

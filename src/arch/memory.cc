@@ -1,0 +1,43 @@
+#include "arch/memory.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace mbs::arch {
+
+namespace {
+constexpr double kGiB = 1024.0 * 1024.0 * 1024.0;
+constexpr std::int64_t kGiBInt = 1024ll * 1024 * 1024;
+}  // namespace
+
+MemoryConfig hbm2() {
+  // One 4-die HBM2 stack: 300 GiB/s, 8 GiB, 8 channels (Tab. 4).
+  return {"HBM2", 300.0 * kGiB, 8 * kGiBInt, 8, 25.0};
+}
+
+MemoryConfig hbm2_x2() {
+  return {"HBM2x2", 600.0 * kGiB, 16 * kGiBInt, 16, 25.0};
+}
+
+MemoryConfig gddr5() {
+  // 12 chips x 32 GiB/s, 1 GiB each (Tab. 4).
+  return {"GDDR5", 384.0 * kGiB, 12 * kGiBInt, 12, 35.0};
+}
+
+MemoryConfig lpddr4() {
+  // 8 chips x 29.9 GiB/s, 2 GiB each (Tab. 4).
+  return {"LPDDR4", 239.2 * kGiB, 16 * kGiBInt, 8, 22.0};
+}
+
+std::vector<MemoryConfig> all_memory_configs() {
+  return {hbm2(), hbm2_x2(), gddr5(), lpddr4()};
+}
+
+MemoryConfig memory_config_by_name(const std::string& name) {
+  for (const MemoryConfig& m : all_memory_configs())
+    if (m.name == name) return m;
+  std::fprintf(stderr, "unknown memory config '%s'\n", name.c_str());
+  std::abort();
+}
+
+}  // namespace mbs::arch

@@ -1,0 +1,38 @@
+// Off-chip memory configurations (Tab. 4).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mbs::arch {
+
+/// One off-chip memory system attached to the two-core WaveCore chip.
+struct MemoryConfig {
+  std::string name;
+  double bandwidth_bytes_per_s = 0;  ///< total chip bandwidth
+  std::int64_t capacity_bytes = 0;   ///< total chip capacity
+  int channels = 0;
+  /// DRAM access energy in pJ per byte (literature-derived; the paper uses
+  /// the Rambus power model — see DESIGN.md substitutions).
+  double energy_pj_per_byte = 0;
+
+  /// Bandwidth available to one of the two cores.
+  double per_core_bandwidth(int cores = 2) const {
+    return bandwidth_bytes_per_s / cores;
+  }
+};
+
+/// Tab. 4 presets. `hbm2` is the default WaveCore memory (one 4-die stack).
+MemoryConfig hbm2();
+MemoryConfig hbm2_x2();
+MemoryConfig gddr5();
+MemoryConfig lpddr4();
+
+/// All Tab. 4 configurations in presentation order.
+std::vector<MemoryConfig> all_memory_configs();
+
+/// Looks a configuration up by name ("HBM2", "HBM2x2", "GDDR5", "LPDDR4").
+MemoryConfig memory_config_by_name(const std::string& name);
+
+}  // namespace mbs::arch

@@ -1,0 +1,65 @@
+// Multi-accelerator weak scaling (Sec. 4.2 "Scalability").
+//
+// The paper scales WaveCore by distributing larger global mini-batches
+// across accelerators (or extra cores), with each device running the same
+// MBS schedule on its share and communicating only for loss computation and
+// the parameter all-reduce at the end of the step. This model estimates
+// step time and scaling efficiency for that regime.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace mbs::arch {
+
+struct InterconnectConfig {
+  /// Per-device interconnect bandwidth (both directions combined), e.g.
+  /// PCIe 3.0 x16-class links.
+  double bandwidth_bytes_per_s = 12e9;
+  double latency_s = 5e-6;  ///< per message
+};
+
+struct ScalingResult {
+  int devices = 1;
+  double compute_time_s = 0;    ///< per-device step time (unchanged: weak scaling)
+  double allreduce_time_s = 0;  ///< ring all-reduce of the gradients
+  double step_time_s = 0;
+  double efficiency = 1.0;      ///< single-device step time / step time
+};
+
+/// Ring all-reduce cost: 2*(p-1)/p * bytes / bandwidth + 2*(p-1) hops of
+/// latency. Exact for bandwidth-optimal ring implementations.
+inline double ring_allreduce_seconds(double bytes, int devices,
+                                     const InterconnectConfig& net) {
+  if (devices <= 1) return 0;
+  const double p = devices;
+  return 2.0 * (p - 1.0) / p * bytes / net.bandwidth_bytes_per_s +
+         2.0 * (p - 1.0) * net.latency_s;
+}
+
+/// Weak scaling: each device trains `per_device_step_s` on its fixed-size
+/// shard, then all-reduces `gradient_bytes` (16b parameter gradients).
+inline ScalingResult weak_scaling(double per_device_step_s,
+                                  double gradient_bytes, int devices,
+                                  const InterconnectConfig& net = {}) {
+  ScalingResult r;
+  r.devices = devices;
+  r.compute_time_s = per_device_step_s;
+  r.allreduce_time_s = ring_allreduce_seconds(gradient_bytes, devices, net);
+  r.step_time_s = per_device_step_s + r.allreduce_time_s;
+  r.efficiency = per_device_step_s / r.step_time_s;
+  return r;
+}
+
+/// Sweeps device counts; returns one result per entry of `device_counts`.
+inline std::vector<ScalingResult> weak_scaling_sweep(
+    double per_device_step_s, double gradient_bytes,
+    const std::vector<int>& device_counts, const InterconnectConfig& net = {}) {
+  std::vector<ScalingResult> out;
+  out.reserve(device_counts.size());
+  for (int d : device_counts)
+    out.push_back(weak_scaling(per_device_step_s, gradient_bytes, d, net));
+  return out;
+}
+
+}  // namespace mbs::arch

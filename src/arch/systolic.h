@@ -1,0 +1,72 @@
+// WaveCore's systolic-array compute model (Sec. 4.1).
+//
+// Convolutions and FC layers execute as im2col GEMMs (Tab. 1). A GEMM is
+// blocked into m x n output tiles (n = array width; m sized so a tile fills
+// one accumulation half-buffer). Each tile is computed in ceil(K / rows)
+// waves. Without weight double buffering every wave pays a `rows`-cycle
+// weight shift-in gap (Fig. 8b top); with the ArchOpt PE (one extra 16b
+// register per PE) the next wave's weights load during the current wave's
+// streaming, leaving only the initial fill and final drain (Fig. 8b bottom).
+#pragma once
+
+#include <cstdint>
+
+#include "core/layer.h"
+
+namespace mbs::arch {
+
+/// Systolic array geometry and clocking (defaults: Sec. 4, Tab. 2).
+struct SystolicConfig {
+  int rows = 128;              ///< PE array height (k)
+  int cols = 128;              ///< PE array width (n)
+  double clock_hz = 0.7e9;     ///< 0.7 GHz (Tab. 2)
+  /// One part of the triple-buffered 32b accumulation buffer; determines the
+  /// tile height m = acc_half_bytes / (cols * 4B) (Sec. 4.2: 128 KiB).
+  std::int64_t acc_half_bytes = 128 * 1024;
+  bool weight_double_buffering = true;
+
+  /// Tile height m (rows of C per tile).
+  int tile_m() const {
+    return static_cast<int>(acc_half_bytes / (static_cast<std::int64_t>(cols) * 4));
+  }
+  /// Peak MACs per cycle.
+  std::int64_t macs_per_cycle() const {
+    return static_cast<std::int64_t>(rows) * cols;
+  }
+};
+
+/// im2col GEMM dimensions: C[Gh x Gw] = A[Gh x K] * B[K x Gw].
+struct GemmShape {
+  std::int64_t gh = 0;
+  std::int64_t gw = 0;
+  std::int64_t k = 0;
+
+  std::int64_t macs() const { return gh * gw * k; }
+};
+
+/// The three GEMM passes of a convolution/FC layer during training (Tab. 1).
+enum class GemmPass { kForward, kDataGrad, kWeightGrad };
+
+const char* to_string(GemmPass p);
+
+/// Tab. 1: GEMM dimensions of an im2col convolution (or FC layer) for the
+/// given training pass and sub-batch size.
+GemmShape gemm_shape(const core::Layer& layer, int sub_batch, GemmPass pass);
+
+/// Result of running one GEMM through the array.
+struct GemmTiming {
+  std::int64_t cycles = 0;
+  std::int64_t macs = 0;          ///< useful MACs (Gh*Gw*K)
+  double utilization = 0;         ///< macs / (cycles * rows * cols)
+  std::int64_t buf_read_bytes = 0;   ///< A and B streamed from global buffer
+  std::int64_t buf_write_bytes = 0;  ///< C tiles written back (16b)
+  double seconds(const SystolicConfig& cfg) const {
+    return static_cast<double>(cycles) / cfg.clock_hz;
+  }
+};
+
+/// Simulates one GEMM: tiling, waves, fill/drain and (optionally) the
+/// inter-wave weight shift-in gaps. Exact for edge (partial) tiles.
+GemmTiming simulate_gemm(const SystolicConfig& cfg, const GemmShape& shape);
+
+}  // namespace mbs::arch

@@ -1,0 +1,215 @@
+#include "core/block.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+namespace mbs::core {
+
+namespace {
+
+[[noreturn]] void fail(const Block& b, const char* msg) {
+  std::fprintf(stderr, "Block '%s' invalid: %s\n", b.name.c_str(), msg);
+  std::abort();
+}
+
+/// Working set of a single layer viewed in isolation: live input(s) plus
+/// output. Merge layers execute in place — Add overwrites one operand with
+/// the sum and Concat assembles branch slices directly in the output
+/// buffer — so they provision no extra copy space.
+std::int64_t layer_working_set(const Layer& l, DataType t) {
+  if (l.kind == LayerKind::kAdd) return 2 * l.out.bytes(t);
+  if (l.kind == LayerKind::kConcat) return l.out.bytes(t);
+  return l.input_bytes_per_sample(t) + l.output_bytes_per_sample(t);
+}
+
+}  // namespace
+
+const char* to_string(BlockKind kind) {
+  switch (kind) {
+    case BlockKind::kSimple: return "simple";
+    case BlockKind::kResidual: return "residual";
+    case BlockKind::kInception: return "inception";
+  }
+  return "?";
+}
+
+std::int64_t Block::param_count() const {
+  std::int64_t total = 0;
+  for_each_layer([&](const Layer& l, int) { total += l.param_count(); });
+  return total;
+}
+
+std::int64_t Block::flops_per_sample() const {
+  std::int64_t total = 0;
+  for_each_layer([&](const Layer& l, int) { total += l.flops_per_sample(); });
+  return total;
+}
+
+std::int64_t Block::footprint_per_branch(DataType t) const {
+  std::int64_t peak = 0;
+  for_each_layer([&](const Layer& l, int) {
+    peak = std::max(peak, layer_working_set(l, t));
+  });
+  return peak;
+}
+
+std::int64_t Block::footprint_inter_branch(DataType t) const {
+  if (kind == BlockKind::kSimple) return footprint_per_branch(t);
+
+  const std::int64_t block_in = in.bytes(t);
+  const std::int64_t block_out = out.bytes(t);
+  std::int64_t peak = 0;
+
+  if (kind == BlockKind::kResidual) {
+    // Eq. 1. Branch 0 is the main path; branch 1 the shortcut. While the main
+    // path runs past its first layer the block input must stay resident for
+    // the shortcut; while the shortcut runs, the main-path output must stay
+    // resident for the merge.
+    const std::int64_t main_out =
+        branches[0].is_identity() ? block_in
+                                  : branches[0].layers.back().out.bytes(t);
+    for (std::size_t b = 0; b < branches.size(); ++b) {
+      const auto& chain = branches[b].layers;
+      for (std::size_t l = 0; l < chain.size(); ++l) {
+        std::int64_t cond = 0;
+        if (b == 0 && l != 0) cond += block_in;
+        if (b != 0) cond += main_out;
+        peak = std::max(peak, layer_working_set(chain[l], t) + cond);
+      }
+    }
+    // Merge point: both branch outputs coexist; the in-place sum overwrites
+    // one of them (the following ReLU is shape-preserving and adds nothing).
+    const std::int64_t shortcut_out =
+        branches.size() > 1 && !branches[1].is_identity()
+            ? branches[1].layers.back().out.bytes(t)
+            : block_in;
+    peak = std::max(peak, main_out + shortcut_out);
+    return peak;
+  }
+
+  // Eq. 2 (inception): while executing any branch layer past the first, the
+  // block input must stay resident for the remaining branches; until the
+  // last layer of a branch, space for the concatenated block output is
+  // provisioned.
+  for (const auto& branch : branches) {
+    const auto& chain = branch.layers;
+    for (std::size_t l = 0; l < chain.size(); ++l) {
+      std::int64_t cond = 0;
+      if (l != 0) cond += block_in;
+      if (l + 1 != chain.size()) cond += block_out;
+      peak = std::max(peak, layer_working_set(chain[l], t) + cond);
+    }
+  }
+  // All branch outputs coexist as slices of the block output at the merge.
+  peak = std::max(peak, block_in + block_out);
+  return peak;
+}
+
+void Block::for_each_layer(
+    const std::function<void(const Layer&, int)>& fn) const {
+  for (std::size_t b = 0; b < branches.size(); ++b)
+    for (const Layer& l : branches[b].layers) fn(l, static_cast<int>(b));
+  for (const Layer& l : merge) fn(l, -1);
+}
+
+int Block::layer_count() const {
+  int n = 0;
+  for_each_layer([&](const Layer&, int) { ++n; });
+  return n;
+}
+
+void Block::check() const {
+  if (branches.empty()) fail(*this, "no branches");
+  for (const auto& branch : branches) {
+    FeatureShape cur = in;
+    for (const Layer& l : branch.layers) {
+      if (!(l.in == cur) && l.kind != LayerKind::kFc)
+        fail(*this, ("layer '" + l.name + "' input shape mismatch").c_str());
+      if (l.kind == LayerKind::kFc && l.in.elements() != cur.elements())
+        fail(*this, ("fc '" + l.name + "' input element mismatch").c_str());
+      cur = l.out;
+    }
+  }
+  if (kind == BlockKind::kSimple) {
+    if (branches.size() != 1) fail(*this, "simple block must have 1 branch");
+    const auto& chain = branches[0].layers;
+    const FeatureShape last = chain.empty() ? in : chain.back().out;
+    if (!(last == out)) fail(*this, "output shape mismatch");
+    return;
+  }
+  if (kind == BlockKind::kResidual) {
+    for (const auto& branch : branches) {
+      const FeatureShape branch_out =
+          branch.is_identity() ? in : branch.layers.back().out;
+      if (!(branch_out == out)) fail(*this, "residual branch output mismatch");
+    }
+    if (merge.empty() || merge.front().kind != LayerKind::kAdd)
+      fail(*this, "residual block must merge with Add");
+    return;
+  }
+  // Inception: channel counts must sum; spatial sizes must agree.
+  int c_sum = 0;
+  for (const auto& branch : branches) {
+    if (branch.is_identity()) fail(*this, "inception identity branch");
+    const FeatureShape branch_out = branch.layers.back().out;
+    if (branch_out.h != out.h || branch_out.w != out.w)
+      fail(*this, "inception branch spatial mismatch");
+    c_sum += branch_out.c;
+  }
+  if (c_sum != out.c) fail(*this, "inception channel sum mismatch");
+  if (merge.empty() || merge.front().kind != LayerKind::kConcat)
+    fail(*this, "inception block must merge with Concat");
+}
+
+Block make_simple_block(std::string name, std::vector<Layer> layers) {
+  assert(!layers.empty());
+  Block b;
+  b.kind = BlockKind::kSimple;
+  b.name = std::move(name);
+  b.in = layers.front().in;
+  b.out = layers.back().out;
+  b.branches.push_back(Branch{std::move(layers)});
+  b.check();
+  return b;
+}
+
+Block make_residual_block(std::string name, FeatureShape in,
+                          std::vector<Layer> main,
+                          std::vector<Layer> shortcut) {
+  assert(!main.empty());
+  Block b;
+  b.kind = BlockKind::kResidual;
+  b.name = std::move(name);
+  b.in = in;
+  b.out = main.back().out;
+  b.branches.push_back(Branch{std::move(main)});
+  b.branches.push_back(Branch{std::move(shortcut)});
+  b.merge.push_back(make_add(b.name + ".add", b.out));
+  b.merge.push_back(make_act(b.name + ".relu", b.out));
+  b.check();
+  return b;
+}
+
+Block make_inception_block(std::string name, FeatureShape in,
+                           std::vector<std::vector<Layer>> branches) {
+  assert(!branches.empty());
+  Block b;
+  b.kind = BlockKind::kInception;
+  b.name = std::move(name);
+  b.in = in;
+  int c_sum = 0;
+  for (auto& chain : branches) {
+    assert(!chain.empty());
+    c_sum += chain.back().out.c;
+    b.branches.push_back(Branch{std::move(chain)});
+  }
+  const FeatureShape first_out = b.branches[0].layers.back().out;
+  b.out = FeatureShape{c_sum, first_out.h, first_out.w};
+  b.merge.push_back(make_concat(b.name + ".concat", first_out, c_sum));
+  b.check();
+  return b;
+}
+
+}  // namespace mbs::core

@@ -1,0 +1,89 @@
+// Multi-branch blocks: the scheduling unit of MBS.
+//
+// MBS treats a multi-branch module (residual bottleneck, inception module)
+// as a single unit when optimizing locality (Sec. 3, "MBS essentially treats
+// such a block as a layer"). A Block is either a simple chain of layers or a
+// set of branches that share a split point and a merge point. The per-sample
+// on-chip space requirements follow Eq. 1 (residual) and Eq. 2 (inception).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/layer.h"
+#include "core/shape.h"
+
+namespace mbs::core {
+
+/// One branch of a block: a chain of layers. An empty chain is an identity
+/// branch (the un-projected shortcut of a residual block).
+struct Branch {
+  std::vector<Layer> layers;
+
+  bool is_identity() const { return layers.empty(); }
+};
+
+enum class BlockKind {
+  kSimple,     ///< single chain, no split/merge
+  kResidual,   ///< main branch + shortcut, merged by element-wise Add (Eq. 1)
+  kInception,  ///< B parallel branches merged by channel Concat (Eq. 2)
+};
+
+const char* to_string(BlockKind kind);
+
+/// A scheduling unit: one layer chain or one multi-branch module.
+struct Block {
+  BlockKind kind = BlockKind::kSimple;
+  std::string name;
+  FeatureShape in;   ///< per-sample block input shape
+  FeatureShape out;  ///< per-sample block output shape
+  std::vector<Branch> branches;
+  /// Layers applied after the branches merge (residual: Add then ReLU;
+  /// inception: Concat). Empty for simple blocks.
+  std::vector<Layer> merge;
+
+  /// Total learnable parameters in the block.
+  std::int64_t param_count() const;
+
+  /// Per-sample forward FLOPs over all branches and merge layers.
+  std::int64_t flops_per_sample() const;
+
+  /// Largest single-layer inter-layer data volume: max over layers of
+  /// input + output bytes (the grey bars of Fig. 4). This is the footprint
+  /// MBS1 provisions for (no cross-branch data is kept on chip).
+  std::int64_t footprint_per_branch(DataType t = DataType::kF16) const;
+
+  /// Per-sample space with inter-branch reuse (MBS2): Eq. 1 for residual
+  /// blocks, Eq. 2 for inception blocks, and footprint_per_branch for
+  /// simple chains.
+  std::int64_t footprint_inter_branch(DataType t = DataType::kF16) const;
+
+  /// Visits every layer: all branch layers in branch order, then merge
+  /// layers. `branch` is the branch index or -1 for merge layers.
+  void for_each_layer(
+      const std::function<void(const Layer&, int branch)>& fn) const;
+
+  /// Number of layers including merge layers.
+  int layer_count() const;
+
+  /// Validates internal shape consistency (chains connect, branches merge
+  /// to `out`). Aborts with a message on violation; used by model builders.
+  void check() const;
+};
+
+/// Builds a simple block from a chain of layers.
+Block make_simple_block(std::string name, std::vector<Layer> layers);
+
+/// Builds a residual block: `main` chain plus `shortcut` chain (empty for
+/// identity) merged by Add followed by ReLU.
+Block make_residual_block(std::string name, FeatureShape in,
+                          std::vector<Layer> main,
+                          std::vector<Layer> shortcut);
+
+/// Builds an inception block: parallel branches concatenated channel-wise.
+Block make_inception_block(std::string name, FeatureShape in,
+                           std::vector<std::vector<Layer>> branches);
+
+}  // namespace mbs::core

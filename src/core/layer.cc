@@ -1,0 +1,183 @@
+#include "core/layer.h"
+
+#include <cassert>
+
+namespace mbs::core {
+
+const char* to_string(LayerKind kind) {
+  switch (kind) {
+    case LayerKind::kConv: return "conv";
+    case LayerKind::kFc: return "fc";
+    case LayerKind::kPool: return "pool";
+    case LayerKind::kNorm: return "norm";
+    case LayerKind::kAct: return "act";
+    case LayerKind::kAdd: return "add";
+    case LayerKind::kConcat: return "concat";
+  }
+  return "?";
+}
+
+std::int64_t Layer::param_count() const {
+  switch (kind) {
+    case LayerKind::kConv: {
+      const std::int64_t weights = static_cast<std::int64_t>(in.c) * kernel_h *
+                                   kernel_w * out.c;
+      return weights + (has_bias ? out.c : 0);
+    }
+    case LayerKind::kFc: {
+      const std::int64_t weights = in.elements() * out.c;
+      return weights + (has_bias ? out.c : 0);
+    }
+    case LayerKind::kNorm:
+      return 2LL * in.c;  // scale and shift per channel
+    default:
+      return 0;
+  }
+}
+
+std::int64_t Layer::param_bytes(DataType t) const {
+  return bytes_for(param_count(), t);
+}
+
+std::int64_t Layer::flops_per_sample() const {
+  switch (kind) {
+    case LayerKind::kConv:
+      // 2 * MACs: each output element accumulates in.c * kh * kw products.
+      return 2LL * out.elements() * in.c * kernel_h * kernel_w;
+    case LayerKind::kFc:
+      return 2LL * in.elements() * out.c;
+    case LayerKind::kPool:
+      if (pool_kind == PoolKind::kGlobalAvg) return in.elements();
+      return static_cast<std::int64_t>(out.elements()) * kernel_h * kernel_w;
+    case LayerKind::kNorm:
+      // Two passes: mean/var accumulation then scale/shift application.
+      return 8LL * in.elements();
+    case LayerKind::kAct:
+      return in.elements();
+    case LayerKind::kAdd:
+      return in.elements();
+    case LayerKind::kConcat:
+      return 0;  // pure data movement
+  }
+  return 0;
+}
+
+std::int64_t Layer::input_bytes_per_sample(DataType t) const {
+  if (kind == LayerKind::kAdd) return 2 * in.bytes(t);
+  if (kind == LayerKind::kConcat) return out.bytes(t);  // reads all branch outputs
+  return in.bytes(t);
+}
+
+std::int64_t Layer::output_bytes_per_sample(DataType t) const {
+  return out.bytes(t);
+}
+
+int conv_out_dim(int in, int kernel, int stride, int pad) {
+  assert(stride > 0);
+  return (in + 2 * pad - kernel) / stride + 1;
+}
+
+Layer make_conv(std::string name, FeatureShape in, int out_c, int kernel_h,
+                int kernel_w, int stride, int pad_h, int pad_w, bool bias) {
+  Layer l;
+  l.kind = LayerKind::kConv;
+  l.name = std::move(name);
+  l.in = in;
+  l.kernel_h = kernel_h;
+  l.kernel_w = kernel_w;
+  l.stride = stride;
+  l.pad_h = pad_h;
+  l.pad_w = pad_w;
+  l.has_bias = bias;
+  l.out = FeatureShape{out_c, conv_out_dim(in.h, kernel_h, stride, pad_h),
+                       conv_out_dim(in.w, kernel_w, stride, pad_w)};
+  assert(l.out.h > 0 && l.out.w > 0);
+  return l;
+}
+
+Layer make_conv(std::string name, FeatureShape in, int out_c, int kernel,
+                int stride, int pad, bool bias) {
+  return make_conv(std::move(name), in, out_c, kernel, kernel, stride, pad,
+                   pad, bias);
+}
+
+Layer make_fc(std::string name, std::int64_t in_features, int out_features,
+              bool bias) {
+  Layer l;
+  l.kind = LayerKind::kFc;
+  l.name = std::move(name);
+  l.in = FeatureShape{static_cast<int>(in_features), 1, 1};
+  l.out = FeatureShape{out_features, 1, 1};
+  l.has_bias = bias;
+  return l;
+}
+
+Layer make_norm(std::string name, FeatureShape in, NormKind kind) {
+  Layer l;
+  l.kind = LayerKind::kNorm;
+  l.name = std::move(name);
+  l.in = in;
+  l.out = in;
+  l.norm_kind = kind;
+  return l;
+}
+
+Layer make_act(std::string name, FeatureShape in) {
+  Layer l;
+  l.kind = LayerKind::kAct;
+  l.name = std::move(name);
+  l.in = in;
+  l.out = in;
+  return l;
+}
+
+Layer make_pool(std::string name, FeatureShape in, int kernel, int stride,
+                int pad, PoolKind kind) {
+  Layer l;
+  l.kind = LayerKind::kPool;
+  l.name = std::move(name);
+  l.in = in;
+  l.kernel_h = kernel;
+  l.kernel_w = kernel;
+  l.stride = stride;
+  l.pad_h = pad;
+  l.pad_w = pad;
+  l.pool_kind = kind;
+  l.out = FeatureShape{in.c, conv_out_dim(in.h, kernel, stride, pad),
+                       conv_out_dim(in.w, kernel, stride, pad)};
+  assert(l.out.h > 0 && l.out.w > 0);
+  return l;
+}
+
+Layer make_global_avg_pool(std::string name, FeatureShape in) {
+  Layer l;
+  l.kind = LayerKind::kPool;
+  l.name = std::move(name);
+  l.in = in;
+  l.kernel_h = in.h;
+  l.kernel_w = in.w;
+  l.stride = 1;
+  l.pool_kind = PoolKind::kGlobalAvg;
+  l.out = FeatureShape{in.c, 1, 1};
+  return l;
+}
+
+Layer make_add(std::string name, FeatureShape in) {
+  Layer l;
+  l.kind = LayerKind::kAdd;
+  l.name = std::move(name);
+  l.in = in;
+  l.out = in;
+  return l;
+}
+
+Layer make_concat(std::string name, FeatureShape in, int out_c) {
+  Layer l;
+  l.kind = LayerKind::kConcat;
+  l.name = std::move(name);
+  l.in = in;
+  l.out = FeatureShape{out_c, in.h, in.w};
+  return l;
+}
+
+}  // namespace mbs::core

@@ -1,0 +1,115 @@
+// Layer descriptors: the shape-level IR the scheduler and simulator operate
+// on. A Layer records per-sample input/output shapes, kernel geometry, and
+// parameter counts; it carries no tensor data (the functional training
+// substrate in src/train has real tensors).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/shape.h"
+
+namespace mbs::core {
+
+/// Kinds of layers appearing in the evaluated CNNs.
+enum class LayerKind {
+  kConv,   ///< 2-D convolution (im2col GEMM on WaveCore)
+  kFc,     ///< fully connected (GEMM)
+  kPool,   ///< max / average / global-average pooling
+  kNorm,   ///< feature normalization (BN in the baseline, GN under MBS)
+  kAct,    ///< ReLU activation
+  kAdd,    ///< element-wise sum at a residual merge point
+  kConcat, ///< channel concatenation at an inception merge point
+};
+
+const char* to_string(LayerKind kind);
+
+/// Pooling flavors.
+enum class PoolKind { kMax, kAvg, kGlobalAvg };
+
+/// Normalization flavors. Identical for footprint/traffic purposes (both
+/// have 2*C parameters); they differ in the training substrate and in
+/// MBS compatibility (BN needs the whole per-processor mini-batch, Sec. 3.1).
+enum class NormKind { kBatch, kGroup };
+
+/// A single layer. Construct through the factory functions below so that
+/// output shapes and parameter counts stay consistent.
+struct Layer {
+  LayerKind kind = LayerKind::kConv;
+  std::string name;
+  FeatureShape in;   ///< per-sample input shape
+  FeatureShape out;  ///< per-sample output shape
+
+  // Convolution / pooling geometry. Padding can be asymmetric across the
+  // two spatial dimensions (Inception's 1x7 / 7x1 convolutions).
+  int kernel_h = 1;
+  int kernel_w = 1;
+  int stride = 1;
+  int pad_h = 0;
+  int pad_w = 0;
+
+  PoolKind pool_kind = PoolKind::kMax;
+  NormKind norm_kind = NormKind::kGroup;
+  bool has_bias = false;
+
+  /// Number of learnable parameters (0 for pool/act/add/concat).
+  std::int64_t param_count() const;
+
+  /// Bytes of parameters at the given storage type.
+  std::int64_t param_bytes(DataType t = DataType::kF16) const;
+
+  /// Per-sample forward FLOPs (multiply and add counted separately).
+  std::int64_t flops_per_sample() const;
+
+  /// True for layers executed on the systolic array (conv, fc); the rest run
+  /// on WaveCore's vector/scalar units (Sec. 4.2).
+  bool is_gemm() const { return kind == LayerKind::kConv || kind == LayerKind::kFc; }
+
+  /// Per-sample bytes read by this layer's forward pass, counting Add's two
+  /// operands and Concat's branch inputs.
+  std::int64_t input_bytes_per_sample(DataType t = DataType::kF16) const;
+
+  /// Per-sample bytes written by this layer's forward pass.
+  std::int64_t output_bytes_per_sample(DataType t = DataType::kF16) const;
+};
+
+/// Output spatial size of a convolution/pooling window.
+int conv_out_dim(int in, int kernel, int stride, int pad);
+
+// ---- Factory functions -----------------------------------------------------
+
+/// 2-D convolution: `out_c` filters of kernel_h x kernel_w over `in`, with
+/// per-dimension padding.
+Layer make_conv(std::string name, FeatureShape in, int out_c, int kernel_h,
+                int kernel_w, int stride, int pad_h, int pad_w,
+                bool bias = false);
+
+/// Square-kernel convenience overload with symmetric padding.
+Layer make_conv(std::string name, FeatureShape in, int out_c, int kernel,
+                int stride, int pad, bool bias = false);
+
+/// Fully connected layer over a flattened input.
+Layer make_fc(std::string name, std::int64_t in_features, int out_features,
+              bool bias = true);
+
+/// Normalization over `in` (shape-preserving, 2*C parameters).
+Layer make_norm(std::string name, FeatureShape in,
+                NormKind kind = NormKind::kGroup);
+
+/// ReLU activation (shape-preserving).
+Layer make_act(std::string name, FeatureShape in);
+
+/// Max or average pooling.
+Layer make_pool(std::string name, FeatureShape in, int kernel, int stride,
+                int pad, PoolKind kind);
+
+/// Global average pooling to 1x1.
+Layer make_global_avg_pool(std::string name, FeatureShape in);
+
+/// Residual element-wise sum of two tensors of shape `in`.
+Layer make_add(std::string name, FeatureShape in);
+
+/// Channel concatenation producing `out_c` channels at `in`'s spatial size.
+Layer make_concat(std::string name, FeatureShape in, int out_c);
+
+}  // namespace mbs::core

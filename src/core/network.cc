@@ -1,0 +1,44 @@
+#include "core/network.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace mbs::core {
+
+std::int64_t Network::param_count() const {
+  std::int64_t total = 0;
+  for (const Block& b : blocks) total += b.param_count();
+  return total;
+}
+
+std::int64_t Network::flops_per_sample() const {
+  std::int64_t total = 0;
+  for (const Block& b : blocks) total += b.flops_per_sample();
+  return total;
+}
+
+int Network::layer_count() const {
+  int n = 0;
+  for (const Block& b : blocks) n += b.layer_count();
+  return n;
+}
+
+void Network::check() const {
+  FeatureShape cur = input;
+  for (const Block& b : blocks) {
+    b.check();
+    const bool fc_flatten =
+        b.branches.size() == 1 && !b.branches[0].layers.empty() &&
+        b.branches[0].layers.front().kind == LayerKind::kFc;
+    const bool ok = fc_flatten ? b.in.elements() == cur.elements()
+                               : b.in == cur;
+    if (!ok) {
+      std::fprintf(stderr, "Network '%s': block '%s' input mismatch\n",
+                   name.c_str(), b.name.c_str());
+      std::abort();
+    }
+    cur = b.out;
+  }
+}
+
+}  // namespace mbs::core

@@ -1,0 +1,34 @@
+// A network is an ordered list of blocks plus training-time metadata.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/block.h"
+
+namespace mbs::core {
+
+/// A CNN described at shape level, as a chain of (possibly multi-branch)
+/// blocks. Per-core mini-batch size follows the paper's evaluation setup
+/// (32 per core for the deep CNNs, 64 for AlexNet, Sec. 5).
+struct Network {
+  std::string name;
+  FeatureShape input;           ///< per-sample network input (e.g. 3x224x224)
+  int mini_batch_per_core = 32; ///< default evaluation mini-batch per core
+  std::vector<Block> blocks;
+
+  /// Total learnable parameters.
+  std::int64_t param_count() const;
+
+  /// Forward FLOPs for one sample.
+  std::int64_t flops_per_sample() const;
+
+  /// Total layers across all blocks (including merge layers).
+  int layer_count() const;
+
+  /// Validates inter-block shape consistency. Aborts on violation.
+  void check() const;
+};
+
+}  // namespace mbs::core

@@ -1,0 +1,53 @@
+// Per-sample feature shapes and storage data types.
+//
+// The paper's analysis works at the granularity of per-sample feature
+// volumes (Fig. 3/4: "data size / sample"); mini-batch and sub-batch sizes
+// multiply these. Features and weights are stored as 16-bit words with
+// 32-bit accumulation (mixed precision, Sec. 5); ReLU backward masks are
+// stored as a single bit per element (Sec. 3).
+#pragma once
+
+#include <cstdint>
+
+namespace mbs::core {
+
+/// Storage data types used by the traffic and buffer models.
+enum class DataType {
+  kF16,  ///< 16-bit floating point (default storage for features/weights)
+  kF32,  ///< 32-bit floating point (accumulation)
+  kI8,   ///< 8-bit integer (pooling argmax indices)
+  kBit,  ///< 1-bit (ReLU gradient masks)
+};
+
+/// Size of one element of `t` in bits.
+constexpr std::int64_t dtype_bits(DataType t) {
+  switch (t) {
+    case DataType::kF16: return 16;
+    case DataType::kF32: return 32;
+    case DataType::kI8: return 8;
+    case DataType::kBit: return 1;
+  }
+  return 16;
+}
+
+/// Bytes for `elements` values of type `t`, rounded up to whole bytes.
+constexpr std::int64_t bytes_for(std::int64_t elements, DataType t) {
+  return (elements * dtype_bits(t) + 7) / 8;
+}
+
+/// Shape of one sample's feature map: channels x height x width.
+struct FeatureShape {
+  int c = 0;
+  int h = 0;
+  int w = 0;
+
+  constexpr std::int64_t elements() const {
+    return static_cast<std::int64_t>(c) * h * w;
+  }
+  constexpr std::int64_t bytes(DataType t = DataType::kF16) const {
+    return bytes_for(elements(), t);
+  }
+  constexpr bool operator==(const FeatureShape&) const = default;
+};
+
+}  // namespace mbs::core

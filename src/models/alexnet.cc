@@ -1,0 +1,69 @@
+#include "models/alexnet.h"
+
+#include <string>
+#include <vector>
+
+#include "models/common.h"
+
+namespace mbs::models {
+
+namespace {
+
+using Chain = std::vector<Layer>;
+
+FeatureShape conv_act(Chain& chain, const std::string& name, FeatureShape in,
+                      int out_c, int kernel, int stride, int pad) {
+  chain.push_back(core::make_conv(name + ".conv", in, out_c, kernel, kernel,
+                                  stride, pad, pad, /*bias=*/true));
+  const FeatureShape out = chain.back().out;
+  chain.push_back(core::make_act(name + ".relu", out));
+  return out;
+}
+
+}  // namespace
+
+core::Network make_alexnet(int mini_batch_per_core) {
+  core::Network net;
+  net.name = "AlexNet";
+  net.input = FeatureShape{3, 224, 224};
+  net.mini_batch_per_core = mini_batch_per_core;
+
+  auto push_conv = [&](const std::string& name, FeatureShape in, int out_c,
+                       int kernel, int stride, int pad) {
+    Chain chain;
+    conv_act(chain, name, in, out_c, kernel, stride, pad);
+    net.blocks.push_back(core::make_simple_block(name, std::move(chain)));
+    return net.blocks.back().out;
+  };
+  auto push_pool = [&](const std::string& name, FeatureShape in) {
+    net.blocks.push_back(core::make_simple_block(
+        name, {core::make_pool(name, in, 3, 2, 0, PoolKind::kMax)}));
+    return net.blocks.back().out;
+  };
+
+  FeatureShape cur = push_conv("conv1", net.input, 64, 11, 4, 2);  // 55x55
+  cur = push_pool("pool1", cur);                                   // 27x27
+  cur = push_conv("conv2", cur, 192, 5, 1, 2);                     // 27x27
+  cur = push_pool("pool2", cur);                                   // 13x13
+  cur = push_conv("conv3", cur, 384, 3, 1, 1);
+  cur = push_conv("conv4", cur, 256, 3, 1, 1);
+  cur = push_conv("conv5", cur, 256, 3, 1, 1);
+  cur = push_pool("pool5", cur);  // 6x6x256
+
+  auto push_fc = [&](const std::string& name, std::int64_t in_features,
+                     int out_features, bool relu) {
+    Chain chain;
+    chain.push_back(core::make_fc(name, in_features, out_features));
+    if (relu) chain.push_back(core::make_act(name + ".relu", chain.back().out));
+    net.blocks.push_back(core::make_simple_block(name, std::move(chain)));
+    return net.blocks.back().out;
+  };
+  cur = push_fc("fc6", cur.elements(), 4096, true);
+  cur = push_fc("fc7", cur.elements(), 4096, true);
+  push_fc("fc8", cur.elements(), 1000, false);
+
+  net.check();
+  return net;
+}
+
+}  // namespace mbs::models

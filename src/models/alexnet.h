@@ -1,0 +1,13 @@
+// AlexNet (Krizhevsky et al., 2012), single-column variant for 224x224
+// inputs. Convolutions carry biases and there are no normalization layers,
+// matching the paper's characterization of AlexNet as having "mostly
+// convolution layers with few memory-BW bound layers" (Sec. 6).
+#pragma once
+
+#include "core/network.h"
+
+namespace mbs::models {
+
+core::Network make_alexnet(int mini_batch_per_core = 64);
+
+}  // namespace mbs::models

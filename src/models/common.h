@@ -1,0 +1,50 @@
+// Shared helpers for model builders: the conv -> norm -> relu triple used
+// throughout the evaluated CNNs (Fig. 2's "Conv Norm phi" pattern).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/layer.h"
+
+namespace mbs::models {
+
+using core::FeatureShape;
+using core::Layer;
+using core::NormKind;
+using core::PoolKind;
+
+/// Appends conv (no bias) + norm + ReLU to `chain`; returns the output shape.
+inline FeatureShape conv_norm_act(std::vector<Layer>& chain,
+                                  const std::string& name, FeatureShape in,
+                                  int out_c, int kernel_h, int kernel_w,
+                                  int stride, int pad_h, int pad_w) {
+  chain.push_back(core::make_conv(name + ".conv", in, out_c, kernel_h,
+                                  kernel_w, stride, pad_h, pad_w));
+  const FeatureShape out = chain.back().out;
+  chain.push_back(core::make_norm(name + ".norm", out));
+  chain.push_back(core::make_act(name + ".relu", out));
+  return out;
+}
+
+/// Square-kernel convenience overload.
+inline FeatureShape conv_norm_act(std::vector<Layer>& chain,
+                                  const std::string& name, FeatureShape in,
+                                  int out_c, int kernel, int stride, int pad) {
+  return conv_norm_act(chain, name, in, out_c, kernel, kernel, stride, pad,
+                       pad);
+}
+
+/// Appends conv + norm (no activation — the residual merge applies ReLU
+/// after the Add); returns the output shape.
+inline FeatureShape conv_norm(std::vector<Layer>& chain,
+                              const std::string& name, FeatureShape in,
+                              int out_c, int kernel, int stride, int pad) {
+  chain.push_back(core::make_conv(name + ".conv", in, out_c, kernel, kernel,
+                                  stride, pad, pad));
+  const FeatureShape out = chain.back().out;
+  chain.push_back(core::make_norm(name + ".norm", out));
+  return out;
+}
+
+}  // namespace mbs::models

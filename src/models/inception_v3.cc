@@ -1,0 +1,195 @@
+#include "models/inception_v3.h"
+
+#include <string>
+#include <vector>
+
+#include "models/common.h"
+
+namespace mbs::models {
+
+namespace {
+
+using Chain = std::vector<Layer>;
+
+/// Appends an average-pool (3x3/1, pad 1) + 1x1 conv projection branch.
+Chain pool_proj_branch(const std::string& name, FeatureShape in, int out_c,
+                       PoolKind kind) {
+  Chain chain;
+  chain.push_back(core::make_pool(name + ".pool", in, 3, 1, 1, kind));
+  conv_norm_act(chain, name + ".proj", chain.back().out, out_c, 1, 1, 0);
+  return chain;
+}
+
+/// 35x35 module: 1x1 / 5x5 / double-3x3 / pool-projection branches.
+core::Block inception_a(const std::string& name, FeatureShape in,
+                        int pool_features) {
+  Chain b1;
+  conv_norm_act(b1, name + ".b1", in, 64, 1, 1, 0);
+
+  Chain b2;
+  FeatureShape cur = conv_norm_act(b2, name + ".b2a", in, 48, 1, 1, 0);
+  conv_norm_act(b2, name + ".b2b", cur, 64, 5, 1, 2);
+
+  Chain b3;
+  cur = conv_norm_act(b3, name + ".b3a", in, 64, 1, 1, 0);
+  cur = conv_norm_act(b3, name + ".b3b", cur, 96, 3, 1, 1);
+  conv_norm_act(b3, name + ".b3c", cur, 96, 3, 1, 1);
+
+  return core::make_inception_block(
+      name, in,
+      {std::move(b1), std::move(b2), std::move(b3),
+       pool_proj_branch(name + ".b4", in, pool_features, PoolKind::kAvg)});
+}
+
+/// 35x35 -> 17x17 grid reduction.
+core::Block inception_b(const std::string& name, FeatureShape in) {
+  Chain b1;
+  conv_norm_act(b1, name + ".b1", in, 384, 3, 2, 0);
+
+  Chain b2;
+  FeatureShape cur = conv_norm_act(b2, name + ".b2a", in, 64, 1, 1, 0);
+  cur = conv_norm_act(b2, name + ".b2b", cur, 96, 3, 1, 1);
+  conv_norm_act(b2, name + ".b2c", cur, 96, 3, 2, 0);
+
+  Chain b3;
+  b3.push_back(core::make_pool(name + ".b3.pool", in, 3, 2, 0, PoolKind::kMax));
+
+  return core::make_inception_block(
+      name, in, {std::move(b1), std::move(b2), std::move(b3)});
+}
+
+/// 17x17 module with factorized 7x7 convolutions.
+core::Block inception_c(const std::string& name, FeatureShape in, int c7) {
+  Chain b1;
+  conv_norm_act(b1, name + ".b1", in, 192, 1, 1, 0);
+
+  Chain b2;
+  FeatureShape cur = conv_norm_act(b2, name + ".b2a", in, c7, 1, 1, 0);
+  cur = conv_norm_act(b2, name + ".b2b", cur, c7, 1, 7, 1, 0, 3);
+  conv_norm_act(b2, name + ".b2c", cur, 192, 7, 1, 1, 3, 0);
+
+  Chain b3;
+  cur = conv_norm_act(b3, name + ".b3a", in, c7, 1, 1, 0);
+  cur = conv_norm_act(b3, name + ".b3b", cur, c7, 7, 1, 1, 3, 0);
+  cur = conv_norm_act(b3, name + ".b3c", cur, c7, 1, 7, 1, 0, 3);
+  cur = conv_norm_act(b3, name + ".b3d", cur, c7, 7, 1, 1, 3, 0);
+  conv_norm_act(b3, name + ".b3e", cur, 192, 1, 7, 1, 0, 3);
+
+  return core::make_inception_block(
+      name, in,
+      {std::move(b1), std::move(b2), std::move(b3),
+       pool_proj_branch(name + ".b4", in, 192, PoolKind::kAvg)});
+}
+
+/// 17x17 -> 8x8 grid reduction.
+core::Block inception_d(const std::string& name, FeatureShape in) {
+  Chain b1;
+  FeatureShape cur = conv_norm_act(b1, name + ".b1a", in, 192, 1, 1, 0);
+  conv_norm_act(b1, name + ".b1b", cur, 320, 3, 2, 0);
+
+  Chain b2;
+  cur = conv_norm_act(b2, name + ".b2a", in, 192, 1, 1, 0);
+  cur = conv_norm_act(b2, name + ".b2b", cur, 192, 1, 7, 1, 0, 3);
+  cur = conv_norm_act(b2, name + ".b2c", cur, 192, 7, 1, 1, 3, 0);
+  conv_norm_act(b2, name + ".b2d", cur, 192, 3, 2, 0);
+
+  Chain b3;
+  b3.push_back(core::make_pool(name + ".b3.pool", in, 3, 2, 0, PoolKind::kMax));
+
+  return core::make_inception_block(
+      name, in, {std::move(b1), std::move(b2), std::move(b3)});
+}
+
+/// 8x8 module. Nested 1x3/3x1 splits are flattened into sibling branches.
+core::Block inception_e(const std::string& name, FeatureShape in) {
+  Chain b1;
+  conv_norm_act(b1, name + ".b1", in, 320, 1, 1, 0);
+
+  Chain b2a;
+  FeatureShape cur = conv_norm_act(b2a, name + ".b2", in, 384, 1, 1, 0);
+  conv_norm_act(b2a, name + ".b2h", cur, 384, 1, 3, 1, 0, 1);
+  Chain b2b;
+  cur = conv_norm_act(b2b, name + ".b2'", in, 384, 1, 1, 0);
+  conv_norm_act(b2b, name + ".b2v", cur, 384, 3, 1, 1, 1, 0);
+
+  Chain b3a;
+  cur = conv_norm_act(b3a, name + ".b3a", in, 448, 1, 1, 0);
+  cur = conv_norm_act(b3a, name + ".b3b", cur, 384, 3, 1, 1);
+  conv_norm_act(b3a, name + ".b3h", cur, 384, 1, 3, 1, 0, 1);
+  Chain b3b;
+  cur = conv_norm_act(b3b, name + ".b3a'", in, 448, 1, 1, 0);
+  cur = conv_norm_act(b3b, name + ".b3b'", cur, 384, 3, 1, 1);
+  conv_norm_act(b3b, name + ".b3v", cur, 384, 3, 1, 1, 1, 0);
+
+  return core::make_inception_block(
+      name, in,
+      {std::move(b1), std::move(b2a), std::move(b2b), std::move(b3a),
+       std::move(b3b), pool_proj_branch(name + ".b4", in, 192, PoolKind::kAvg)});
+}
+
+}  // namespace
+
+core::Network make_inception_v3(int mini_batch_per_core) {
+  core::Network net;
+  net.name = "InceptionV3";
+  net.input = FeatureShape{3, 299, 299};
+  net.mini_batch_per_core = mini_batch_per_core;
+
+  // Stem.
+  auto push_cna = [&](const std::string& name, FeatureShape in, int out_c,
+                      int kernel, int stride, int pad) {
+    Chain chain;
+    conv_norm_act(chain, name, in, out_c, kernel, stride, pad);
+    net.blocks.push_back(core::make_simple_block(name, std::move(chain)));
+    return net.blocks.back().out;
+  };
+  FeatureShape cur = push_cna("conv1a", net.input, 32, 3, 2, 0);  // 149x149
+  cur = push_cna("conv2a", cur, 32, 3, 1, 0);                     // 147x147
+  cur = push_cna("conv2b", cur, 64, 3, 1, 1);                     // 147x147
+  net.blocks.push_back(core::make_simple_block(
+      "pool1", {core::make_pool("pool1", cur, 3, 2, 0, PoolKind::kMax)}));
+  cur = net.blocks.back().out;                                    // 73x73
+  cur = push_cna("conv3b", cur, 80, 1, 1, 0);                     // 73x73
+  cur = push_cna("conv4a", cur, 192, 3, 1, 0);                    // 71x71
+  net.blocks.push_back(core::make_simple_block(
+      "pool2", {core::make_pool("pool2", cur, 3, 2, 0, PoolKind::kMax)}));
+  cur = net.blocks.back().out;                                    // 35x35x192
+
+  net.blocks.push_back(inception_a("mixed5b", cur, 32));
+  cur = net.blocks.back().out;  // 256
+  net.blocks.push_back(inception_a("mixed5c", cur, 64));
+  cur = net.blocks.back().out;  // 288
+  net.blocks.push_back(inception_a("mixed5d", cur, 64));
+  cur = net.blocks.back().out;  // 288
+
+  net.blocks.push_back(inception_b("mixed6a", cur));
+  cur = net.blocks.back().out;  // 17x17x768
+
+  net.blocks.push_back(inception_c("mixed6b", cur, 128));
+  cur = net.blocks.back().out;
+  net.blocks.push_back(inception_c("mixed6c", cur, 160));
+  cur = net.blocks.back().out;
+  net.blocks.push_back(inception_c("mixed6d", cur, 160));
+  cur = net.blocks.back().out;
+  net.blocks.push_back(inception_c("mixed6e", cur, 192));
+  cur = net.blocks.back().out;
+
+  net.blocks.push_back(inception_d("mixed7a", cur));
+  cur = net.blocks.back().out;  // 8x8x1280
+
+  net.blocks.push_back(inception_e("mixed7b", cur));
+  cur = net.blocks.back().out;  // 8x8x2048
+  net.blocks.push_back(inception_e("mixed7c", cur));
+  cur = net.blocks.back().out;
+
+  net.blocks.push_back(core::make_simple_block(
+      "avgpool", {core::make_global_avg_pool("avgpool", cur)}));
+  cur = net.blocks.back().out;
+  net.blocks.push_back(core::make_simple_block(
+      "fc", {core::make_fc("fc", cur.elements(), 1000)}));
+
+  net.check();
+  return net;
+}
+
+}  // namespace mbs::models

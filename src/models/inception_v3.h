@@ -1,0 +1,18 @@
+// Inception v3 (Szegedy et al., 2015) for 299x299 inputs.
+//
+// The Mixed_7b/7c modules of the reference network contain nested splits
+// (a 1x1 convolution whose output feeds both a 1x3 and a 3x1 convolution).
+// The block IR models branches as chains from the shared block input, so
+// those nested splits are flattened into two sibling branches that each
+// repeat the leading convolution. This preserves the multi-branch reuse
+// structure MBS exploits at the cost of a small parameter-count increase
+// (documented in DESIGN.md).
+#pragma once
+
+#include "core/network.h"
+
+namespace mbs::models {
+
+core::Network make_inception_v3(int mini_batch_per_core = 32);
+
+}  // namespace mbs::models

@@ -1,0 +1,211 @@
+#include "models/inception_v4.h"
+
+#include <string>
+#include <vector>
+
+#include "models/common.h"
+
+namespace mbs::models {
+
+namespace {
+
+using Chain = std::vector<Layer>;
+
+Chain pool_proj_branch(const std::string& name, FeatureShape in, int out_c) {
+  Chain chain;
+  chain.push_back(core::make_pool(name + ".pool", in, 3, 1, 1, PoolKind::kAvg));
+  conv_norm_act(chain, name + ".proj", chain.back().out, out_c, 1, 1, 0);
+  return chain;
+}
+
+/// 35x35 module (output 384 channels).
+core::Block inception_a(const std::string& name, FeatureShape in) {
+  Chain b1;
+  conv_norm_act(b1, name + ".b1", in, 96, 1, 1, 0);
+
+  Chain b2;
+  FeatureShape cur = conv_norm_act(b2, name + ".b2a", in, 64, 1, 1, 0);
+  conv_norm_act(b2, name + ".b2b", cur, 96, 3, 1, 1);
+
+  Chain b3;
+  cur = conv_norm_act(b3, name + ".b3a", in, 64, 1, 1, 0);
+  cur = conv_norm_act(b3, name + ".b3b", cur, 96, 3, 1, 1);
+  conv_norm_act(b3, name + ".b3c", cur, 96, 3, 1, 1);
+
+  return core::make_inception_block(
+      name, in,
+      {std::move(b1), std::move(b2), std::move(b3),
+       pool_proj_branch(name + ".b4", in, 96)});
+}
+
+/// 35x35 -> 17x17 reduction (output 1024 channels).
+core::Block reduction_a(const std::string& name, FeatureShape in) {
+  Chain b1;
+  conv_norm_act(b1, name + ".b1", in, 384, 3, 2, 0);
+
+  Chain b2;
+  FeatureShape cur = conv_norm_act(b2, name + ".b2a", in, 192, 1, 1, 0);
+  cur = conv_norm_act(b2, name + ".b2b", cur, 224, 3, 1, 1);
+  conv_norm_act(b2, name + ".b2c", cur, 256, 3, 2, 0);
+
+  Chain b3;
+  b3.push_back(core::make_pool(name + ".b3.pool", in, 3, 2, 0, PoolKind::kMax));
+
+  return core::make_inception_block(
+      name, in, {std::move(b1), std::move(b2), std::move(b3)});
+}
+
+/// 17x17 module (output 1024 channels).
+core::Block inception_b(const std::string& name, FeatureShape in) {
+  Chain b1;
+  conv_norm_act(b1, name + ".b1", in, 384, 1, 1, 0);
+
+  Chain b2;
+  FeatureShape cur = conv_norm_act(b2, name + ".b2a", in, 192, 1, 1, 0);
+  cur = conv_norm_act(b2, name + ".b2b", cur, 224, 1, 7, 1, 0, 3);
+  conv_norm_act(b2, name + ".b2c", cur, 256, 7, 1, 1, 3, 0);
+
+  Chain b3;
+  cur = conv_norm_act(b3, name + ".b3a", in, 192, 1, 1, 0);
+  cur = conv_norm_act(b3, name + ".b3b", cur, 192, 7, 1, 1, 3, 0);
+  cur = conv_norm_act(b3, name + ".b3c", cur, 224, 1, 7, 1, 0, 3);
+  cur = conv_norm_act(b3, name + ".b3d", cur, 224, 7, 1, 1, 3, 0);
+  conv_norm_act(b3, name + ".b3e", cur, 256, 1, 7, 1, 0, 3);
+
+  return core::make_inception_block(
+      name, in,
+      {std::move(b1), std::move(b2), std::move(b3),
+       pool_proj_branch(name + ".b4", in, 128)});
+}
+
+/// 17x17 -> 8x8 reduction (output 1536 channels).
+core::Block reduction_b(const std::string& name, FeatureShape in) {
+  Chain b1;
+  FeatureShape cur = conv_norm_act(b1, name + ".b1a", in, 192, 1, 1, 0);
+  conv_norm_act(b1, name + ".b1b", cur, 192, 3, 2, 0);
+
+  Chain b2;
+  cur = conv_norm_act(b2, name + ".b2a", in, 256, 1, 1, 0);
+  cur = conv_norm_act(b2, name + ".b2b", cur, 256, 1, 7, 1, 0, 3);
+  cur = conv_norm_act(b2, name + ".b2c", cur, 320, 7, 1, 1, 3, 0);
+  conv_norm_act(b2, name + ".b2d", cur, 320, 3, 2, 0);
+
+  Chain b3;
+  b3.push_back(core::make_pool(name + ".b3.pool", in, 3, 2, 0, PoolKind::kMax));
+
+  return core::make_inception_block(
+      name, in, {std::move(b1), std::move(b2), std::move(b3)});
+}
+
+/// 8x8 module (output 1536 channels); nested splits flattened.
+core::Block inception_c(const std::string& name, FeatureShape in) {
+  Chain b1;
+  conv_norm_act(b1, name + ".b1", in, 256, 1, 1, 0);
+
+  Chain b2a;
+  FeatureShape cur = conv_norm_act(b2a, name + ".b2", in, 384, 1, 1, 0);
+  conv_norm_act(b2a, name + ".b2h", cur, 256, 1, 3, 1, 0, 1);
+  Chain b2b;
+  cur = conv_norm_act(b2b, name + ".b2'", in, 384, 1, 1, 0);
+  conv_norm_act(b2b, name + ".b2v", cur, 256, 3, 1, 1, 1, 0);
+
+  Chain b3a;
+  cur = conv_norm_act(b3a, name + ".b3a", in, 384, 1, 1, 0);
+  cur = conv_norm_act(b3a, name + ".b3b", cur, 448, 3, 1, 1, 1, 0);
+  cur = conv_norm_act(b3a, name + ".b3c", cur, 512, 1, 3, 1, 0, 1);
+  conv_norm_act(b3a, name + ".b3h", cur, 256, 1, 3, 1, 0, 1);
+  Chain b3b;
+  cur = conv_norm_act(b3b, name + ".b3a'", in, 384, 1, 1, 0);
+  cur = conv_norm_act(b3b, name + ".b3b'", cur, 448, 3, 1, 1, 1, 0);
+  cur = conv_norm_act(b3b, name + ".b3c'", cur, 512, 1, 3, 1, 0, 1);
+  conv_norm_act(b3b, name + ".b3v", cur, 256, 3, 1, 1, 1, 0);
+
+  return core::make_inception_block(
+      name, in,
+      {std::move(b1), std::move(b2a), std::move(b2b), std::move(b3a),
+       std::move(b3b), pool_proj_branch(name + ".b4", in, 256)});
+}
+
+}  // namespace
+
+core::Network make_inception_v4(int mini_batch_per_core) {
+  core::Network net;
+  net.name = "InceptionV4";
+  net.input = FeatureShape{3, 299, 299};
+  net.mini_batch_per_core = mini_batch_per_core;
+
+  // Stem part 1: plain convolutions.
+  Chain stem1;
+  FeatureShape cur = conv_norm_act(stem1, "stem.1", net.input, 32, 3, 2, 0);
+  cur = conv_norm_act(stem1, "stem.2", cur, 32, 3, 1, 0);
+  cur = conv_norm_act(stem1, "stem.3", cur, 64, 3, 1, 1);
+  net.blocks.push_back(core::make_simple_block("stem1", std::move(stem1)));
+  cur = net.blocks.back().out;  // 147x147x64
+
+  // Stem split 1: maxpool || 3x3/2 conv.
+  {
+    Chain p;
+    p.push_back(core::make_pool("stem4.pool", cur, 3, 2, 0, PoolKind::kMax));
+    Chain c;
+    conv_norm_act(c, "stem4.conv", cur, 96, 3, 2, 0);
+    net.blocks.push_back(
+        core::make_inception_block("stem4", cur, {std::move(p), std::move(c)}));
+    cur = net.blocks.back().out;  // 73x73x160
+  }
+
+  // Stem split 2: (1x1, 3x3) || (1x1, 7x1, 1x7, 3x3).
+  {
+    Chain a;
+    FeatureShape t = conv_norm_act(a, "stem5a.1", cur, 64, 1, 1, 0);
+    conv_norm_act(a, "stem5a.2", t, 96, 3, 1, 0);
+    Chain b;
+    t = conv_norm_act(b, "stem5b.1", cur, 64, 1, 1, 0);
+    t = conv_norm_act(b, "stem5b.2", t, 64, 1, 7, 1, 0, 3);
+    t = conv_norm_act(b, "stem5b.3", t, 64, 7, 1, 1, 3, 0);
+    conv_norm_act(b, "stem5b.4", t, 96, 3, 1, 0);
+    net.blocks.push_back(
+        core::make_inception_block("stem5", cur, {std::move(a), std::move(b)}));
+    cur = net.blocks.back().out;  // 71x71x192
+  }
+
+  // Stem split 3: 3x3/2 conv || maxpool.
+  {
+    Chain a;
+    conv_norm_act(a, "stem6.conv", cur, 192, 3, 2, 0);
+    Chain b;
+    b.push_back(core::make_pool("stem6.pool", cur, 3, 2, 0, PoolKind::kMax));
+    net.blocks.push_back(
+        core::make_inception_block("stem6", cur, {std::move(a), std::move(b)}));
+    cur = net.blocks.back().out;  // 35x35x384
+  }
+
+  for (int i = 0; i < 4; ++i) {
+    net.blocks.push_back(inception_a("inceptA." + std::to_string(i), cur));
+    cur = net.blocks.back().out;
+  }
+  net.blocks.push_back(reduction_a("reductA", cur));
+  cur = net.blocks.back().out;  // 17x17x1024
+
+  for (int i = 0; i < 7; ++i) {
+    net.blocks.push_back(inception_b("inceptB." + std::to_string(i), cur));
+    cur = net.blocks.back().out;
+  }
+  net.blocks.push_back(reduction_b("reductB", cur));
+  cur = net.blocks.back().out;  // 8x8x1536
+
+  for (int i = 0; i < 3; ++i) {
+    net.blocks.push_back(inception_c("inceptC." + std::to_string(i), cur));
+    cur = net.blocks.back().out;
+  }
+
+  net.blocks.push_back(core::make_simple_block(
+      "avgpool", {core::make_global_avg_pool("avgpool", cur)}));
+  cur = net.blocks.back().out;
+  net.blocks.push_back(core::make_simple_block(
+      "fc", {core::make_fc("fc", cur.elements(), 1000)}));
+
+  net.check();
+  return net;
+}
+
+}  // namespace mbs::models

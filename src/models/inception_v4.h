@@ -1,0 +1,12 @@
+// Inception v4 (Szegedy et al., 2017) for 299x299 inputs. As with the v3
+// builder, nested splits inside Inception-C modules are flattened into
+// sibling branches (see inception_v3.h for the rationale).
+#pragma once
+
+#include "core/network.h"
+
+namespace mbs::models {
+
+core::Network make_inception_v4(int mini_batch_per_core = 32);
+
+}  // namespace mbs::models

@@ -1,0 +1,79 @@
+#include "models/resnet.h"
+
+#include <array>
+#include <cassert>
+#include <string>
+
+#include "models/common.h"
+
+namespace mbs::models {
+
+namespace {
+
+/// Builds one bottleneck residual block: 1x1 reduce, 3x3 (carries stride),
+/// 1x1 expand, with a projection shortcut when shape changes.
+core::Block make_bottleneck(const std::string& name, FeatureShape in,
+                            int planes, int stride) {
+  const int out_c = planes * 4;
+
+  std::vector<Layer> main;
+  FeatureShape cur = conv_norm_act(main, name + ".a", in, planes, 1, 1, 0);
+  cur = conv_norm_act(main, name + ".b", cur, planes, 3, stride, 1);
+  cur = conv_norm(main, name + ".c", cur, out_c, 1, 1, 0);
+
+  std::vector<Layer> shortcut;
+  if (stride != 1 || in.c != out_c)
+    conv_norm(shortcut, name + ".proj", in, out_c, 1, stride, 0);
+
+  return core::make_residual_block(name, in, std::move(main),
+                                   std::move(shortcut));
+}
+
+}  // namespace
+
+core::Network make_resnet(int depth, int mini_batch_per_core) {
+  std::array<int, 4> stage_blocks{};
+  switch (depth) {
+    case 50: stage_blocks = {3, 4, 6, 3}; break;
+    case 101: stage_blocks = {3, 4, 23, 3}; break;
+    case 152: stage_blocks = {3, 8, 36, 3}; break;
+    default: assert(false && "supported depths: 50, 101, 152");
+  }
+
+  core::Network net;
+  net.name = "ResNet" + std::to_string(depth);
+  net.input = FeatureShape{3, 224, 224};
+  net.mini_batch_per_core = mini_batch_per_core;
+
+  // Stem: 7x7/2 convolution then 3x3/2 max pooling.
+  std::vector<Layer> stem;
+  FeatureShape cur = conv_norm_act(stem, "stem", net.input, 64, 7, 2, 3);
+  net.blocks.push_back(core::make_simple_block("stem", std::move(stem)));
+  net.blocks.push_back(core::make_simple_block(
+      "maxpool",
+      {core::make_pool("maxpool", cur, 3, 2, 1, PoolKind::kMax)}));
+  cur = net.blocks.back().out;
+
+  const std::array<int, 4> planes{64, 128, 256, 512};
+  for (int stage = 0; stage < 4; ++stage) {
+    for (int i = 0; i < stage_blocks[static_cast<std::size_t>(stage)]; ++i) {
+      const int stride = (stage > 0 && i == 0) ? 2 : 1;
+      const std::string name =
+          "res" + std::to_string(stage + 2) + "." + std::to_string(i);
+      net.blocks.push_back(make_bottleneck(
+          name, cur, planes[static_cast<std::size_t>(stage)], stride));
+      cur = net.blocks.back().out;
+    }
+  }
+
+  net.blocks.push_back(core::make_simple_block(
+      "avgpool", {core::make_global_avg_pool("avgpool", cur)}));
+  cur = net.blocks.back().out;
+  net.blocks.push_back(core::make_simple_block(
+      "fc", {core::make_fc("fc", cur.elements(), 1000)}));
+
+  net.check();
+  return net;
+}
+
+}  // namespace mbs::models

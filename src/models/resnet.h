@@ -1,0 +1,15 @@
+// ResNet-50/101/152 (He et al., 2016) for 224x224 inputs, built with
+// bottleneck residual blocks. The stride-2 downsampling sits on the 3x3
+// convolution (the widely deployed "v1.5" variant) and shortcuts project
+// with a 1x1 convolution whenever shape changes.
+#pragma once
+
+#include "core/network.h"
+
+namespace mbs::models {
+
+/// Builds ResNet with `depth` in {50, 101, 152}. Mini-batch per core
+/// defaults to 32 (Sec. 5). Aborts on unsupported depth.
+core::Network make_resnet(int depth, int mini_batch_per_core = 32);
+
+}  // namespace mbs::models

@@ -1,0 +1,36 @@
+#include "models/zoo.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "models/alexnet.h"
+#include "models/inception_v3.h"
+#include "models/inception_v4.h"
+#include "models/resnet.h"
+
+namespace mbs::models {
+
+core::Network make_network(const std::string& name) {
+  if (name == "resnet50") return make_resnet(50);
+  if (name == "resnet101") return make_resnet(101);
+  if (name == "resnet152") return make_resnet(152);
+  if (name == "inception_v3") return make_inception_v3();
+  if (name == "inception_v4") return make_inception_v4();
+  if (name == "alexnet") return make_alexnet();
+  std::fprintf(stderr, "unknown network '%s'\n", name.c_str());
+  std::abort();
+}
+
+std::vector<std::string> evaluated_network_names() {
+  return {"resnet50",     "resnet101",    "resnet152",
+          "inception_v3", "inception_v4", "alexnet"};
+}
+
+std::vector<core::Network> all_evaluated_networks() {
+  std::vector<core::Network> nets;
+  for (const auto& name : evaluated_network_names())
+    nets.push_back(make_network(name));
+  return nets;
+}
+
+}  // namespace mbs::models

@@ -1,0 +1,21 @@
+// Registry of the CNNs evaluated in the paper (Sec. 5).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/network.h"
+
+namespace mbs::models {
+
+/// Builds a network by name: "resnet50", "resnet101", "resnet152",
+/// "inception_v3", "inception_v4", "alexnet". Aborts on unknown names.
+core::Network make_network(const std::string& name);
+
+/// Names of all evaluated networks, in the paper's presentation order.
+std::vector<std::string> evaluated_network_names();
+
+/// Builds all six evaluated networks.
+std::vector<core::Network> all_evaluated_networks();
+
+}  // namespace mbs::models

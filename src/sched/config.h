@@ -1,0 +1,49 @@
+// Execution configurations evaluated in the paper (Tab. 3).
+#pragma once
+
+namespace mbs::sched {
+
+/// Tab. 3's six evaluation configurations, in presentation order.
+enum class ExecConfig {
+  kBaseline,  ///< two-level GEMM blocking; all inter-layer data via DRAM
+  kArchOpt,   ///< Baseline + PE weight double buffering (gap-less waves)
+  kIL,        ///< ArchOpt + inter-layer reuse only when a whole mini-batch fits
+  kMbsFs,     ///< IL + full serialization: one sub-batch size for all layers
+  kMbs1,      ///< IL + greedy layer grouping balancing intra/inter-layer reuse
+  kMbs2,      ///< MBS1 + inter-branch data reuse (Eq. 1 / Eq. 2 provisioning)
+};
+
+inline const char* to_string(ExecConfig c) {
+  switch (c) {
+    case ExecConfig::kBaseline: return "Baseline";
+    case ExecConfig::kArchOpt: return "ArchOpt";
+    case ExecConfig::kIL: return "IL";
+    case ExecConfig::kMbsFs: return "MBS-FS";
+    case ExecConfig::kMbs1: return "MBS1";
+    case ExecConfig::kMbs2: return "MBS2";
+  }
+  return "?";
+}
+
+/// All configurations except Baseline double-buffer weights in the PEs.
+inline bool uses_weight_double_buffering(ExecConfig c) {
+  return c != ExecConfig::kBaseline;
+}
+
+/// True for the configurations that serialize a mini-batch into sub-batches.
+inline bool uses_serialization(ExecConfig c) {
+  return c == ExecConfig::kMbsFs || c == ExecConfig::kMbs1 ||
+         c == ExecConfig::kMbs2;
+}
+
+/// True when data shared between branches of a multi-branch block is kept on
+/// chip (MBS2 only).
+inline bool uses_inter_branch_reuse(ExecConfig c) {
+  return c == ExecConfig::kMbs2;
+}
+
+/// True when ReLU backward uses 1-bit masks instead of re-reading 16b
+/// activations (an MBS optimization, Sec. 3 "Back Propagation").
+inline bool uses_relu_masks(ExecConfig c) { return uses_serialization(c); }
+
+}  // namespace mbs::sched

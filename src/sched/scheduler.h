@@ -1,0 +1,26 @@
+// The MBS scheduler: builds an execution schedule for a network under one of
+// the Tab. 3 configurations (Sec. 3 "Layer Grouping Optimizes Reuse").
+#pragma once
+
+#include "core/network.h"
+#include "sched/schedule.h"
+
+namespace mbs::sched {
+
+/// Builds a schedule for `net` under `config`.
+///
+/// * Baseline / ArchOpt / IL: a single group spanning the whole network with
+///   sub-batch = mini-batch (no serialization).
+/// * MBS-FS: one group, sub-batch = the minimum feasible size over all blocks.
+/// * MBS1 / MBS2: initial groups of equal minimum iteration count, then
+///   greedy merging of adjacent groups while total modeled DRAM traffic
+///   improves; MBS2 additionally provisions for inter-branch reuse (Eq. 1/2)
+///   when computing footprints.
+///
+/// With `params.optimal_grouping`, MBS1/MBS2 use an O(blocks^2) dynamic
+/// program over contiguous partitions instead of greedy merging (the
+/// exhaustive-search reference of the paper's footnote 1).
+Schedule build_schedule(const core::Network& net, ExecConfig config,
+                        const ScheduleParams& params = {});
+
+}  // namespace mbs::sched

@@ -1,0 +1,170 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <utility>
+
+namespace mbs::sim {
+
+namespace {
+
+using core::Layer;
+using core::LayerKind;
+using sched::Phase;
+
+/// DRAM and buffer bytes of one (block, layer) aggregated by phase.
+struct LayerBytes {
+  double dram[2] = {0, 0};  ///< indexed by Phase
+  double buf[2] = {0, 0};
+};
+
+/// Approximate vector-unit operation counts (per sample).
+double vector_ops_fwd(const Layer& l) {
+  return static_cast<double>(l.flops_per_sample());
+}
+
+double vector_ops_bwd(const Layer& l) {
+  switch (l.kind) {
+    case LayerKind::kNorm:
+      // Gradients w.r.t. input plus scale/shift parameter gradients.
+      return 2.0 * static_cast<double>(l.flops_per_sample());
+    case LayerKind::kAct:
+      return static_cast<double>(l.in.elements());
+    case LayerKind::kPool:
+      return static_cast<double>(l.out.elements());
+    case LayerKind::kAdd:
+    case LayerKind::kConcat:
+      return 0;  // backward is gradient routing
+    default:
+      return 0;
+  }
+}
+
+/// Fig. 12 category of a layer.
+double* type_slot(LayerTypeTimes& t, LayerKind kind) {
+  switch (kind) {
+    case LayerKind::kConv: return &t.conv;
+    case LayerKind::kFc: return &t.fc;
+    case LayerKind::kNorm: return &t.norm;
+    case LayerKind::kPool: return &t.pool;
+    default: return &t.sum;
+  }
+}
+
+}  // namespace
+
+StepResult simulate_step(const core::Network& net,
+                         const sched::Schedule& schedule,
+                         const WaveCoreConfig& hw) {
+  const sched::Traffic traffic = sched::compute_traffic(net, schedule);
+
+  // Aggregate traffic per (block, layer, phase).
+  std::map<std::pair<int, int>, LayerBytes> by_layer;
+  for (const sched::TrafficRecord& r : traffic.records) {
+    LayerBytes& lb = by_layer[{r.block, r.layer}];
+    const int p = r.phase == Phase::kForward ? 0 : 1;
+    lb.dram[p] += r.dram_read + r.dram_write;
+    lb.buf[p] += r.buf_read + r.buf_write;
+  }
+
+  const double dram_bw = hw.unlimited_dram_bw
+                             ? std::numeric_limits<double>::infinity()
+                             : hw.memory.per_core_bandwidth(hw.cores);
+
+  StepResult out;
+  double gemm_cycles = 0;
+  double gemm_macs = 0;
+  double vector_ops_total = 0;
+  double gemm_buf_bytes = 0;
+
+  arch::SystolicConfig systolic = hw.systolic;
+  systolic.weight_double_buffering =
+      sched::uses_weight_double_buffering(schedule.config);
+
+  bool first_gemm = true;
+  for (std::size_t bi = 0; bi < net.blocks.size(); ++bi) {
+    const sched::Group& grp = schedule.groups[static_cast<std::size_t>(
+        schedule.group_of_block(static_cast<int>(bi)))];
+    const std::vector<int> chunks = grp.chunks(schedule.mini_batch);
+
+    int li = 0;
+    net.blocks[bi].for_each_layer([&](const Layer& l, int) {
+      const LayerBytes lb = by_layer[{static_cast<int>(bi), li}];
+      ++li;
+
+      double compute_fwd = 0;
+      double compute_bwd = 0;
+      if (l.is_gemm()) {
+        const bool skip_dgrad = first_gemm;
+        first_gemm = false;
+        for (int c : chunks) {
+          const arch::GemmTiming fwd = arch::simulate_gemm(
+              systolic, arch::gemm_shape(l, c, arch::GemmPass::kForward));
+          gemm_cycles += static_cast<double>(fwd.cycles);
+          gemm_macs += static_cast<double>(fwd.macs);
+          gemm_buf_bytes += static_cast<double>(fwd.buf_read_bytes +
+                                                fwd.buf_write_bytes);
+          compute_fwd += fwd.seconds(systolic);
+
+          const arch::GemmTiming wgrad = arch::simulate_gemm(
+              systolic, arch::gemm_shape(l, c, arch::GemmPass::kWeightGrad));
+          gemm_cycles += static_cast<double>(wgrad.cycles);
+          gemm_macs += static_cast<double>(wgrad.macs);
+          gemm_buf_bytes += static_cast<double>(wgrad.buf_read_bytes +
+                                                wgrad.buf_write_bytes);
+          compute_bwd += wgrad.seconds(systolic);
+
+          if (!skip_dgrad) {
+            const arch::GemmTiming dgrad = arch::simulate_gemm(
+                systolic, arch::gemm_shape(l, c, arch::GemmPass::kDataGrad));
+            gemm_cycles += static_cast<double>(dgrad.cycles);
+            gemm_macs += static_cast<double>(dgrad.macs);
+            gemm_buf_bytes += static_cast<double>(dgrad.buf_read_bytes +
+                                                  dgrad.buf_write_bytes);
+            compute_bwd += dgrad.seconds(systolic);
+          }
+        }
+      } else {
+        const double n = schedule.mini_batch;
+        const double ops_f = vector_ops_fwd(l) * n;
+        const double ops_b = vector_ops_bwd(l) * n;
+        vector_ops_total += ops_f + ops_b;
+        compute_fwd = ops_f / hw.vector_flops;
+        compute_bwd = ops_b / hw.vector_flops;
+        // Vector layers also contend for global-buffer bandwidth.
+        compute_fwd = std::max(compute_fwd, lb.buf[0] / hw.buffer_bw_bytes);
+        compute_bwd = std::max(compute_bwd, lb.buf[1] / hw.buffer_bw_bytes);
+      }
+
+      const double t_fwd = std::max(compute_fwd, lb.dram[0] / dram_bw);
+      const double t_bwd = std::max(compute_bwd, lb.dram[1] / dram_bw);
+      out.time_s += t_fwd + t_bwd;
+      out.compute_time_s += compute_fwd + compute_bwd;
+      out.memory_time_s += (lb.dram[0] + lb.dram[1]) / dram_bw;
+      *type_slot(out.time_by_type, l.kind) += t_fwd + t_bwd;
+    });
+  }
+
+  out.systolic_utilization =
+      gemm_cycles > 0
+          ? gemm_macs / (gemm_cycles *
+                         static_cast<double>(systolic.macs_per_cycle()))
+          : 0;
+
+  // Chip-level totals: both cores run the same schedule on their halves of
+  // the global mini-batch in parallel.
+  const double cores = hw.cores;
+  out.dram_bytes = cores * traffic.dram_bytes();
+  out.buffer_bytes = cores * (traffic.buffer_bytes() + gemm_buf_bytes);
+  out.total_macs = cores * gemm_macs;
+
+  arch::EnergyModel em = hw.energy;
+  em.dram_pj_per_byte = hw.memory.energy_pj_per_byte;
+  out.energy = arch::compute_energy(em, out.dram_bytes, out.buffer_bytes,
+                                    out.total_macs, cores * vector_ops_total,
+                                    out.time_s);
+  return out;
+}
+
+}  // namespace mbs::sim

@@ -1,0 +1,40 @@
+#include "train/data.h"
+
+#include <cmath>
+
+namespace mbs::train {
+
+Dataset make_synthetic_dataset(int n, int classes, int channels, int image,
+                               std::uint64_t seed, double noise) {
+  util::Rng rng(seed);
+  Dataset d;
+  d.classes = classes;
+  d.images = Tensor({n, channels, image, image});
+  d.labels.resize(static_cast<std::size_t>(n));
+
+  const double pi = 3.14159265358979323846;
+  for (int i = 0; i < n; ++i) {
+    const int label = i % classes;
+    d.labels[static_cast<std::size_t>(i)] = label;
+    // Class signature: grating orientation/frequency plus a blob location.
+    const double angle = pi * label / classes;
+    const double freq = 2.0 * pi * (1.0 + label % 3) / image;
+    const double bx = (0.25 + 0.5 * ((label / 2) % 2)) * image;
+    const double by = (0.25 + 0.5 * (label % 2)) * image;
+    const double phase = rng.uniform(0.0, 2.0 * pi);  // nuisance variation
+    for (int c = 0; c < channels; ++c)
+      for (int y = 0; y < image; ++y)
+        for (int x = 0; x < image; ++x) {
+          const double u = x * std::cos(angle) + y * std::sin(angle);
+          const double grating = std::sin(freq * u + phase);
+          const double dx = (x - bx) / (0.15 * image);
+          const double dy = (y - by) / (0.15 * image);
+          const double blob = std::exp(-(dx * dx + dy * dy));
+          const double v = 0.7 * grating + 1.2 * blob + noise * rng.normal();
+          d.images.at(i, c, y, x) = static_cast<float>(v);
+        }
+  }
+  return d;
+}
+
+}  // namespace mbs::train

@@ -1,0 +1,27 @@
+// Synthetic image-classification dataset — the ImageNet stand-in for the
+// Fig. 6 experiment (see DESIGN.md substitutions). Each class is a distinct
+// oriented grating plus a class-positioned blob, corrupted with Gaussian
+// noise, so the task is learnable but not trivial.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "train/tensor.h"
+
+namespace mbs::train {
+
+struct Dataset {
+  Tensor images;            ///< [N, C, H, W]
+  std::vector<int> labels;  ///< [N], values in [0, classes)
+  int classes = 0;
+
+  int size() const { return images.empty() ? 0 : images.dim(0); }
+};
+
+/// Generates `n` samples with `classes` balanced classes. Deterministic in
+/// `seed`; different seeds give disjoint-looking train/validation splits.
+Dataset make_synthetic_dataset(int n, int classes, int channels, int image,
+                               std::uint64_t seed, double noise = 0.6);
+
+}  // namespace mbs::train

@@ -1,0 +1,175 @@
+#include "train/im2col.h"
+
+#include <cassert>
+
+namespace mbs::train {
+
+namespace {
+
+int out_dim(int in, int kernel, int stride, int pad) {
+  return (in + 2 * pad - kernel) / stride + 1;
+}
+
+}  // namespace
+
+Tensor im2col(const Tensor& x, int kernel_h, int kernel_w, int stride,
+              int pad_h, int pad_w) {
+  assert(x.ndim() == 4);
+  const int n = x.dim(0), ci = x.dim(1), ih = x.dim(2), iw = x.dim(3);
+  const int oh = out_dim(ih, kernel_h, stride, pad_h);
+  const int ow = out_dim(iw, kernel_w, stride, pad_w);
+  const int k = ci * kernel_h * kernel_w;
+  Tensor cols({n * oh * ow, k});
+  std::int64_t row = 0;
+  for (int b = 0; b < n; ++b)
+    for (int yh = 0; yh < oh; ++yh)
+      for (int yw = 0; yw < ow; ++yw, ++row) {
+        std::int64_t col = 0;
+        for (int c = 0; c < ci; ++c)
+          for (int r = 0; r < kernel_h; ++r)
+            for (int s = 0; s < kernel_w; ++s, ++col) {
+              const int xh = yh * stride - pad_h + r;
+              const int xw = yw * stride - pad_w + s;
+              if (xh >= 0 && xh < ih && xw >= 0 && xw < iw)
+                cols[row * k + col] = x.at(b, c, xh, xw);
+            }
+      }
+  return cols;
+}
+
+Tensor col2im(const Tensor& cols, const std::vector<int>& x_shape,
+              int kernel_h, int kernel_w, int stride, int pad_h, int pad_w) {
+  const int n = x_shape[0], ci = x_shape[1], ih = x_shape[2], iw = x_shape[3];
+  const int oh = out_dim(ih, kernel_h, stride, pad_h);
+  const int ow = out_dim(iw, kernel_w, stride, pad_w);
+  const int k = ci * kernel_h * kernel_w;
+  assert(cols.dim(0) == n * oh * ow && cols.dim(1) == k);
+  Tensor x(x_shape);
+  std::int64_t row = 0;
+  for (int b = 0; b < n; ++b)
+    for (int yh = 0; yh < oh; ++yh)
+      for (int yw = 0; yw < ow; ++yw, ++row) {
+        std::int64_t col = 0;
+        for (int c = 0; c < ci; ++c)
+          for (int r = 0; r < kernel_h; ++r)
+            for (int s = 0; s < kernel_w; ++s, ++col) {
+              const int xh = yh * stride - pad_h + r;
+              const int xw = yw * stride - pad_w + s;
+              if (xh >= 0 && xh < ih && xw >= 0 && xw < iw)
+                x.at(b, c, xh, xw) += cols[row * k + col];
+            }
+      }
+  return x;
+}
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  assert(a.ndim() == 2 && b.ndim() == 2 && a.dim(1) == b.dim(0));
+  const int m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  Tensor c({m, n});
+  for (int i = 0; i < m; ++i)
+    for (int p = 0; p < k; ++p) {
+      const float av = a[static_cast<std::int64_t>(i) * k + p];
+      if (av == 0.0f) continue;
+      for (int j = 0; j < n; ++j)
+        c[static_cast<std::int64_t>(i) * n + j] +=
+            av * b[static_cast<std::int64_t>(p) * n + j];
+    }
+  return c;
+}
+
+Tensor matmul_bt(const Tensor& a, const Tensor& b) {
+  assert(a.ndim() == 2 && b.ndim() == 2 && a.dim(1) == b.dim(1));
+  const int m = a.dim(0), k = a.dim(1), n = b.dim(0);
+  Tensor c({m, n});
+  for (int i = 0; i < m; ++i)
+    for (int j = 0; j < n; ++j) {
+      double acc = 0;
+      for (int p = 0; p < k; ++p)
+        acc += static_cast<double>(a[static_cast<std::int64_t>(i) * k + p]) *
+               b[static_cast<std::int64_t>(j) * k + p];
+      c[static_cast<std::int64_t>(i) * n + j] = static_cast<float>(acc);
+    }
+  return c;
+}
+
+Tensor matmul_at(const Tensor& a, const Tensor& b) {
+  assert(a.ndim() == 2 && b.ndim() == 2 && a.dim(0) == b.dim(0));
+  const int k = a.dim(0), m = a.dim(1), n = b.dim(1);
+  Tensor c({m, n});
+  for (int p = 0; p < k; ++p)
+    for (int i = 0; i < m; ++i) {
+      const float av = a[static_cast<std::int64_t>(p) * m + i];
+      if (av == 0.0f) continue;
+      for (int j = 0; j < n; ++j)
+        c[static_cast<std::int64_t>(i) * n + j] +=
+            av * b[static_cast<std::int64_t>(p) * n + j];
+    }
+  return c;
+}
+
+Tensor conv2d_forward_im2col(const Tensor& x, const Tensor& w,
+                             const Tensor& bias, int stride, int pad) {
+  const int n = x.dim(0);
+  const int co = w.dim(0), ci = w.dim(1), kh = w.dim(2), kw = w.dim(3);
+  const int oh = out_dim(x.dim(2), kh, stride, pad);
+  const int ow = out_dim(x.dim(3), kw, stride, pad);
+
+  // A [N*Ho*Wo, Ci*Kh*Kw]; B = W reshaped [Co, Ci*Kh*Kw], used transposed.
+  const Tensor a = im2col(x, kh, kw, stride, pad, pad);
+  Tensor w2({co, ci * kh * kw});
+  for (std::int64_t i = 0; i < w.size(); ++i) w2[i] = w[i];
+  const Tensor c = matmul_bt(a, w2);  // [N*Ho*Wo, Co]
+
+  // Repack [N*Ho*Wo, Co] -> [N, Co, Ho, Wo] and add bias.
+  Tensor y({n, co, oh, ow});
+  std::int64_t row = 0;
+  for (int b = 0; b < n; ++b)
+    for (int yh = 0; yh < oh; ++yh)
+      for (int yw = 0; yw < ow; ++yw, ++row)
+        for (int o = 0; o < co; ++o)
+          y.at(b, o, yh, yw) = c[row * co + o] + (bias.empty() ? 0.0f : bias[o]);
+  return y;
+}
+
+Conv2dIm2colGrads conv2d_backward_im2col(const Tensor& x, const Tensor& w,
+                                         const Tensor& dy, int stride,
+                                         int pad) {
+  const int n = x.dim(0);
+  const int co = w.dim(0), ci = w.dim(1), kh = w.dim(2), kw = w.dim(3);
+  const int oh = dy.dim(2), ow = dy.dim(3);
+  const std::int64_t k = static_cast<std::int64_t>(ci) * kh * kw;
+
+  // dY as a [N*Ho*Wo, Co] matrix.
+  Tensor dy2({n * oh * ow, co});
+  std::int64_t row = 0;
+  for (int b = 0; b < n; ++b)
+    for (int yh = 0; yh < oh; ++yh)
+      for (int yw = 0; yw < ow; ++yw, ++row)
+        for (int o = 0; o < co; ++o)
+          dy2[row * co + o] = dy.at(b, o, yh, yw);
+
+  Conv2dIm2colGrads g;
+
+  // Weight gradient (Tab. 1): [Ci*R*S, Co] = A^T [K, Gh]^T... computed as
+  // im2col(x)^T * dY, then repacked to [Co, Ci, Kh, Kw].
+  const Tensor a = im2col(x, kh, kw, stride, pad, pad);
+  const Tensor dw2 = matmul_at(a, dy2);  // [Ci*Kh*Kw, Co]
+  g.dw = Tensor({co, ci, kh, kw});
+  for (std::int64_t i = 0; i < k; ++i)
+    for (int o = 0; o < co; ++o)
+      g.dw[static_cast<std::int64_t>(o) * k + i] = dw2[i * co + o];
+
+  // Bias gradient: column sums of dY.
+  g.dbias = Tensor({co});
+  for (std::int64_t r2 = 0; r2 < dy2.dim(0); ++r2)
+    for (int o = 0; o < co; ++o) g.dbias[o] += dy2[r2 * co + o];
+
+  // Data gradient (Tab. 1): dA = dY * W [Gh, K], scattered back with col2im.
+  Tensor w2({co, static_cast<int>(k)});
+  for (std::int64_t i = 0; i < w.size(); ++i) w2[i] = w[i];
+  const Tensor da = matmul(dy2, w2);  // [N*Ho*Wo, Ci*Kh*Kw]
+  g.dx = col2im(da, x.shape(), kh, kw, stride, pad, pad);
+  return g;
+}
+
+}  // namespace mbs::train

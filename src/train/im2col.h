@@ -1,0 +1,52 @@
+// im2col convolution lowering (Sec. 4.1).
+//
+// WaveCore maps convolutions onto its systolic array by rewriting them as
+// GEMMs over im2col-expanded inputs (Chetlur et al. 2014), because direct
+// convolution would need re-tuning for every sub-batch size MBS produces.
+// This file implements that lowering functionally so the repository can
+// demonstrate (and test) that the GEMM formulation is exactly equivalent to
+// direct convolution for all three training passes of Tab. 1.
+#pragma once
+
+#include "train/tensor.h"
+
+namespace mbs::train {
+
+/// Expands x [N,Ci,H,W] into the im2col matrix A [N*Ho*Wo, Ci*Kh*Kw]:
+/// row r = (n, oh, ow) holds the receptive field of output position (oh, ow)
+/// of sample n, with zero padding materialized. Gh/Gw/K match Tab. 1.
+Tensor im2col(const Tensor& x, int kernel_h, int kernel_w, int stride,
+              int pad_h, int pad_w);
+
+/// Scatter-adds columns back to input-gradient form: the adjoint of
+/// im2col. cols is [N*Ho*Wo, Ci*Kh*Kw]; returns [N,Ci,H,W].
+Tensor col2im(const Tensor& cols, const std::vector<int>& x_shape,
+              int kernel_h, int kernel_w, int stride, int pad_h, int pad_w);
+
+/// Plain row-major GEMM: C[M,N] = A[M,K] * B[K,N].
+Tensor matmul(const Tensor& a, const Tensor& b);
+
+/// B transposed: C[M,N] = A[M,K] * B[N,K]^T.
+Tensor matmul_bt(const Tensor& a, const Tensor& b);
+
+/// A transposed: C[M,N] = A[K,M]^T * B[K,N].
+Tensor matmul_at(const Tensor& a, const Tensor& b);
+
+/// Convolution forward via im2col + GEMM (Tab. 1 "Forward"). Must equal
+/// conv2d_forward bit-for-bit up to float summation order.
+Tensor conv2d_forward_im2col(const Tensor& x, const Tensor& w,
+                             const Tensor& bias, int stride, int pad);
+
+struct Conv2dIm2colGrads {
+  Tensor dx;
+  Tensor dw;
+  Tensor dbias;
+};
+
+/// Convolution backward via the Tab. 1 "Data Gradient" and "Weight
+/// Gradient" GEMMs.
+Conv2dIm2colGrads conv2d_backward_im2col(const Tensor& x, const Tensor& w,
+                                         const Tensor& dy, int stride,
+                                         int pad);
+
+}  // namespace mbs::train

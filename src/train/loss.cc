@@ -1,0 +1,42 @@
+#include "train/loss.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace mbs::train {
+
+LossResult softmax_cross_entropy(const Tensor& logits,
+                                 const std::vector<int>& labels) {
+  const int n = logits.dim(0);
+  const int k = logits.dim(1);
+  assert(static_cast<int>(labels.size()) == n);
+  LossResult r;
+  r.dlogits = Tensor(logits.shape());
+  for (int b = 0; b < n; ++b) {
+    const float* row = logits.data() + static_cast<std::int64_t>(b) * k;
+    float mx = row[0];
+    int arg = 0;
+    for (int c = 1; c < k; ++c)
+      if (row[c] > mx) {
+        mx = row[c];
+        arg = c;
+      }
+    double z = 0;
+    for (int c = 0; c < k; ++c) z += std::exp(static_cast<double>(row[c] - mx));
+    const int label = labels[static_cast<std::size_t>(b)];
+    assert(label >= 0 && label < k);
+    const double logp =
+        static_cast<double>(row[label] - mx) - std::log(z);
+    r.loss_sum += -logp;
+    if (arg == label) ++r.correct;
+    for (int c = 0; c < k; ++c) {
+      const double p = std::exp(static_cast<double>(row[c] - mx)) / z;
+      r.dlogits[static_cast<std::int64_t>(b) * k + c] =
+          static_cast<float>(p - (c == label ? 1.0 : 0.0));
+    }
+  }
+  return r;
+}
+
+}  // namespace mbs::train

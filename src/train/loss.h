@@ -1,0 +1,23 @@
+// Softmax cross-entropy loss.
+#pragma once
+
+#include <vector>
+
+#include "train/tensor.h"
+
+namespace mbs::train {
+
+struct LossResult {
+  double loss_sum = 0;   ///< summed (not averaged) over the batch
+  Tensor dlogits;        ///< d(loss_sum)/d(logits)
+  int correct = 0;       ///< top-1 correct predictions
+};
+
+/// Softmax cross-entropy over logits [N, classes]. Returns the *sum* of the
+/// per-sample losses and its gradient, so MBS-style sub-batch accumulation
+/// can divide by the full mini-batch size once (Sec. 3 "Data
+/// Synchronization": all synchronization points stay at mini-batch scope).
+LossResult softmax_cross_entropy(const Tensor& logits,
+                                 const std::vector<int>& labels);
+
+}  // namespace mbs::train

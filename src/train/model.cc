@@ -1,0 +1,151 @@
+#include "train/model.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace mbs::train {
+
+const char* to_string(NormMode m) {
+  switch (m) {
+    case NormMode::kNone: return "none";
+    case NormMode::kBatch: return "BN";
+    case NormMode::kGroup: return "GN";
+  }
+  return "?";
+}
+
+SmallCnn::SmallCnn(const SmallCnnConfig& config) : config_(config) {
+  util::Rng rng(config.seed);
+  int c_in = config.in_channels;
+  for (int c_out : config.stage_channels) {
+    Stage s;
+    const double fan_in = static_cast<double>(c_in) * 3 * 3;
+    s.w = Tensor::randn({c_out, c_in, 3, 3}, rng, std::sqrt(2.0 / fan_in));
+    s.b = Tensor({c_out});
+    s.dw = Tensor(s.w.shape());
+    s.db = Tensor({c_out});
+    s.gamma = Tensor::full({c_out}, 1.0f);
+    s.beta = Tensor({c_out});
+    s.dgamma = Tensor({c_out});
+    s.dbeta = Tensor({c_out});
+    if (config.norm == NormMode::kGroup)
+      assert(c_out % config.gn_groups == 0);
+    stages_.push_back(std::move(s));
+    c_in = c_out;
+  }
+  const int feat = config.stage_channels.back();
+  fc_w = Tensor::randn({config.classes, feat}, rng, std::sqrt(2.0 / feat));
+  fc_b = Tensor({config.classes});
+  fc_dw = Tensor(fc_w.shape());
+  fc_db = Tensor({config.classes});
+}
+
+Tensor SmallCnn::forward(const Tensor& x) {
+  Tensor cur = x;
+  for (std::size_t si = 0; si < stages_.size(); ++si) {
+    Stage& s = stages_[si];
+    s.x_in = cur;
+    s.conv_out = conv2d_forward(cur, s.w, s.b, /*stride=*/1, /*pad=*/1);
+    switch (config_.norm) {
+      case NormMode::kNone:
+        s.norm_out = s.conv_out;
+        break;
+      case NormMode::kBatch:
+        s.norm_out = batchnorm_forward(s.conv_out, s.gamma, s.beta, s.ncache);
+        break;
+      case NormMode::kGroup:
+        s.norm_out = groupnorm_forward(s.conv_out, s.gamma, s.beta,
+                                       config_.gn_groups, s.ncache);
+        break;
+    }
+    if (si == 0) first_preact_mean_ = s.norm_out.mean();
+    if (si + 1 == stages_.size()) last_preact_mean_ = s.norm_out.mean();
+    s.relu_out = relu_forward(s.norm_out);
+    s.pool = maxpool_forward(s.relu_out, /*kernel=*/2, /*stride=*/2);
+    cur = s.pool.y;
+  }
+  gap_in_shape_ = cur.shape();
+  gap_out_ = global_avg_pool_forward(cur);
+  return linear_forward(gap_out_, fc_w, fc_b);
+}
+
+void SmallCnn::backward(const Tensor& dlogits) {
+  LinearGrads lg = linear_backward(gap_out_, fc_w, dlogits);
+  fc_dw.axpy(1.0f, lg.dw);
+  fc_db.axpy(1.0f, lg.dbias);
+  Tensor d = global_avg_pool_backward(lg.dx, gap_in_shape_);
+
+  for (std::size_t i = stages_.size(); i-- > 0;) {
+    Stage& s = stages_[i];
+    d = maxpool_backward(d, s.pool, s.relu_out.shape());
+    d = relu_backward(d, s.relu_out);
+    switch (config_.norm) {
+      case NormMode::kNone:
+        break;
+      case NormMode::kBatch: {
+        NormGrads ng = batchnorm_backward(d, s.gamma, s.ncache);
+        s.dgamma.axpy(1.0f, ng.dgamma);
+        s.dbeta.axpy(1.0f, ng.dbeta);
+        d = std::move(ng.dx);
+        break;
+      }
+      case NormMode::kGroup: {
+        NormGrads ng = groupnorm_backward(d, s.gamma, config_.gn_groups,
+                                          s.ncache);
+        s.dgamma.axpy(1.0f, ng.dgamma);
+        s.dbeta.axpy(1.0f, ng.dbeta);
+        d = std::move(ng.dx);
+        break;
+      }
+    }
+    Conv2dGrads cg =
+        conv2d_backward(s.x_in, s.w, d, /*stride=*/1, /*pad=*/1,
+                        /*need_dx=*/i > 0);
+    s.dw.axpy(1.0f, cg.dw);
+    s.db.axpy(1.0f, cg.dbias);
+    if (i > 0) d = std::move(cg.dx);
+  }
+}
+
+void SmallCnn::zero_grad() {
+  for (Stage& s : stages_) {
+    s.dw.zero();
+    s.db.zero();
+    s.dgamma.zero();
+    s.dbeta.zero();
+  }
+  fc_dw.zero();
+  fc_db.zero();
+}
+
+std::vector<Tensor*> SmallCnn::parameters() {
+  std::vector<Tensor*> out;
+  for (Stage& s : stages_) {
+    out.push_back(&s.w);
+    out.push_back(&s.b);
+    if (config_.norm != NormMode::kNone) {
+      out.push_back(&s.gamma);
+      out.push_back(&s.beta);
+    }
+  }
+  out.push_back(&fc_w);
+  out.push_back(&fc_b);
+  return out;
+}
+
+std::vector<Tensor*> SmallCnn::gradients() {
+  std::vector<Tensor*> out;
+  for (Stage& s : stages_) {
+    out.push_back(&s.dw);
+    out.push_back(&s.db);
+    if (config_.norm != NormMode::kNone) {
+      out.push_back(&s.dgamma);
+      out.push_back(&s.dbeta);
+    }
+  }
+  out.push_back(&fc_dw);
+  out.push_back(&fc_db);
+  return out;
+}
+
+}  // namespace mbs::train

@@ -1,0 +1,158 @@
+#include "train/norm.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace mbs::train {
+
+Tensor batchnorm_forward(const Tensor& x, const Tensor& gamma,
+                         const Tensor& beta, NormCache& cache, float eps) {
+  assert(x.ndim() == 4);
+  const int n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
+  const std::int64_t m = static_cast<std::int64_t>(n) * h * w;
+  cache.x = x;
+  cache.mean = Tensor({c});
+  cache.inv_std = Tensor({c});
+  Tensor y(x.shape());
+  cache.xhat = Tensor(x.shape());
+  for (int ch = 0; ch < c; ++ch) {
+    double sum = 0, sq = 0;
+    for (int b = 0; b < n; ++b)
+      for (int i = 0; i < h; ++i)
+        for (int j = 0; j < w; ++j) {
+          const double v = x.at(b, ch, i, j);
+          sum += v;
+          sq += v * v;
+        }
+    const double mean = sum / static_cast<double>(m);
+    const double var = sq / static_cast<double>(m) - mean * mean;
+    const double inv = 1.0 / std::sqrt(var + eps);
+    cache.mean[ch] = static_cast<float>(mean);
+    cache.inv_std[ch] = static_cast<float>(inv);
+    for (int b = 0; b < n; ++b)
+      for (int i = 0; i < h; ++i)
+        for (int j = 0; j < w; ++j) {
+          const float xh = static_cast<float>((x.at(b, ch, i, j) - mean) * inv);
+          cache.xhat.at(b, ch, i, j) = xh;
+          y.at(b, ch, i, j) = gamma[ch] * xh + beta[ch];
+        }
+  }
+  return y;
+}
+
+NormGrads batchnorm_backward(const Tensor& dy, const Tensor& gamma,
+                             const NormCache& cache) {
+  const Tensor& x = cache.x;
+  const int n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
+  const double m = static_cast<double>(n) * h * w;
+  NormGrads g;
+  g.dx = Tensor(x.shape());
+  g.dgamma = Tensor({c});
+  g.dbeta = Tensor({c});
+  for (int ch = 0; ch < c; ++ch) {
+    double sum_dy = 0, sum_dy_xhat = 0;
+    for (int b = 0; b < n; ++b)
+      for (int i = 0; i < h; ++i)
+        for (int j = 0; j < w; ++j) {
+          const double d = dy.at(b, ch, i, j);
+          sum_dy += d;
+          sum_dy_xhat += d * cache.xhat.at(b, ch, i, j);
+        }
+    g.dbeta[ch] = static_cast<float>(sum_dy);
+    g.dgamma[ch] = static_cast<float>(sum_dy_xhat);
+    const double inv = cache.inv_std[ch];
+    const double gam = gamma[ch];
+    for (int b = 0; b < n; ++b)
+      for (int i = 0; i < h; ++i)
+        for (int j = 0; j < w; ++j) {
+          const double d = dy.at(b, ch, i, j);
+          const double xh = cache.xhat.at(b, ch, i, j);
+          g.dx.at(b, ch, i, j) = static_cast<float>(
+              gam * inv * (d - sum_dy / m - xh * sum_dy_xhat / m));
+        }
+  }
+  return g;
+}
+
+Tensor groupnorm_forward(const Tensor& x, const Tensor& gamma,
+                         const Tensor& beta, int groups, NormCache& cache,
+                         float eps) {
+  assert(x.ndim() == 4);
+  const int n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
+  assert(c % groups == 0);
+  const int cpg = c / groups;
+  const double m = static_cast<double>(cpg) * h * w;
+  cache.x = x;
+  cache.mean = Tensor({n, groups});
+  cache.inv_std = Tensor({n, groups});
+  cache.xhat = Tensor(x.shape());
+  Tensor y(x.shape());
+  for (int b = 0; b < n; ++b)
+    for (int gr = 0; gr < groups; ++gr) {
+      double sum = 0, sq = 0;
+      for (int cc = gr * cpg; cc < (gr + 1) * cpg; ++cc)
+        for (int i = 0; i < h; ++i)
+          for (int j = 0; j < w; ++j) {
+            const double v = x.at(b, cc, i, j);
+            sum += v;
+            sq += v * v;
+          }
+      const double mean = sum / m;
+      const double var = sq / m - mean * mean;
+      const double inv = 1.0 / std::sqrt(var + eps);
+      cache.mean[static_cast<std::int64_t>(b) * groups + gr] =
+          static_cast<float>(mean);
+      cache.inv_std[static_cast<std::int64_t>(b) * groups + gr] =
+          static_cast<float>(inv);
+      for (int cc = gr * cpg; cc < (gr + 1) * cpg; ++cc)
+        for (int i = 0; i < h; ++i)
+          for (int j = 0; j < w; ++j) {
+            const float xh =
+                static_cast<float>((x.at(b, cc, i, j) - mean) * inv);
+            cache.xhat.at(b, cc, i, j) = xh;
+            y.at(b, cc, i, j) = gamma[cc] * xh + beta[cc];
+          }
+    }
+  return y;
+}
+
+NormGrads groupnorm_backward(const Tensor& dy, const Tensor& gamma,
+                             int groups, const NormCache& cache) {
+  const Tensor& x = cache.x;
+  const int n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
+  const int cpg = c / groups;
+  const double m = static_cast<double>(cpg) * h * w;
+  NormGrads g;
+  g.dx = Tensor(x.shape());
+  g.dgamma = Tensor({c});
+  g.dbeta = Tensor({c});
+  for (int b = 0; b < n; ++b)
+    for (int gr = 0; gr < groups; ++gr) {
+      // Sums over the normalization group, with dy scaled by gamma (the
+      // affine transform sits between xhat and the loss).
+      double sum_dyg = 0, sum_dyg_xhat = 0;
+      for (int cc = gr * cpg; cc < (gr + 1) * cpg; ++cc)
+        for (int i = 0; i < h; ++i)
+          for (int j = 0; j < w; ++j) {
+            const double d = dy.at(b, cc, i, j);
+            const double xh = cache.xhat.at(b, cc, i, j);
+            g.dbeta[cc] += static_cast<float>(d);
+            g.dgamma[cc] += static_cast<float>(d * xh);
+            sum_dyg += d * gamma[cc];
+            sum_dyg_xhat += d * gamma[cc] * xh;
+          }
+      const double inv =
+          cache.inv_std[static_cast<std::int64_t>(b) * groups + gr];
+      for (int cc = gr * cpg; cc < (gr + 1) * cpg; ++cc)
+        for (int i = 0; i < h; ++i)
+          for (int j = 0; j < w; ++j) {
+            const double d = dy.at(b, cc, i, j) * gamma[cc];
+            const double xh = cache.xhat.at(b, cc, i, j);
+            g.dx.at(b, cc, i, j) = static_cast<float>(
+                inv * (d - sum_dyg / m - xh * sum_dyg_xhat / m));
+          }
+    }
+  return g;
+}
+
+}  // namespace mbs::train

@@ -1,0 +1,200 @@
+#include "train/ops.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace mbs::train {
+
+namespace {
+
+int out_dim(int in, int kernel, int stride, int pad) {
+  return (in + 2 * pad - kernel) / stride + 1;
+}
+
+}  // namespace
+
+Tensor conv2d_forward(const Tensor& x, const Tensor& w, const Tensor& bias,
+                      int stride, int pad) {
+  assert(x.ndim() == 4 && w.ndim() == 4);
+  const int n = x.dim(0), ci = x.dim(1), ih = x.dim(2), iw = x.dim(3);
+  const int co = w.dim(0), kh = w.dim(2), kw = w.dim(3);
+  assert(w.dim(1) == ci);
+  const int oh = out_dim(ih, kh, stride, pad);
+  const int ow = out_dim(iw, kw, stride, pad);
+  Tensor y({n, co, oh, ow});
+  for (int b = 0; b < n; ++b)
+    for (int o = 0; o < co; ++o) {
+      const float bv = bias.empty() ? 0.0f : bias[o];
+      for (int yh = 0; yh < oh; ++yh)
+        for (int yw = 0; yw < ow; ++yw) {
+          float acc = bv;
+          for (int c = 0; c < ci; ++c)
+            for (int r = 0; r < kh; ++r) {
+              const int xh = yh * stride - pad + r;
+              if (xh < 0 || xh >= ih) continue;
+              for (int s = 0; s < kw; ++s) {
+                const int xw = yw * stride - pad + s;
+                if (xw < 0 || xw >= iw) continue;
+                acc += x.at(b, c, xh, xw) * w.at(o, c, r, s);
+              }
+            }
+          y.at(b, o, yh, yw) = acc;
+        }
+    }
+  return y;
+}
+
+Conv2dGrads conv2d_backward(const Tensor& x, const Tensor& w,
+                            const Tensor& dy, int stride, int pad,
+                            bool need_dx) {
+  const int n = x.dim(0), ci = x.dim(1), ih = x.dim(2), iw = x.dim(3);
+  const int co = w.dim(0), kh = w.dim(2), kw = w.dim(3);
+  const int oh = dy.dim(2), ow = dy.dim(3);
+  Conv2dGrads g;
+  g.dw = Tensor({co, ci, kh, kw});
+  g.dbias = Tensor({co});
+  if (need_dx) g.dx = Tensor({n, ci, ih, iw});
+  for (int b = 0; b < n; ++b)
+    for (int o = 0; o < co; ++o)
+      for (int yh = 0; yh < oh; ++yh)
+        for (int yw = 0; yw < ow; ++yw) {
+          const float d = dy.at(b, o, yh, yw);
+          if (d == 0.0f) continue;
+          g.dbias[o] += d;
+          for (int c = 0; c < ci; ++c)
+            for (int r = 0; r < kh; ++r) {
+              const int xh = yh * stride - pad + r;
+              if (xh < 0 || xh >= ih) continue;
+              for (int s = 0; s < kw; ++s) {
+                const int xw = yw * stride - pad + s;
+                if (xw < 0 || xw >= iw) continue;
+                g.dw.at(o, c, r, s) += d * x.at(b, c, xh, xw);
+                if (need_dx) g.dx.at(b, c, xh, xw) += d * w.at(o, c, r, s);
+              }
+            }
+        }
+  return g;
+}
+
+MaxPoolResult maxpool_forward(const Tensor& x, int kernel, int stride) {
+  const int n = x.dim(0), c = x.dim(1), ih = x.dim(2), iw = x.dim(3);
+  const int oh = out_dim(ih, kernel, stride, 0);
+  const int ow = out_dim(iw, kernel, stride, 0);
+  MaxPoolResult r;
+  r.y = Tensor({n, c, oh, ow});
+  r.argmax.assign(static_cast<std::size_t>(r.y.size()), 0);
+  std::int64_t oi = 0;
+  for (int b = 0; b < n; ++b)
+    for (int ch = 0; ch < c; ++ch)
+      for (int yh = 0; yh < oh; ++yh)
+        for (int yw = 0; yw < ow; ++yw, ++oi) {
+          float best = -std::numeric_limits<float>::infinity();
+          std::int64_t best_idx = 0;
+          for (int r2 = 0; r2 < kernel; ++r2)
+            for (int s2 = 0; s2 < kernel; ++s2) {
+              const int xh = yh * stride + r2;
+              const int xw = yw * stride + s2;
+              if (xh >= ih || xw >= iw) continue;
+              const float v = x.at(b, ch, xh, xw);
+              if (v > best) {
+                best = v;
+                best_idx = x.idx4(b, ch, xh, xw);
+              }
+            }
+          r.y[oi] = best;
+          r.argmax[static_cast<std::size_t>(oi)] = best_idx;
+        }
+  return r;
+}
+
+Tensor maxpool_backward(const Tensor& dy, const MaxPoolResult& cache,
+                        const std::vector<int>& x_shape) {
+  Tensor dx(x_shape);
+  for (std::int64_t i = 0; i < dy.size(); ++i)
+    dx[cache.argmax[static_cast<std::size_t>(i)]] += dy[i];
+  return dx;
+}
+
+Tensor global_avg_pool_forward(const Tensor& x) {
+  const int n = x.dim(0), c = x.dim(1);
+  const int hw = x.dim(2) * x.dim(3);
+  Tensor y({n, c});
+  for (int b = 0; b < n; ++b)
+    for (int ch = 0; ch < c; ++ch) {
+      double s = 0;
+      for (int h = 0; h < x.dim(2); ++h)
+        for (int w = 0; w < x.dim(3); ++w) s += x.at(b, ch, h, w);
+      y[static_cast<std::int64_t>(b) * c + ch] =
+          static_cast<float>(s / hw);
+    }
+  return y;
+}
+
+Tensor global_avg_pool_backward(const Tensor& dy,
+                                const std::vector<int>& x_shape) {
+  Tensor dx(x_shape);
+  const int n = x_shape[0], c = x_shape[1], h = x_shape[2], w = x_shape[3];
+  const float inv = 1.0f / static_cast<float>(h * w);
+  for (int b = 0; b < n; ++b)
+    for (int ch = 0; ch < c; ++ch) {
+      const float d = dy[static_cast<std::int64_t>(b) * c + ch] * inv;
+      for (int y2 = 0; y2 < h; ++y2)
+        for (int x2 = 0; x2 < w; ++x2) dx.at(b, ch, y2, x2) = d;
+    }
+  return dx;
+}
+
+Tensor relu_forward(const Tensor& x) {
+  Tensor y = x;
+  for (std::int64_t i = 0; i < y.size(); ++i)
+    if (y[i] < 0) y[i] = 0;
+  return y;
+}
+
+Tensor relu_backward(const Tensor& dy, const Tensor& y) {
+  assert(dy.size() == y.size());
+  Tensor dx = dy;
+  for (std::int64_t i = 0; i < dx.size(); ++i)
+    if (y[i] <= 0) dx[i] = 0;
+  return dx;
+}
+
+Tensor linear_forward(const Tensor& x, const Tensor& w, const Tensor& bias) {
+  const int n = x.dim(0);
+  const std::int64_t in = x.size() / n;
+  const int out = w.dim(0);
+  assert(w.dim(1) == in);
+  Tensor y({n, out});
+  for (int b = 0; b < n; ++b)
+    for (int o = 0; o < out; ++o) {
+      double acc = bias.empty() ? 0.0 : bias[o];
+      for (std::int64_t i = 0; i < in; ++i)
+        acc += x[b * in + i] * w[o * in + i];
+      y[static_cast<std::int64_t>(b) * out + o] = static_cast<float>(acc);
+    }
+  return y;
+}
+
+LinearGrads linear_backward(const Tensor& x, const Tensor& w,
+                            const Tensor& dy) {
+  const int n = x.dim(0);
+  const std::int64_t in = x.size() / n;
+  const int out = w.dim(0);
+  LinearGrads g;
+  g.dx = Tensor(x.shape());
+  g.dw = Tensor({out, static_cast<int>(in)});
+  g.dbias = Tensor({out});
+  for (int b = 0; b < n; ++b)
+    for (int o = 0; o < out; ++o) {
+      const float d = dy[static_cast<std::int64_t>(b) * out + o];
+      g.dbias[o] += d;
+      for (std::int64_t i = 0; i < in; ++i) {
+        g.dw[o * in + i] += d * x[b * in + i];
+        g.dx[b * in + i] += d * w[o * in + i];
+      }
+    }
+  return g;
+}
+
+}  // namespace mbs::train

@@ -1,0 +1,71 @@
+// Functional forward/backward operators: convolution, pooling, linear, ReLU.
+//
+// Every forward returns the tensors needed for the matching backward; there
+// is no global autograd state, so the same model object can run full-batch
+// and MBS-serialized steps interchangeably.
+#pragma once
+
+#include <vector>
+
+#include "train/tensor.h"
+
+namespace mbs::train {
+
+// ---- Convolution -----------------------------------------------------------
+
+/// y[n,co,oh,ow] = sum_{ci,kh,kw} x[n,ci,oh*s-p+kh,ow*s-p+kw] * w[co,ci,kh,kw]
+/// (+ bias). Weights are [Co, Ci, Kh, Kw].
+Tensor conv2d_forward(const Tensor& x, const Tensor& w, const Tensor& bias,
+                      int stride, int pad);
+
+struct Conv2dGrads {
+  Tensor dx;
+  Tensor dw;
+  Tensor dbias;
+};
+
+/// Gradients of conv2d_forward w.r.t. input, weights and bias.
+Conv2dGrads conv2d_backward(const Tensor& x, const Tensor& w,
+                            const Tensor& dy, int stride, int pad,
+                            bool need_dx = true);
+
+// ---- Pooling ---------------------------------------------------------------
+
+struct MaxPoolResult {
+  Tensor y;
+  /// Flat input index of each output element's maximum (the simulator's
+  /// 1-byte "pool index" stash corresponds to this, Sec. 3).
+  std::vector<std::int64_t> argmax;
+};
+
+MaxPoolResult maxpool_forward(const Tensor& x, int kernel, int stride);
+
+Tensor maxpool_backward(const Tensor& dy, const MaxPoolResult& cache,
+                        const std::vector<int>& x_shape);
+
+/// Global average pooling to [N, C].
+Tensor global_avg_pool_forward(const Tensor& x);
+Tensor global_avg_pool_backward(const Tensor& dy, const std::vector<int>& x_shape);
+
+// ---- Activation ------------------------------------------------------------
+
+Tensor relu_forward(const Tensor& x);
+
+/// ReLU backward needs only the sign of the forward output — the property
+/// MBS exploits with 1-bit masks (Sec. 3).
+Tensor relu_backward(const Tensor& dy, const Tensor& y);
+
+// ---- Linear ----------------------------------------------------------------
+
+/// y[n,o] = sum_i x[n,i] * w[o,i] + b[o]. x is flattened to [N, features].
+Tensor linear_forward(const Tensor& x, const Tensor& w, const Tensor& bias);
+
+struct LinearGrads {
+  Tensor dx;
+  Tensor dw;
+  Tensor dbias;
+};
+
+LinearGrads linear_backward(const Tensor& x, const Tensor& w, const Tensor& dy);
+
+}  // namespace mbs::train

@@ -1,0 +1,34 @@
+// SGD with momentum (Sutskever et al. 2013), the optimizer used in the
+// paper's Fig. 6 training runs.
+#pragma once
+
+#include <vector>
+
+#include "train/tensor.h"
+
+namespace mbs::train {
+
+struct SgdConfig {
+  double lr = 0.05;
+  double momentum = 0.9;
+  double weight_decay = 0.0;
+};
+
+class Sgd {
+ public:
+  explicit Sgd(SgdConfig config) : config_(config) {}
+
+  /// v = momentum*v + (g + wd*p);  p -= lr*v. Velocity buffers are created
+  /// lazily on the first step and keyed by parameter order.
+  void step(const std::vector<Tensor*>& params,
+            const std::vector<Tensor*>& grads);
+
+  void set_lr(double lr) { config_.lr = lr; }
+  double lr() const { return config_.lr; }
+
+ private:
+  SgdConfig config_;
+  std::vector<Tensor> velocity_;
+};
+
+}  // namespace mbs::train

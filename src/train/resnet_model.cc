@@ -1,0 +1,238 @@
+#include "train/resnet_model.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace mbs::train {
+
+namespace {
+
+Tensor he_conv(util::Rng& rng, int co, int ci, int k) {
+  const double fan_in = static_cast<double>(ci) * k * k;
+  return Tensor::randn({co, ci, k, k}, rng, std::sqrt(2.0 / fan_in));
+}
+
+NormCache empty_cache() { return {}; }
+
+}  // namespace
+
+SmallResNet::SmallResNet(const SmallResNetConfig& config) : config_(config) {
+  util::Rng rng(config.seed);
+  auto make_norm_params = [&](int c) {
+    NormParams np;
+    np.gamma = Tensor::full({c}, 1.0f);
+    np.beta = Tensor({c});
+    np.dgamma = Tensor({c});
+    np.dbeta = Tensor({c});
+    np.cache = empty_cache();
+    return np;
+  };
+
+  stem_.w = he_conv(rng, config.stem_channels, config.in_channels, 3);
+  stem_.dw = Tensor(stem_.w.shape());
+  stem_.stride = 1;
+  stem_norm_ = make_norm_params(config.stem_channels);
+
+  int c_in = config.stem_channels;
+  for (std::size_t s = 0; s < config.stage_channels.size(); ++s) {
+    const int c_out = config.stage_channels[s];
+    const int stride = s == 0 ? 1 : 2;
+    ResBlock b;
+    b.conv1.w = he_conv(rng, c_out, c_in, 3);
+    b.conv1.dw = Tensor(b.conv1.w.shape());
+    b.conv1.stride = stride;
+    b.norm1 = make_norm_params(c_out);
+    b.conv2.w = he_conv(rng, c_out, c_out, 3);
+    b.conv2.dw = Tensor(b.conv2.w.shape());
+    b.conv2.stride = 1;
+    b.norm2 = make_norm_params(c_out);
+    if (stride != 1 || c_in != c_out) {
+      b.proj.w = he_conv(rng, c_out, c_in, 1);
+      b.proj.dw = Tensor(b.proj.w.shape());
+      b.proj.stride = stride;
+      b.norm_proj = make_norm_params(c_out);
+    }
+    blocks_.push_back(std::move(b));
+    c_in = c_out;
+  }
+
+  fc_w = Tensor::randn({config.classes, c_in}, rng, std::sqrt(2.0 / c_in));
+  fc_b = Tensor({config.classes});
+  fc_dw = Tensor(fc_w.shape());
+  fc_db = Tensor({config.classes});
+}
+
+Tensor SmallResNet::norm_forward(NormParams& np, const Tensor& x) {
+  switch (config_.norm) {
+    case NormMode::kNone: return x;
+    case NormMode::kBatch:
+      return batchnorm_forward(x, np.gamma, np.beta, np.cache);
+    case NormMode::kGroup:
+      return groupnorm_forward(x, np.gamma, np.beta, config_.gn_groups,
+                               np.cache);
+  }
+  return x;
+}
+
+Tensor SmallResNet::norm_backward(NormParams& np, const Tensor& dy) {
+  switch (config_.norm) {
+    case NormMode::kNone: return dy;
+    case NormMode::kBatch: {
+      NormGrads g = batchnorm_backward(dy, np.gamma, np.cache);
+      np.dgamma.axpy(1.0f, g.dgamma);
+      np.dbeta.axpy(1.0f, g.dbeta);
+      return std::move(g.dx);
+    }
+    case NormMode::kGroup: {
+      NormGrads g = groupnorm_backward(dy, np.gamma, config_.gn_groups,
+                                       np.cache);
+      np.dgamma.axpy(1.0f, g.dgamma);
+      np.dbeta.axpy(1.0f, g.dbeta);
+      return std::move(g.dx);
+    }
+  }
+  return dy;
+}
+
+Tensor SmallResNet::forward(const Tensor& x) {
+  stem_in_ = x;
+  stem_conv_out_ = conv2d_forward(x, stem_.w, Tensor(), 1, 1);
+  stem_norm_out_ = norm_forward(stem_norm_, stem_conv_out_);
+  stem_relu_out_ = relu_forward(stem_norm_out_);
+
+  Tensor cur = stem_relu_out_;
+  for (ResBlock& b : blocks_) {
+    b.x_in = cur;
+    b.c1_out = conv2d_forward(cur, b.conv1.w, Tensor(), b.conv1.stride, 1);
+    b.n1_out = norm_forward(b.norm1, b.c1_out);
+    b.r1_out = relu_forward(b.n1_out);
+    b.c2_out = conv2d_forward(b.r1_out, b.conv2.w, Tensor(), 1, 1);
+    b.n2_out = norm_forward(b.norm2, b.c2_out);
+    if (!b.proj.w.empty()) {
+      const Tensor p = conv2d_forward(cur, b.proj.w, Tensor(), b.proj.stride, 0);
+      b.shortcut_out = norm_forward(b.norm_proj, p);
+    } else {
+      b.shortcut_out = cur;
+    }
+    b.add_out = b.n2_out;
+    b.add_out.axpy(1.0f, b.shortcut_out);
+    b.relu_out = relu_forward(b.add_out);
+    cur = b.relu_out;
+  }
+
+  gap_in_shape_ = cur.shape();
+  gap_out_ = global_avg_pool_forward(cur);
+  return linear_forward(gap_out_, fc_w, fc_b);
+}
+
+void SmallResNet::backward(const Tensor& dlogits) {
+  LinearGrads lg = linear_backward(gap_out_, fc_w, dlogits);
+  fc_dw.axpy(1.0f, lg.dw);
+  fc_db.axpy(1.0f, lg.dbias);
+  Tensor d = global_avg_pool_backward(lg.dx, gap_in_shape_);
+
+  for (std::size_t i = blocks_.size(); i-- > 0;) {
+    ResBlock& b = blocks_[i];
+    d = relu_backward(d, b.relu_out);
+    // Add backward: the gradient flows unchanged to both branches — the
+    // routing MBS exploits (Sec. 3 "Back Propagation").
+    Tensor d_main = d;
+    Tensor d_short = d;
+
+    d_main = norm_backward(b.norm2, d_main);
+    Conv2dGrads g2 = conv2d_backward(b.r1_out, b.conv2.w, d_main, 1, 1);
+    b.conv2.dw.axpy(1.0f, g2.dw);
+    d_main = relu_backward(g2.dx, b.r1_out);
+    d_main = norm_backward(b.norm1, d_main);
+    Conv2dGrads g1 =
+        conv2d_backward(b.x_in, b.conv1.w, d_main, b.conv1.stride, 1);
+    b.conv1.dw.axpy(1.0f, g1.dw);
+
+    Tensor d_in = std::move(g1.dx);
+    if (!b.proj.w.empty()) {
+      d_short = norm_backward(b.norm_proj, d_short);
+      Conv2dGrads gp =
+          conv2d_backward(b.x_in, b.proj.w, d_short, b.proj.stride, 0);
+      b.proj.dw.axpy(1.0f, gp.dw);
+      d_in.axpy(1.0f, gp.dx);
+    } else {
+      d_in.axpy(1.0f, d_short);
+    }
+    d = std::move(d_in);
+  }
+
+  d = relu_backward(d, stem_relu_out_);
+  d = norm_backward(stem_norm_, d);
+  Conv2dGrads gs = conv2d_backward(stem_in_, stem_.w, d, 1, 1,
+                                   /*need_dx=*/false);
+  stem_.dw.axpy(1.0f, gs.dw);
+}
+
+void SmallResNet::zero_grad() {
+  auto zero_norm = [](NormParams& np) {
+    np.dgamma.zero();
+    np.dbeta.zero();
+  };
+  stem_.dw.zero();
+  zero_norm(stem_norm_);
+  for (ResBlock& b : blocks_) {
+    b.conv1.dw.zero();
+    b.conv2.dw.zero();
+    if (!b.proj.w.empty()) b.proj.dw.zero();
+    zero_norm(b.norm1);
+    zero_norm(b.norm2);
+    if (!b.proj.w.empty()) zero_norm(b.norm_proj);
+  }
+  fc_dw.zero();
+  fc_db.zero();
+}
+
+std::vector<Tensor*> SmallResNet::parameters() {
+  std::vector<Tensor*> out{&stem_.w};
+  auto add_norm = [&](NormParams& np) {
+    if (config_.norm != NormMode::kNone) {
+      out.push_back(&np.gamma);
+      out.push_back(&np.beta);
+    }
+  };
+  add_norm(stem_norm_);
+  for (ResBlock& b : blocks_) {
+    out.push_back(&b.conv1.w);
+    add_norm(b.norm1);
+    out.push_back(&b.conv2.w);
+    add_norm(b.norm2);
+    if (!b.proj.w.empty()) {
+      out.push_back(&b.proj.w);
+      add_norm(b.norm_proj);
+    }
+  }
+  out.push_back(&fc_w);
+  out.push_back(&fc_b);
+  return out;
+}
+
+std::vector<Tensor*> SmallResNet::gradients() {
+  std::vector<Tensor*> out{&stem_.dw};
+  auto add_norm = [&](NormParams& np) {
+    if (config_.norm != NormMode::kNone) {
+      out.push_back(&np.dgamma);
+      out.push_back(&np.dbeta);
+    }
+  };
+  add_norm(stem_norm_);
+  for (ResBlock& b : blocks_) {
+    out.push_back(&b.conv1.dw);
+    add_norm(b.norm1);
+    out.push_back(&b.conv2.dw);
+    add_norm(b.norm2);
+    if (!b.proj.w.empty()) {
+      out.push_back(&b.proj.dw);
+      add_norm(b.norm_proj);
+    }
+  }
+  out.push_back(&fc_dw);
+  out.push_back(&fc_db);
+  return out;
+}
+
+}  // namespace mbs::train

@@ -1,0 +1,81 @@
+// A small residual CNN for the training substrate.
+//
+// The paper's Fig. 6 experiment trains ResNet50; this is its laptop-scale
+// analogue with real multi-branch (residual) topology, so the
+// serialization-equivalence property is exercised on the same structural
+// features MBS2's inter-branch reuse targets: shared block inputs, identity
+// and projection shortcuts, and merge Adds.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "train/model.h"
+#include "train/norm.h"
+#include "train/ops.h"
+#include "train/tensor.h"
+
+namespace mbs::train {
+
+struct SmallResNetConfig {
+  int in_channels = 1;
+  int image = 12;
+  int classes = 4;
+  int stem_channels = 8;
+  /// One residual block per stage; stages beyond the first stride by 2 and
+  /// project the shortcut.
+  std::vector<int> stage_channels = {8, 16};
+  NormMode norm = NormMode::kGroup;
+  int gn_groups = 4;
+  std::uint64_t seed = 1;
+};
+
+/// conv3x3 -> norm -> ReLU -> conv3x3 -> norm, plus identity or projected
+/// shortcut, merged by Add then ReLU (a basic-block ResNet).
+class SmallResNet {
+ public:
+  explicit SmallResNet(const SmallResNetConfig& config);
+
+  /// Forward to logits [N, classes]; retains caches for backward().
+  Tensor forward(const Tensor& x);
+
+  /// Accumulates parameter gradients (zero_grad() resets).
+  void backward(const Tensor& dlogits);
+
+  void zero_grad();
+  std::vector<Tensor*> parameters();
+  std::vector<Tensor*> gradients();
+
+  const SmallResNetConfig& config() const { return config_; }
+
+ private:
+  struct NormParams {
+    Tensor gamma, beta, dgamma, dbeta;
+    NormCache cache;
+  };
+  struct ConvParams {
+    Tensor w, dw;
+    int stride = 1;
+  };
+  struct ResBlock {
+    ConvParams conv1, conv2, proj;  ///< proj.w empty for identity shortcut
+    NormParams norm1, norm2, norm_proj;
+    // Forward caches.
+    Tensor x_in, c1_out, n1_out, r1_out, c2_out, n2_out, shortcut_out,
+        add_out, relu_out;
+  };
+
+  Tensor norm_forward(NormParams& np, const Tensor& x);
+  Tensor norm_backward(NormParams& np, const Tensor& dy);
+
+  SmallResNetConfig config_;
+  ConvParams stem_;
+  NormParams stem_norm_;
+  Tensor stem_in_, stem_conv_out_, stem_norm_out_, stem_relu_out_;
+  std::vector<ResBlock> blocks_;
+  Tensor fc_w, fc_b, fc_dw, fc_db;
+  Tensor gap_out_;
+  std::vector<int> gap_in_shape_;
+};
+
+}  // namespace mbs::train

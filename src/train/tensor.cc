@@ -1,0 +1,20 @@
+#include "train/tensor.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace mbs::train {
+
+Tensor Tensor::slice_batch(int first, int count) const {
+  assert(ndim() >= 1);
+  assert(first >= 0 && first + count <= dim(0));
+  std::vector<int> s = shape_;
+  s[0] = count;
+  Tensor out(std::move(s));
+  const std::int64_t per = size() / dim(0);
+  std::memcpy(out.data(), data() + static_cast<std::size_t>(first) * per,
+              static_cast<std::size_t>(count * per) * sizeof(float));
+  return out;
+}
+
+}  // namespace mbs::train

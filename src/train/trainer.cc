@@ -1,0 +1,135 @@
+#include "train/trainer.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+#include "train/loss.h"
+
+namespace mbs::train {
+
+namespace {
+
+/// Runs forward+backward over the given chunk partition, accumulating
+/// gradients scaled by 1 / mini-batch.
+StepMetrics accumulate_gradients(SmallCnn& model, const Tensor& x,
+                                 const std::vector<int>& labels,
+                                 const std::vector<int>& chunks) {
+  const int n = x.dim(0);
+  model.zero_grad();
+  StepMetrics m;
+  int offset = 0;
+  for (int c : chunks) {
+    assert(c > 0 && offset + c <= n);
+    const Tensor xc = x.slice_batch(offset, c);
+    const std::vector<int> yc(labels.begin() + offset,
+                              labels.begin() + offset + c);
+    const Tensor logits = model.forward(xc);
+    LossResult lr = softmax_cross_entropy(logits, yc);
+    // Scale so the accumulated gradient equals the full-batch mean-loss
+    // gradient regardless of the chunking.
+    lr.dlogits.scale(1.0f / static_cast<float>(n));
+    model.backward(lr.dlogits);
+    m.loss += lr.loss_sum;
+    m.accuracy += lr.correct;
+    offset += c;
+  }
+  assert(offset == n);
+  m.loss /= n;
+  m.accuracy /= n;
+  return m;
+}
+
+}  // namespace
+
+StepMetrics compute_gradients(SmallCnn& model, const Tensor& x,
+                              const std::vector<int>& labels,
+                              const std::vector<int>& chunks) {
+  return accumulate_gradients(model, x, labels, chunks);
+}
+
+StepMetrics train_step(SmallCnn& model, Sgd& opt, const Tensor& x,
+                       const std::vector<int>& labels,
+                       const std::vector<int>& chunks) {
+  const StepMetrics m = accumulate_gradients(model, x, labels, chunks);
+  opt.step(model.parameters(), model.gradients());
+  return m;
+}
+
+EvalMetrics evaluate(SmallCnn& model, const Dataset& data, int batch) {
+  EvalMetrics e;
+  const int n = data.size();
+  int correct = 0;
+  for (int off = 0; off < n; off += batch) {
+    const int c = std::min(batch, n - off);
+    const Tensor xc = data.images.slice_batch(off, c);
+    const std::vector<int> yc(data.labels.begin() + off,
+                              data.labels.begin() + off + c);
+    const Tensor logits = model.forward(xc);
+    const LossResult lr = softmax_cross_entropy(logits, yc);
+    e.loss += lr.loss_sum;
+    correct += lr.correct;
+  }
+  e.loss /= n;
+  e.error = 1.0 - static_cast<double>(correct) / n;
+  return e;
+}
+
+std::vector<EpochLog> train_model(SmallCnn& model, const Dataset& train_set,
+                                  const Dataset& val_set,
+                                  const TrainRunConfig& config) {
+  util::Rng rng(config.shuffle_seed);
+  Sgd opt(config.sgd);
+  const int n = train_set.size();
+  std::vector<int> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+
+  std::vector<EpochLog> logs;
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    if (std::find(config.lr_decay_epochs.begin(), config.lr_decay_epochs.end(),
+                  epoch) != config.lr_decay_epochs.end())
+      opt.set_lr(opt.lr() * config.lr_decay);
+
+    // Fisher-Yates shuffle with the deterministic RNG so BN and GN+MBS runs
+    // see identical sample orderings.
+    for (int i = n - 1; i > 0; --i) {
+      const int j = static_cast<int>(rng.uniform_int(
+          static_cast<std::uint64_t>(i) + 1));
+      std::swap(order[static_cast<std::size_t>(i)],
+                order[static_cast<std::size_t>(j)]);
+    }
+
+    EpochLog log;
+    log.epoch = epoch;
+    int steps = 0;
+    for (int off = 0; off + config.batch <= n; off += config.batch) {
+      // Gather the shuffled mini-batch.
+      Tensor x({config.batch, train_set.images.dim(1),
+                train_set.images.dim(2), train_set.images.dim(3)});
+      std::vector<int> labels(static_cast<std::size_t>(config.batch));
+      const std::int64_t per = train_set.images.size() / n;
+      for (int i = 0; i < config.batch; ++i) {
+        const int src = order[static_cast<std::size_t>(off + i)];
+        for (std::int64_t k = 0; k < per; ++k)
+          x[i * per + k] = train_set.images[src * per + k];
+        labels[static_cast<std::size_t>(i)] =
+            train_set.labels[static_cast<std::size_t>(src)];
+      }
+      const std::vector<int> chunks =
+          config.chunks.empty() ? std::vector<int>{config.batch}
+                                : config.chunks;
+      const StepMetrics m = train_step(model, opt, x, labels, chunks);
+      log.train_loss += m.loss;
+      ++steps;
+    }
+    log.train_loss /= std::max(1, steps);
+    log.first_preact_mean = model.first_preact_mean();
+    log.last_preact_mean = model.last_preact_mean();
+    const EvalMetrics ev = evaluate(model, val_set);
+    log.val_error = 100.0 * ev.error;
+    logs.push_back(log);
+  }
+  return logs;
+}
+
+}  // namespace mbs::train

@@ -1,0 +1,67 @@
+// Training loops: conventional full-mini-batch steps and MBS-serialized
+// steps (sub-batches with gradient accumulation and one parameter update
+// per mini-batch — Sec. 3's synchronization contract).
+#pragma once
+
+#include <vector>
+
+#include "train/data.h"
+#include "train/model.h"
+#include "train/optim.h"
+
+namespace mbs::train {
+
+struct StepMetrics {
+  double loss = 0;      ///< mean loss over the mini-batch
+  double accuracy = 0;  ///< top-1 accuracy over the mini-batch
+};
+
+/// One optimizer step over (x, labels). `chunks` partitions the mini-batch
+/// into sub-batches processed sequentially with gradient accumulation;
+/// pass {N} for conventional (unserialized) execution. The parameter update
+/// happens exactly once, after all chunks — MBS keeps the original
+/// mini-batch synchronization points.
+StepMetrics train_step(SmallCnn& model, Sgd& opt, const Tensor& x,
+                       const std::vector<int>& labels,
+                       const std::vector<int>& chunks);
+
+/// Computes gradients only (no optimizer step); used by the equivalence
+/// tests comparing serialized and unserialized execution.
+StepMetrics compute_gradients(SmallCnn& model, const Tensor& x,
+                              const std::vector<int>& labels,
+                              const std::vector<int>& chunks);
+
+struct EvalMetrics {
+  double loss = 0;
+  double error = 0;  ///< top-1 error rate in [0, 1]
+};
+
+EvalMetrics evaluate(SmallCnn& model, const Dataset& data, int batch = 64);
+
+/// One epoch record for the Fig. 6 curves.
+struct EpochLog {
+  int epoch = 0;
+  double train_loss = 0;
+  double val_error = 0;         ///< percent
+  double first_preact_mean = 0; ///< Fig. 6 right: first norm layer
+  double last_preact_mean = 0;  ///< Fig. 6 right: last norm layer
+};
+
+struct TrainRunConfig {
+  int epochs = 12;
+  int batch = 32;
+  SgdConfig sgd;
+  /// Sub-batch chunk sizes per step; empty = unserialized.
+  std::vector<int> chunks;
+  /// Epochs at which the learning rate decays by `lr_decay`.
+  std::vector<int> lr_decay_epochs;
+  double lr_decay = 0.1;
+  std::uint64_t shuffle_seed = 7;
+};
+
+/// Trains `model` on `train_set`, evaluating on `val_set` after each epoch.
+std::vector<EpochLog> train_model(SmallCnn& model, const Dataset& train_set,
+                                  const Dataset& val_set,
+                                  const TrainRunConfig& config);
+
+}  // namespace mbs::train

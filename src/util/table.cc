@@ -1,0 +1,116 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+#include "util/units.h"
+
+namespace mbs::util {
+
+namespace {
+
+bool looks_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  std::strtod(s.c_str(), &end);
+  // Accept trailing unit suffixes (e.g. "1.5 ms") as numeric for alignment.
+  return end != s.c_str();
+}
+
+}  // namespace
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  auto emit = [&](const std::vector<std::string>& row, bool align_numeric) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      const std::size_t pad = widths[c] - row[c].size();
+      const bool right = align_numeric && looks_numeric(row[c]);
+      if (c) os << "  ";
+      if (right) os << std::string(pad, ' ') << row[c];
+      else os << row[c] << std::string(pad, ' ');
+    }
+    os << '\n';
+  };
+
+  emit(headers_, false);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) total += widths[c] + (c ? 2 : 0);
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit(row, true);
+}
+
+void Table::print_csv(std::ostream& os) const {
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) os << ',';
+      os << row[c];
+    }
+    os << '\n';
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+}
+
+std::string fmt(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, value);
+  return buf;
+}
+
+std::string fmt_int(std::int64_t value) {
+  const bool neg = value < 0;
+  std::string digits = std::to_string(neg ? -value : value);
+  std::string out;
+  int count = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (count && count % 3 == 0) out.push_back(',');
+    out.push_back(*it);
+    ++count;
+  }
+  if (neg) out.push_back('-');
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+std::string format_bytes(double bytes) {
+  const char* suffix = "B";
+  double v = bytes;
+  if (std::abs(v) >= static_cast<double>(kGiB)) { v /= static_cast<double>(kGiB); suffix = "GiB"; }
+  else if (std::abs(v) >= static_cast<double>(kMiB)) { v /= static_cast<double>(kMiB); suffix = "MiB"; }
+  else if (std::abs(v) >= static_cast<double>(kKiB)) { v /= static_cast<double>(kKiB); suffix = "KiB"; }
+  return fmt(v, 2) + " " + suffix;
+}
+
+std::string format_si(double value) {
+  const char* suffix = "";
+  double v = value;
+  if (std::abs(v) >= kTera) { v /= kTera; suffix = " T"; }
+  else if (std::abs(v) >= kGiga) { v /= kGiga; suffix = " G"; }
+  else if (std::abs(v) >= kMega) { v /= kMega; suffix = " M"; }
+  else if (std::abs(v) >= kKilo) { v /= kKilo; suffix = " K"; }
+  return fmt(v, 2) + suffix;
+}
+
+std::string format_time(double seconds) {
+  if (seconds < 1e-6) return fmt(seconds * 1e9, 2) + " ns";
+  if (seconds < 1e-3) return fmt(seconds * 1e6, 2) + " us";
+  if (seconds < 1.0) return fmt(seconds * 1e3, 2) + " ms";
+  return fmt(seconds, 3) + " s";
+}
+
+}  // namespace mbs::util

@@ -1,0 +1,41 @@
+// Console table and CSV emission used by the benchmark harness to print the
+// rows/series of each paper table and figure.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace mbs::util {
+
+/// Column-aligned console table. Collects rows of strings and prints them
+/// with a header rule, right-aligning cells that parse as numbers.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row; pads or truncates to the header width.
+  void add_row(std::vector<std::string> cells);
+
+  /// Number of data rows added so far.
+  std::size_t row_count() const { return rows_.size(); }
+
+  /// Renders the aligned table to `os`.
+  void print(std::ostream& os) const;
+
+  /// Renders the table as CSV (no alignment padding).
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` significant decimal places.
+std::string fmt(double value, int digits = 2);
+
+/// Formats an integer with thousands separators, e.g. 25,557,032.
+std::string fmt_int(std::int64_t value);
+
+}  // namespace mbs::util

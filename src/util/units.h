@@ -1,0 +1,27 @@
+// Byte/size units and human-readable formatting helpers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace mbs::util {
+
+inline constexpr std::int64_t kKiB = 1024;
+inline constexpr std::int64_t kMiB = 1024 * kKiB;
+inline constexpr std::int64_t kGiB = 1024 * kMiB;
+
+inline constexpr double kKilo = 1e3;
+inline constexpr double kMega = 1e6;
+inline constexpr double kGiga = 1e9;
+inline constexpr double kTera = 1e12;
+
+/// Formats a byte count as a human-readable string, e.g. "10.0 MiB".
+std::string format_bytes(double bytes);
+
+/// Formats a count with an SI suffix, e.g. "3.86 G" for 3.86e9.
+std::string format_si(double value);
+
+/// Formats seconds as the most natural unit (ns/us/ms/s).
+std::string format_time(double seconds);
+
+}  // namespace mbs::util

@@ -1,0 +1,82 @@
+// Tests for the Sec. 4.2 extensions: local-buffer sizing and the
+// multi-accelerator weak-scaling model.
+#include <gtest/gtest.h>
+
+#include "arch/buffers.h"
+#include "arch/scaling.h"
+
+namespace mbs::arch {
+namespace {
+
+TEST(LocalBuffers, MatchPaperSizes) {
+  // Sec. 4.2: B half-buffer 32 KiB (128x128x16b), A half-buffer 64 KiB,
+  // accumulation part 128 KiB.
+  const LocalBufferPlan p = plan_local_buffers(SystolicConfig{});
+  EXPECT_EQ(p.b_half_bytes, 32 * 1024);
+  EXPECT_EQ(p.a_half_bytes, 64 * 1024);
+  EXPECT_EQ(p.acc_part_bytes, 128 * 1024);
+}
+
+TEST(LocalBuffers, TotalIncludesAllCopies) {
+  const LocalBufferPlan p = plan_local_buffers(SystolicConfig{});
+  // 2x32 + 2x64 + 3x128 = 576 KiB of local storage per core.
+  EXPECT_EQ(p.total_bytes(), (2 * 32 + 2 * 64 + 3 * 128) * 1024);
+}
+
+TEST(LocalBuffers, ScaleWithArrayGeometry) {
+  SystolicConfig small;
+  small.rows = 64;
+  small.cols = 64;
+  small.acc_half_bytes = 32 * 1024;
+  const LocalBufferPlan p = plan_local_buffers(small);
+  EXPECT_EQ(p.b_half_bytes, 64 * 64 * 2);
+  EXPECT_EQ(p.a_half_bytes, 2 * p.b_half_bytes);
+  EXPECT_EQ(p.acc_part_bytes,
+            static_cast<std::int64_t>(small.tile_m()) * 64 * 4);
+}
+
+TEST(LocalBuffers, AHalfHidesWeightLoad) {
+  // A halves are twice B halves so A streaming covers the next wave's
+  // weight shift-in (Sec. 4.2: "A blocks need to be twice as large").
+  const LocalBufferPlan p = plan_local_buffers(SystolicConfig{});
+  EXPECT_EQ(p.a_half_bytes, 2 * p.b_half_bytes);
+}
+
+TEST(Scaling, SingleDeviceIsFree) {
+  const ScalingResult r = weak_scaling(0.1, 100e6, 1);
+  EXPECT_EQ(r.allreduce_time_s, 0);
+  EXPECT_DOUBLE_EQ(r.efficiency, 1.0);
+}
+
+TEST(Scaling, RingAllReduceBandwidthTerm) {
+  InterconnectConfig net;
+  net.bandwidth_bytes_per_s = 10e9;
+  net.latency_s = 0;
+  // 2*(p-1)/p * bytes / bw.
+  EXPECT_NEAR(ring_allreduce_seconds(10e9, 2, net), 1.0, 1e-9);
+  EXPECT_NEAR(ring_allreduce_seconds(10e9, 4, net), 1.5, 1e-9);
+}
+
+TEST(Scaling, EfficiencyDecreasesWithDevices) {
+  const auto sweep = weak_scaling_sweep(0.08, 51e6, {1, 2, 4, 8, 16});
+  for (std::size_t i = 1; i < sweep.size(); ++i) {
+    EXPECT_LE(sweep[i].efficiency, sweep[i - 1].efficiency + 1e-12);
+    EXPECT_GE(sweep[i].step_time_s, sweep[i - 1].step_time_s - 1e-12);
+  }
+  // ResNet50-scale gradients over PCIe-class links still scale well: the
+  // 80 ms MBS step dwarfs the ~10 ms all-reduce.
+  EXPECT_GT(sweep.back().efficiency, 0.7);
+}
+
+TEST(Scaling, AllReduceBoundedByTwiceGradientVolume) {
+  // The ring moves at most 2x the gradient bytes per device.
+  InterconnectConfig net;
+  net.latency_s = 0;
+  const double bytes = 51e6;
+  for (int p : {2, 3, 8, 64})
+    EXPECT_LE(ring_allreduce_seconds(bytes, p, net),
+              2.0 * bytes / net.bandwidth_bytes_per_s + 1e-12);
+}
+
+}  // namespace
+}  // namespace mbs::arch

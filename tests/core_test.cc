@@ -1,0 +1,193 @@
+// Unit tests for the shape/layer/block IR in src/core.
+#include <gtest/gtest.h>
+
+#include "core/block.h"
+#include "core/layer.h"
+#include "core/network.h"
+#include "core/shape.h"
+
+namespace mbs::core {
+namespace {
+
+TEST(Shape, ElementsAndBytes) {
+  FeatureShape s{64, 56, 56};
+  EXPECT_EQ(s.elements(), 64 * 56 * 56);
+  EXPECT_EQ(s.bytes(DataType::kF16), 64 * 56 * 56 * 2);
+  EXPECT_EQ(s.bytes(DataType::kF32), 64 * 56 * 56 * 4);
+}
+
+TEST(Shape, BitPackingRoundsUp) {
+  // 9 mask bits occupy 2 bytes.
+  EXPECT_EQ(bytes_for(9, DataType::kBit), 2);
+  EXPECT_EQ(bytes_for(8, DataType::kBit), 1);
+  EXPECT_EQ(bytes_for(1, DataType::kBit), 1);
+  EXPECT_EQ(bytes_for(0, DataType::kBit), 0);
+}
+
+TEST(Shape, DtypeBits) {
+  EXPECT_EQ(dtype_bits(DataType::kF16), 16);
+  EXPECT_EQ(dtype_bits(DataType::kF32), 32);
+  EXPECT_EQ(dtype_bits(DataType::kI8), 8);
+  EXPECT_EQ(dtype_bits(DataType::kBit), 1);
+}
+
+TEST(ConvOutDim, MatchesClosedForm) {
+  EXPECT_EQ(conv_out_dim(224, 7, 2, 3), 112);
+  EXPECT_EQ(conv_out_dim(112, 3, 2, 1), 56);
+  EXPECT_EQ(conv_out_dim(56, 3, 1, 1), 56);
+  EXPECT_EQ(conv_out_dim(299, 3, 2, 0), 149);
+  EXPECT_EQ(conv_out_dim(224, 11, 4, 2), 55);
+}
+
+TEST(Layer, ConvShapeAndParams) {
+  Layer l = make_conv("c", FeatureShape{3, 224, 224}, 64, 7, 2, 3);
+  EXPECT_EQ(l.out.c, 64);
+  EXPECT_EQ(l.out.h, 112);
+  EXPECT_EQ(l.out.w, 112);
+  EXPECT_EQ(l.param_count(), 3LL * 7 * 7 * 64);
+}
+
+TEST(Layer, ConvBiasAddsOutputChannels) {
+  Layer l = make_conv("c", FeatureShape{3, 224, 224}, 64, 7, 2, 3, true);
+  EXPECT_EQ(l.param_count(), 3LL * 7 * 7 * 64 + 64);
+}
+
+TEST(Layer, AsymmetricPadding) {
+  // Inception 1x7 convolution: pad only along the width.
+  Layer l = make_conv("c", FeatureShape{192, 17, 17}, 224, 1, 7, 1, 0, 3);
+  EXPECT_EQ(l.out.h, 17);
+  EXPECT_EQ(l.out.w, 17);
+  EXPECT_EQ(l.param_count(), 192LL * 1 * 7 * 224);
+}
+
+TEST(Layer, FcParams) {
+  Layer l = make_fc("fc", 2048, 1000);
+  EXPECT_EQ(l.param_count(), 2048LL * 1000 + 1000);
+  EXPECT_EQ(l.out.c, 1000);
+}
+
+TEST(Layer, NormHasTwoParamsPerChannel) {
+  Layer l = make_norm("n", FeatureShape{256, 56, 56});
+  EXPECT_EQ(l.param_count(), 512);
+  EXPECT_EQ(l.out, l.in);
+}
+
+TEST(Layer, PoolShapes) {
+  Layer l = make_pool("p", FeatureShape{64, 112, 112}, 3, 2, 1, PoolKind::kMax);
+  EXPECT_EQ(l.out.h, 56);
+  EXPECT_EQ(l.param_count(), 0);
+  Layer g = make_global_avg_pool("g", FeatureShape{2048, 7, 7});
+  EXPECT_EQ(g.out.h, 1);
+  EXPECT_EQ(g.out.c, 2048);
+}
+
+TEST(Layer, ConvFlops) {
+  // 1x1 conv: 2 * Cout*Hout*Wout * Cin MACs.
+  Layer l = make_conv("c", FeatureShape{256, 56, 56}, 64, 1, 1, 0);
+  EXPECT_EQ(l.flops_per_sample(), 2LL * 64 * 56 * 56 * 256);
+}
+
+TEST(Layer, AddReadsTwoOperands) {
+  Layer l = make_add("a", FeatureShape{256, 56, 56});
+  EXPECT_EQ(l.input_bytes_per_sample(), 2 * l.in.bytes());
+  EXPECT_EQ(l.output_bytes_per_sample(), l.in.bytes());
+}
+
+TEST(Block, SimpleChainFootprint) {
+  std::vector<Layer> chain;
+  chain.push_back(make_conv("c", FeatureShape{3, 224, 224}, 64, 7, 2, 3));
+  chain.push_back(make_norm("n", chain.back().out));
+  chain.push_back(make_act("r", chain.back().out));
+  Block b = make_simple_block("stem", chain);
+  // Peak working set is the conv: input 3x224x224 + output 64x112x112.
+  const std::int64_t conv_ws =
+      FeatureShape{3, 224, 224}.bytes() + FeatureShape{64, 112, 112}.bytes();
+  const std::int64_t norm_ws = 2 * FeatureShape{64, 112, 112}.bytes();
+  EXPECT_EQ(b.footprint_per_branch(), std::max(conv_ws, norm_ws));
+  // Simple blocks are identical under both policies.
+  EXPECT_EQ(b.footprint_inter_branch(), b.footprint_per_branch());
+}
+
+// A hand-computed residual bottleneck checks Eq. 1.
+TEST(Block, ResidualFootprintMatchesEq1) {
+  const FeatureShape in{256, 56, 56};
+  std::vector<Layer> main;
+  main.push_back(make_conv("a", in, 64, 1, 1, 0));
+  main.push_back(make_conv("b", main.back().out, 64, 3, 1, 1));
+  main.push_back(make_conv("c", main.back().out, 256, 1, 1, 0));
+  Block b = make_residual_block("res", in, main, {});
+
+  const std::int64_t d_in = in.bytes();
+  const std::int64_t d_mid = FeatureShape{64, 56, 56}.bytes();
+  const std::int64_t d_out = FeatureShape{256, 56, 56}.bytes();
+  // Eq. 1 candidates for the main branch (b=1):
+  //   l=1: Din + Dout            = d_in + d_mid
+  //   l=2: Din + Dout + Dblock_in = d_mid + d_mid + d_in
+  //   l=3: Din + Dout + Dblock_in = d_mid + d_out + d_in
+  // Identity shortcut merge (in-place Add): main_out + shortcut(d_in).
+  const std::int64_t eq1 = std::max({d_in + d_mid, 2 * d_mid + d_in,
+                                     d_mid + d_out + d_in, d_out + d_in});
+  EXPECT_EQ(b.footprint_inter_branch(), eq1);
+  // Per-branch (MBS1) footprint ignores the cross-branch terms; the
+  // in-place Add holds its two operands.
+  const std::int64_t per_branch =
+      std::max({d_in + d_mid, d_mid + d_mid, d_mid + d_out, 2 * d_out});
+  EXPECT_EQ(b.footprint_per_branch(), per_branch);
+  // Inter-branch provisioning can never need less space.
+  EXPECT_GE(b.footprint_inter_branch(), b.footprint_per_branch());
+}
+
+TEST(Block, InceptionFootprintMatchesEq2) {
+  const FeatureShape in{192, 35, 35};
+  std::vector<std::vector<Layer>> branches;
+  branches.push_back({make_conv("b1", in, 64, 1, 1, 0)});
+  branches.push_back({make_conv("b2a", in, 48, 1, 1, 0),
+                      make_conv("b2b", FeatureShape{48, 35, 35}, 64, 5, 1, 2)});
+  Block b = make_inception_block("mix", in, branches);
+  EXPECT_EQ(b.out.c, 128);
+
+  const std::int64_t d_in = in.bytes();
+  const std::int64_t d_out = b.out.bytes();
+  const std::int64_t d_b1 = FeatureShape{64, 35, 35}.bytes();
+  const std::int64_t d_b2a = FeatureShape{48, 35, 35}.bytes();
+  // Eq. 2 candidates:
+  //  b1 l=1 (first and last): Din + Dout = d_in + d_b1
+  //  b2 l=1 (first, not last): d_in + d_b2a + Dblock_out
+  //  b2 l=2 (not first, last): d_b2a + d_b1 + Dblock_in
+  //  merge: Dblock_in + Dblock_out
+  const std::int64_t eq2 =
+      std::max({d_in + d_b1, d_in + d_b2a + d_out, d_b2a + d_b1 + d_in,
+                d_in + d_out});
+  EXPECT_EQ(b.footprint_inter_branch(), eq2);
+}
+
+TEST(Block, ParamAndFlopAggregation) {
+  const FeatureShape in{64, 56, 56};
+  std::vector<Layer> main;
+  main.push_back(make_conv("a", in, 64, 3, 1, 1));
+  main.push_back(make_norm("an", main.back().out));
+  Block b = make_residual_block("res", in, main, {});
+  EXPECT_EQ(b.param_count(), 64LL * 3 * 3 * 64 + 2 * 64);
+  // Conv + norm + merge Add + merge ReLU FLOPs.
+  const std::int64_t expect = 2LL * 64 * 56 * 56 * 64 * 9 +
+                              8LL * 64 * 56 * 56 + 64LL * 56 * 56 +
+                              64LL * 56 * 56;
+  EXPECT_EQ(b.flops_per_sample(), expect);
+  EXPECT_EQ(b.layer_count(), 4);
+}
+
+TEST(Network, CheckAcceptsChainedBlocks) {
+  Network net;
+  net.name = "tiny";
+  net.input = FeatureShape{3, 8, 8};
+  net.blocks.push_back(make_simple_block(
+      "c1", {make_conv("c1", net.input, 8, 3, 1, 1)}));
+  net.blocks.push_back(make_simple_block(
+      "fc", {make_fc("fc", 8 * 8 * 8, 10)}));
+  net.check();
+  EXPECT_EQ(net.layer_count(), 2);
+  EXPECT_EQ(net.param_count(), 3LL * 3 * 3 * 8 + (8LL * 8 * 8 * 10 + 10));
+}
+
+}  // namespace
+}  // namespace mbs::core

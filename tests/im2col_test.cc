@@ -1,0 +1,138 @@
+// Tests for the im2col GEMM lowering (Sec. 4.1): equivalence with direct
+// convolution for all three Tab. 1 training passes, adjointness of
+// im2col/col2im, and GEMM correctness.
+#include <gtest/gtest.h>
+
+#include "train/im2col.h"
+#include "train/ops.h"
+#include "util/rng.h"
+
+namespace mbs::train {
+namespace {
+
+void expect_close(const Tensor& a, const Tensor& b, double tol = 1e-4) {
+  ASSERT_EQ(a.shape(), b.shape());
+  for (std::int64_t i = 0; i < a.size(); ++i)
+    EXPECT_NEAR(a[i], b[i], tol) << "elem " << i;
+}
+
+TEST(Im2col, ShapeMatchesTab1) {
+  util::Rng rng(1);
+  const Tensor x = Tensor::randn({4, 3, 8, 8}, rng);
+  const Tensor cols = im2col(x, 3, 3, 1, 1, 1);
+  // Gh = N*Ho*Wo, K = Ci*R*S.
+  EXPECT_EQ(cols.dim(0), 4 * 8 * 8);
+  EXPECT_EQ(cols.dim(1), 3 * 3 * 3);
+}
+
+TEST(Im2col, UnitKernelIsTranspositionOnly) {
+  util::Rng rng(2);
+  const Tensor x = Tensor::randn({2, 3, 4, 4}, rng);
+  const Tensor cols = im2col(x, 1, 1, 1, 0, 0);
+  // Row (n, h, w), column c equals x[n, c, h, w].
+  std::int64_t row = 0;
+  for (int n = 0; n < 2; ++n)
+    for (int h = 0; h < 4; ++h)
+      for (int w = 0; w < 4; ++w, ++row)
+        for (int c = 0; c < 3; ++c)
+          EXPECT_EQ(cols[row * 3 + c], x.at(n, c, h, w));
+}
+
+TEST(Im2col, PaddingMaterializesZeros) {
+  Tensor x = Tensor::full({1, 1, 2, 2}, 1.0f);
+  const Tensor cols = im2col(x, 3, 3, 1, 1, 1);
+  // The (0,0) output position sees the corner: 4 in-bounds ones, 5 zeros.
+  double s = 0;
+  for (int i = 0; i < 9; ++i) s += cols[i];
+  EXPECT_EQ(s, 4.0);
+}
+
+TEST(Im2col, Col2imIsAdjoint) {
+  // <im2col(x), c> == <x, col2im(c)> for random x, c — the defining adjoint
+  // property that makes the data-gradient GEMM correct.
+  util::Rng rng(3);
+  const Tensor x = Tensor::randn({2, 3, 6, 6}, rng);
+  const Tensor ax = im2col(x, 3, 3, 2, 1, 1);
+  Tensor c = Tensor::randn(ax.shape(), rng);
+  const Tensor aTc = col2im(c, x.shape(), 3, 3, 2, 1, 1);
+  double lhs = 0, rhs = 0;
+  for (std::int64_t i = 0; i < ax.size(); ++i) lhs += ax[i] * c[i];
+  for (std::int64_t i = 0; i < x.size(); ++i) rhs += x[i] * aTc[i];
+  EXPECT_NEAR(lhs, rhs, 1e-2);
+}
+
+TEST(Matmul, AgainstHandComputed) {
+  Tensor a({2, 3});
+  Tensor b({3, 2});
+  for (std::int64_t i = 0; i < 6; ++i) {
+    a[i] = static_cast<float>(i + 1);       // [[1,2,3],[4,5,6]]
+    b[i] = static_cast<float>((i + 1) * 2); // [[2,4],[6,8],[10,12]]
+  }
+  const Tensor c = matmul(a, b);
+  EXPECT_EQ(c[0], 1 * 2 + 2 * 6 + 3 * 10);
+  EXPECT_EQ(c[1], 1 * 4 + 2 * 8 + 3 * 12);
+  EXPECT_EQ(c[2], 4 * 2 + 5 * 6 + 6 * 10);
+  EXPECT_EQ(c[3], 4 * 4 + 5 * 8 + 6 * 12);
+}
+
+TEST(Matmul, TransposedVariantsAgree) {
+  util::Rng rng(4);
+  const Tensor a = Tensor::randn({5, 7}, rng);
+  const Tensor b = Tensor::randn({7, 4}, rng);
+  const Tensor c = matmul(a, b);
+  // matmul_bt(a, b^T) == a*b.
+  Tensor bt({4, 7});
+  for (int i = 0; i < 7; ++i)
+    for (int j = 0; j < 4; ++j) bt[j * 7 + i] = b[i * 4 + j];
+  expect_close(matmul_bt(a, bt), c);
+  // matmul_at(a^T, b) == a*b.
+  Tensor at({7, 5});
+  for (int i = 0; i < 5; ++i)
+    for (int j = 0; j < 7; ++j) at[j * 5 + i] = a[i * 7 + j];
+  expect_close(matmul_at(at, b), c);
+}
+
+// ---- The headline property: im2col GEMM == direct convolution ---------------
+
+struct ConvCase {
+  int n, ci, hw, co, k, stride, pad;
+};
+
+class Im2colEquivalence : public ::testing::TestWithParam<ConvCase> {};
+
+TEST_P(Im2colEquivalence, ForwardMatchesDirect) {
+  const ConvCase p = GetParam();
+  util::Rng rng(11);
+  const Tensor x = Tensor::randn({p.n, p.ci, p.hw, p.hw}, rng);
+  const Tensor w = Tensor::randn({p.co, p.ci, p.k, p.k}, rng, 0.5);
+  const Tensor b = Tensor::randn({p.co}, rng, 0.1);
+  expect_close(conv2d_forward_im2col(x, w, b, p.stride, p.pad),
+               conv2d_forward(x, w, b, p.stride, p.pad));
+}
+
+TEST_P(Im2colEquivalence, BackwardMatchesDirect) {
+  const ConvCase p = GetParam();
+  util::Rng rng(13);
+  const Tensor x = Tensor::randn({p.n, p.ci, p.hw, p.hw}, rng);
+  const Tensor w = Tensor::randn({p.co, p.ci, p.k, p.k}, rng, 0.5);
+  const Tensor y = conv2d_forward(x, w, Tensor(), p.stride, p.pad);
+  const Tensor dy = Tensor::randn(y.shape(), rng);
+  const Conv2dGrads direct = conv2d_backward(x, w, dy, p.stride, p.pad);
+  const Conv2dIm2colGrads gemm =
+      conv2d_backward_im2col(x, w, dy, p.stride, p.pad);
+  expect_close(gemm.dx, direct.dx, 1e-3);
+  expect_close(gemm.dw, direct.dw, 1e-3);
+  expect_close(gemm.dbias, direct.dbias, 1e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, Im2colEquivalence,
+    ::testing::Values(ConvCase{2, 3, 8, 4, 3, 1, 1},   // ResNet-style 3x3
+                      ConvCase{1, 4, 7, 8, 1, 1, 0},   // 1x1 bottleneck
+                      ConvCase{2, 2, 9, 3, 3, 2, 1},   // strided
+                      ConvCase{1, 3, 11, 2, 5, 1, 2},  // 5x5 (AlexNet-style)
+                      ConvCase{3, 1, 6, 2, 3, 1, 0},   // valid padding
+                      ConvCase{1, 2, 8, 2, 3, 2, 0})); // strided valid
+
+}  // namespace
+}  // namespace mbs::train

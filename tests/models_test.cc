@@ -1,0 +1,185 @@
+// Tests for the model zoo: shape inference, parameter counts, and structural
+// properties of the six evaluated CNNs.
+#include <gtest/gtest.h>
+
+#include "models/alexnet.h"
+#include "models/inception_v3.h"
+#include "models/inception_v4.h"
+#include "models/resnet.h"
+#include "models/zoo.h"
+
+namespace mbs::models {
+namespace {
+
+using core::Block;
+using core::BlockKind;
+using core::LayerKind;
+using core::Network;
+
+int count_blocks(const Network& net, BlockKind kind) {
+  int n = 0;
+  for (const Block& b : net.blocks) n += (b.kind == kind) ? 1 : 0;
+  return n;
+}
+
+TEST(ResNet50, StructureMatchesPaperFig4) {
+  const Network net = make_resnet(50);
+  // Fig. 4: CONV stem, POOL, 16 residual blocks, POOL, FC.
+  EXPECT_EQ(count_blocks(net, BlockKind::kResidual), 16);
+  EXPECT_EQ(net.blocks.front().name, "stem");
+  EXPECT_EQ(net.blocks.back().name, "fc");
+  EXPECT_EQ(net.mini_batch_per_core, 32);
+}
+
+TEST(ResNet50, ParamCountMatchesReference) {
+  // torchvision resnet50: 25,557,032 parameters (convs bias-free, norm has
+  // scale+shift, FC has bias).
+  EXPECT_EQ(make_resnet(50).param_count(), 25557032);
+}
+
+TEST(ResNet101, ParamCountMatchesReference) {
+  EXPECT_EQ(make_resnet(101).param_count(), 44549160);
+}
+
+TEST(ResNet152, ParamCountMatchesReference) {
+  EXPECT_EQ(make_resnet(152).param_count(), 60192808);
+}
+
+TEST(ResNet, BlockCounts) {
+  EXPECT_EQ(count_blocks(make_resnet(101), BlockKind::kResidual), 33);
+  EXPECT_EQ(count_blocks(make_resnet(152), BlockKind::kResidual), 50);
+}
+
+TEST(ResNet50, SpatialPyramid) {
+  const Network net = make_resnet(50);
+  // Stage outputs: 56 -> 28 -> 14 -> 7.
+  std::vector<int> stage_h;
+  for (const Block& b : net.blocks)
+    if (b.kind == BlockKind::kResidual) stage_h.push_back(b.out.h);
+  ASSERT_EQ(stage_h.size(), 16u);
+  EXPECT_EQ(stage_h.front(), 56);
+  EXPECT_EQ(stage_h.back(), 7);
+  // Final residual output: 2048 x 7 x 7.
+  EXPECT_EQ(net.blocks[net.blocks.size() - 3].out.c, 2048);
+}
+
+TEST(ResNet50, ProjectionShortcutsOnlyAtStageBoundaries) {
+  const Network net = make_resnet(50);
+  int projections = 0;
+  for (const Block& b : net.blocks)
+    if (b.kind == BlockKind::kResidual && !b.branches[1].is_identity())
+      ++projections;
+  EXPECT_EQ(projections, 4);
+}
+
+TEST(InceptionV3, ShapeWaypointsMatchReference) {
+  const Network net = make_inception_v3();
+  // 35x35x192 after the stem; 17x17x768 mid-network; 8x8x2048 at the top.
+  bool saw_35 = false, saw_768 = false, saw_2048 = false;
+  for (const Block& b : net.blocks) {
+    if (b.out.c == 192 && b.out.h == 35) saw_35 = true;
+    if (b.out.c == 768 && b.out.h == 17) saw_768 = true;
+    if (b.out.c == 2048 && b.out.h == 8) saw_2048 = true;
+  }
+  EXPECT_TRUE(saw_35);
+  EXPECT_TRUE(saw_768);
+  EXPECT_TRUE(saw_2048);
+}
+
+TEST(InceptionV3, ModuleCount) {
+  const Network net = make_inception_v3();
+  // 3x A + B + 4x C + D + 2x E = 11 inception modules.
+  EXPECT_EQ(count_blocks(net, BlockKind::kInception), 11);
+}
+
+TEST(InceptionV3, ParamCountNearReference) {
+  // Reference (no aux head): 23,834,568. The flattened Mixed_7b/7c nested
+  // splits duplicate two leading convolutions per module (documented in
+  // DESIGN.md), so allow up to 25% overhead but require the right scale.
+  const std::int64_t params = make_inception_v3().param_count();
+  EXPECT_GT(params, 23000000);
+  EXPECT_LT(params, 30000000);
+}
+
+TEST(InceptionV4, ShapeWaypointsMatchReference) {
+  const Network net = make_inception_v4();
+  bool saw_384 = false, saw_1024 = false, saw_1536 = false;
+  for (const Block& b : net.blocks) {
+    if (b.out.c == 384 && b.out.h == 35) saw_384 = true;
+    if (b.out.c == 1024 && b.out.h == 17) saw_1024 = true;
+    if (b.out.c == 1536 && b.out.h == 8) saw_1536 = true;
+  }
+  EXPECT_TRUE(saw_384);
+  EXPECT_TRUE(saw_1024);
+  EXPECT_TRUE(saw_1536);
+}
+
+TEST(InceptionV4, ModuleCount) {
+  const Network net = make_inception_v4();
+  // 3 stem splits + 4 A + reduction-A + 7 B + reduction-B + 3 C = 19.
+  EXPECT_EQ(count_blocks(net, BlockKind::kInception), 19);
+}
+
+TEST(InceptionV4, DeeperThanV3) {
+  EXPECT_GT(make_inception_v4().layer_count(),
+            make_inception_v3().layer_count());
+  EXPECT_GT(make_inception_v4().param_count(),
+            make_inception_v3().param_count());
+}
+
+TEST(AlexNet, ParamCountMatchesReference) {
+  // torchvision alexnet: 61,100,840 parameters.
+  EXPECT_EQ(make_alexnet().param_count(), 61100840);
+}
+
+TEST(AlexNet, UsesLargerMiniBatch) {
+  // Sec. 5: 64 samples per core for AlexNet.
+  EXPECT_EQ(make_alexnet().mini_batch_per_core, 64);
+}
+
+TEST(AlexNet, HasNoNormalizationLayers) {
+  const Network net = make_alexnet();
+  int norms = 0;
+  for (const Block& b : net.blocks)
+    b.for_each_layer([&](const core::Layer& l, int) {
+      norms += (l.kind == LayerKind::kNorm) ? 1 : 0;
+    });
+  EXPECT_EQ(norms, 0);
+}
+
+TEST(Zoo, AllNetworksBuildAndValidate) {
+  for (const auto& net : all_evaluated_networks()) {
+    EXPECT_GT(net.param_count(), 0);
+    EXPECT_GT(net.flops_per_sample(), 0);
+    EXPECT_GT(net.layer_count(), 0);
+  }
+}
+
+TEST(Zoo, NamesRoundTrip) {
+  for (const auto& name : evaluated_network_names()) {
+    const Network net = make_network(name);
+    EXPECT_FALSE(net.name.empty());
+  }
+}
+
+TEST(Zoo, ForwardFlopsScale) {
+  // Published single-sample forward GFLOPs (multiply+add counted as 2):
+  // ResNet50 ~8.2, InceptionV3 ~11.4, AlexNet ~1.4. Accept +-35% given the
+  // flattened-branch approximation and bias terms.
+  auto gflops = [](const Network& n) {
+    return static_cast<double>(n.flops_per_sample()) / 1e9;
+  };
+  EXPECT_NEAR(gflops(make_resnet(50)), 8.2, 8.2 * 0.35);
+  EXPECT_NEAR(gflops(make_inception_v3()), 11.4, 11.4 * 0.40);
+  EXPECT_NEAR(gflops(make_alexnet()), 1.4, 1.4 * 0.35);
+}
+
+TEST(Zoo, ResNetDepthMonotonicity) {
+  EXPECT_LT(make_resnet(50).flops_per_sample(),
+            make_resnet(101).flops_per_sample());
+  EXPECT_LT(make_resnet(101).flops_per_sample(),
+            make_resnet(152).flops_per_sample());
+}
+
+}  // namespace
+}  // namespace mbs::models

@@ -1,0 +1,263 @@
+// Property-based tests: randomized sweeps over layer geometries, block
+// structures and schedule parameters, checking the invariants the library's
+// correctness rests on. Uses the deterministic RNG so failures reproduce.
+#include <gtest/gtest.h>
+
+#include "arch/systolic.h"
+#include "core/block.h"
+#include "core/layer.h"
+#include "models/zoo.h"
+#include "sched/scheduler.h"
+#include "sched/traffic.h"
+#include "util/rng.h"
+
+namespace mbs {
+namespace {
+
+using core::Block;
+using core::FeatureShape;
+using core::Layer;
+
+// ---- Random generators -------------------------------------------------------
+
+core::Layer random_conv(util::Rng& rng, FeatureShape in) {
+  const int kernel = 1 + 2 * static_cast<int>(rng.uniform_int(3));  // 1/3/5
+  const int stride = 1 + static_cast<int>(rng.uniform_int(2));
+  const int pad = kernel / 2;
+  const int out_c = 1 << (3 + rng.uniform_int(6));  // 8..256
+  return core::make_conv("c", in, out_c, kernel, stride, pad);
+}
+
+FeatureShape random_shape(util::Rng& rng) {
+  const int c = 1 << (2 + rng.uniform_int(7));       // 4..256
+  const int hw = 4 + static_cast<int>(rng.uniform_int(60));
+  return FeatureShape{c, hw, hw};
+}
+
+// ---- Conv / GEMM properties ---------------------------------------------------
+
+class RandomConvProperties : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomConvProperties, GemmShapesConsistent) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()));
+  for (int trial = 0; trial < 20; ++trial) {
+    const Layer conv = random_conv(rng, random_shape(rng));
+    const int n = 1 + static_cast<int>(rng.uniform_int(32));
+    const auto fwd = arch::gemm_shape(conv, n, arch::GemmPass::kForward);
+    const auto dgrad = arch::gemm_shape(conv, n, arch::GemmPass::kDataGrad);
+    const auto wgrad = arch::gemm_shape(conv, n, arch::GemmPass::kWeightGrad);
+    // Forward and weight-gradient GEMMs perform identical MAC counts
+    // (Tab. 1: the dimensions are permutations of each other).
+    EXPECT_EQ(fwd.macs(), wgrad.macs());
+    // Forward MACs equal the layer's FLOP count over n samples.
+    EXPECT_EQ(2 * fwd.macs(), conv.flops_per_sample() * n);
+    // Weight-gradient output is exactly the weight tensor.
+    EXPECT_EQ(wgrad.gh * wgrad.gw, conv.param_count());
+    // Data-gradient Gh covers the input spatial grid (Tab. 1: N x Hi x Wi).
+    EXPECT_EQ(dgrad.gh, static_cast<std::int64_t>(n) * conv.in.h * conv.in.w);
+  }
+}
+
+TEST_P(RandomConvProperties, SystolicModelBounds) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) + 1000);
+  arch::SystolicConfig with;
+  arch::SystolicConfig without = with;
+  without.weight_double_buffering = false;
+  for (int trial = 0; trial < 20; ++trial) {
+    const Layer conv = random_conv(rng, random_shape(rng));
+    const int n = 1 + static_cast<int>(rng.uniform_int(16));
+    const auto shape = arch::gemm_shape(conv, n, arch::GemmPass::kForward);
+    const auto a = arch::simulate_gemm(with, shape);
+    const auto b = arch::simulate_gemm(without, shape);
+    EXPECT_GT(a.cycles, 0);
+    EXPECT_LE(a.cycles, b.cycles);          // double buffering never hurts
+    EXPECT_LE(a.utilization, 1.0);
+    EXPECT_GT(a.utilization, 0.0);
+    EXPECT_GE(a.cycles * with.macs_per_cycle(), a.macs);  // physics
+    EXPECT_EQ(a.macs, shape.macs());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomConvProperties, ::testing::Range(1, 6));
+
+// ---- Block footprint properties ------------------------------------------------
+
+class RandomBlockProperties : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomBlockProperties, ResidualFootprintOrdering) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 77);
+  for (int trial = 0; trial < 10; ++trial) {
+    const int c = 16 << rng.uniform_int(4);
+    const int hw = 7 * (1 + static_cast<int>(rng.uniform_int(8)));
+    const FeatureShape in{c, hw, hw};
+    const int planes = c / 4;
+    std::vector<Layer> main;
+    main.push_back(core::make_conv("a", in, planes, 1, 1, 0));
+    main.push_back(core::make_norm("an", main.back().out));
+    main.push_back(core::make_act("ar", main.back().out));
+    main.push_back(core::make_conv("b", main.back().out, c, 3, 1, 1));
+    main.push_back(core::make_norm("bn", main.back().out));
+    const Block blk = core::make_residual_block("res", in, main, {});
+
+    // Inter-branch provisioning (Eq. 1) needs at least the per-branch peak,
+    // and at most per-branch + block-in + block-out (the conditional terms).
+    const auto pb = blk.footprint_per_branch();
+    const auto ib = blk.footprint_inter_branch();
+    EXPECT_GE(ib, pb);
+    EXPECT_LE(ib, pb + in.bytes() + blk.out.bytes());
+    EXPECT_GT(pb, 0);
+  }
+}
+
+TEST_P(RandomBlockProperties, InceptionFootprintOrdering) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 131);
+  for (int trial = 0; trial < 10; ++trial) {
+    const FeatureShape in{32 << rng.uniform_int(3), 17, 17};
+    std::vector<std::vector<Layer>> branches;
+    const int n_branches = 2 + static_cast<int>(rng.uniform_int(3));
+    for (int b = 0; b < n_branches; ++b) {
+      std::vector<Layer> chain;
+      chain.push_back(core::make_conv("b" + std::to_string(b), in,
+                                      16 << rng.uniform_int(3), 1, 1, 0));
+      if (rng.uniform() < 0.5)
+        chain.push_back(core::make_conv("b" + std::to_string(b) + "x",
+                                        chain.back().out,
+                                        16 << rng.uniform_int(3), 3, 1, 1));
+      branches.push_back(std::move(chain));
+    }
+    const Block blk = core::make_inception_block("mix", in, branches);
+    EXPECT_GE(blk.footprint_inter_branch(), blk.footprint_per_branch());
+    EXPECT_LE(blk.footprint_inter_branch(),
+              blk.footprint_per_branch() + in.bytes() + blk.out.bytes());
+    // Output channels are the branch sum.
+    int c_sum = 0;
+    for (const auto& br : blk.branches) c_sum += br.layers.back().out.c;
+    EXPECT_EQ(blk.out.c, c_sum);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomBlockProperties, ::testing::Range(1, 5));
+
+// ---- Schedule properties over randomized parameters ----------------------------
+
+class RandomScheduleProperties : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomScheduleProperties, ValidAcrossBufferAndBatchSweep) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 313);
+  const core::Network net = models::make_network(
+      models::evaluated_network_names()[static_cast<std::size_t>(
+          GetParam() - 1) % 6]);
+  for (int trial = 0; trial < 6; ++trial) {
+    sched::ScheduleParams p;
+    p.buffer_bytes = (2 + static_cast<std::int64_t>(rng.uniform_int(62))) *
+                     1024 * 1024;
+    p.mini_batch = 1 << rng.uniform_int(8);  // 1..128
+    for (auto cfg : {sched::ExecConfig::kMbsFs, sched::ExecConfig::kMbs1,
+                     sched::ExecConfig::kMbs2}) {
+      const sched::Schedule s = sched::build_schedule(net, cfg, p);
+      EXPECT_EQ(s.validate(net), "")
+          << net.name << " " << sched::to_string(cfg) << " buffer "
+          << p.buffer_bytes << " batch " << p.mini_batch;
+      EXPECT_GT(sched::dram_traffic_bytes(net, s), 0);
+    }
+  }
+}
+
+TEST_P(RandomScheduleProperties, TrafficScalesWithMiniBatch) {
+  // Doubling the mini-batch should (weakly) increase every config's traffic.
+  const core::Network net = models::make_network(
+      models::evaluated_network_names()[static_cast<std::size_t>(
+          GetParam() - 1) % 6]);
+  for (auto cfg : {sched::ExecConfig::kBaseline, sched::ExecConfig::kMbs2}) {
+    sched::ScheduleParams small;
+    small.mini_batch = 16;
+    sched::ScheduleParams big;
+    big.mini_batch = 32;
+    const double t_small =
+        sched::dram_traffic_bytes(net, sched::build_schedule(net, cfg, small));
+    const double t_big =
+        sched::dram_traffic_bytes(net, sched::build_schedule(net, cfg, big));
+    EXPECT_GT(t_big, t_small) << sched::to_string(cfg);
+  }
+}
+
+TEST_P(RandomScheduleProperties, SingleSampleMiniBatchDegenerate) {
+  // mini-batch 1: serialization has nothing to split; every group runs one
+  // iteration and MBS traffic cannot exceed baseline by more than the
+  // (empty) partial-sum overhead.
+  const core::Network net = models::make_network(
+      models::evaluated_network_names()[static_cast<std::size_t>(
+          GetParam() - 1) % 6]);
+  sched::ScheduleParams p;
+  p.mini_batch = 1;
+  const sched::Schedule s =
+      sched::build_schedule(net, sched::ExecConfig::kMbs2, p);
+  EXPECT_EQ(s.validate(net), "");
+  for (const sched::Group& g : s.groups) EXPECT_EQ(g.iterations, 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomScheduleProperties,
+                         ::testing::Range(1, 7));
+
+// ---- Edge cases ---------------------------------------------------------------
+
+TEST(EdgeCases, TinyBufferForcesSingleSampleSubBatches) {
+  const core::Network net = models::make_network("resnet50");
+  sched::ScheduleParams p;
+  p.buffer_bytes = 1024;  // absurdly small: every footprint exceeds it
+  const sched::Schedule s =
+      sched::build_schedule(net, sched::ExecConfig::kMbs2, p);
+  EXPECT_EQ(s.validate(net), "");
+  for (const sched::Group& g : s.groups) EXPECT_EQ(g.sub_batch, 1);
+}
+
+TEST(EdgeCases, HugeBufferCollapsesToOneGroup) {
+  const core::Network net = models::make_network("resnet50");
+  sched::ScheduleParams p;
+  p.buffer_bytes = 64ll * 1024 * 1024 * 1024;  // everything fits
+  const sched::Schedule s =
+      sched::build_schedule(net, sched::ExecConfig::kMbs2, p);
+  EXPECT_EQ(s.validate(net), "");
+  EXPECT_EQ(s.groups.size(), 1u);
+  EXPECT_EQ(s.groups[0].sub_batch, s.mini_batch);
+  EXPECT_EQ(s.groups[0].iterations, 1);
+}
+
+TEST(EdgeCases, HugeBufferMbsTrafficBelowBaseline) {
+  // With an infinite buffer MBS degenerates to pure inter-layer reuse and
+  // must beat baseline outright (no iteration overhead remains).
+  const core::Network net = models::make_network("resnet50");
+  sched::ScheduleParams p;
+  p.buffer_bytes = 64ll * 1024 * 1024 * 1024;
+  const double mbs = sched::dram_traffic_bytes(
+      net, sched::build_schedule(net, sched::ExecConfig::kMbs2, p));
+  const double base = sched::dram_traffic_bytes(
+      net, sched::build_schedule(net, sched::ExecConfig::kBaseline, p));
+  EXPECT_LT(mbs, 0.5 * base);
+}
+
+TEST(EdgeCases, SingleBlockNetwork) {
+  core::Network net;
+  net.name = "single";
+  net.input = FeatureShape{3, 8, 8};
+  net.mini_batch_per_core = 4;
+  net.blocks.push_back(core::make_simple_block(
+      "conv", {core::make_conv("conv", net.input, 8, 3, 1, 1)}));
+  net.check();
+  for (auto cfg : {sched::ExecConfig::kBaseline, sched::ExecConfig::kMbs2}) {
+    const sched::Schedule s = sched::build_schedule(net, cfg);
+    EXPECT_EQ(s.validate(net), "");
+    EXPECT_GT(sched::dram_traffic_bytes(net, s), 0);
+  }
+}
+
+TEST(EdgeCases, GemmWithUnitDimensions) {
+  arch::SystolicConfig cfg;
+  const auto t = arch::simulate_gemm(cfg, {1, 1, 1});
+  EXPECT_GT(t.cycles, 0);
+  EXPECT_EQ(t.macs, 1);
+  EXPECT_LE(t.utilization, 1.0);
+}
+
+}  // namespace
+}  // namespace mbs

@@ -1,0 +1,208 @@
+// Tests for the residual training substrate: gradient correctness via
+// finite differences, and the serialization-equivalence property on a real
+// multi-branch topology (shared block inputs, projection shortcuts, merge
+// Adds — the structures MBS2's inter-branch reuse targets).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "train/data.h"
+#include "train/loss.h"
+#include "train/resnet_model.h"
+
+namespace mbs::train {
+namespace {
+
+double loss_of(SmallResNet& model, const Tensor& x,
+               const std::vector<int>& labels) {
+  const Tensor logits = model.forward(x);
+  return softmax_cross_entropy(logits, labels).loss_sum;
+}
+
+void run_backward(SmallResNet& model, const Tensor& x,
+                  const std::vector<int>& labels) {
+  const Tensor logits = model.forward(x);
+  const LossResult lr = softmax_cross_entropy(logits, labels);
+  model.zero_grad();
+  model.backward(lr.dlogits);
+}
+
+TEST(SmallResNet, ForwardShapeAndDeterminism) {
+  SmallResNetConfig cfg;
+  cfg.seed = 3;
+  SmallResNet a(cfg), b(cfg);
+  const Dataset data = make_synthetic_dataset(6, 4, 1, 12, 5);
+  const Tensor la = a.forward(data.images);
+  const Tensor lb = b.forward(data.images);
+  EXPECT_EQ(la.shape(), (std::vector<int>{6, 4}));
+  for (std::int64_t i = 0; i < la.size(); ++i) EXPECT_EQ(la[i], lb[i]);
+}
+
+TEST(SmallResNet, ParameterAndGradientListsAlign) {
+  SmallResNetConfig cfg;
+  SmallResNet m(cfg);
+  const auto params = m.parameters();
+  const auto grads = m.gradients();
+  ASSERT_EQ(params.size(), grads.size());
+  for (std::size_t i = 0; i < params.size(); ++i)
+    EXPECT_EQ(params[i]->size(), grads[i]->size()) << "param " << i;
+}
+
+TEST(SmallResNet, GradCheckAllParameters) {
+  // Finite-difference check of every parameter tensor (sampled coordinates)
+  // through the full residual network.
+  SmallResNetConfig cfg;
+  cfg.image = 8;
+  cfg.stem_channels = 4;
+  cfg.stage_channels = {4, 8};
+  cfg.gn_groups = 2;
+  cfg.seed = 17;
+  SmallResNet model(cfg);
+  const Dataset data = make_synthetic_dataset(4, 4, 1, 8, 23);
+
+  run_backward(model, data.images, data.labels);
+  const auto params = model.parameters();
+  // Copy analytic gradients before the finite-difference perturbations.
+  std::vector<Tensor> analytic;
+  for (Tensor* g : model.gradients()) analytic.push_back(*g);
+
+  util::Rng rng(29);
+  // Small step: a large eps makes central differences cross ReLU kinks,
+  // where the loss is only subdifferentiable and FD slopes are meaningless.
+  const double eps = 2e-3;
+  for (std::size_t pi = 0; pi < params.size(); ++pi) {
+    Tensor& p = *params[pi];
+    // Sample up to 4 coordinates per tensor to keep the test fast.
+    const int samples = static_cast<int>(std::min<std::int64_t>(4, p.size()));
+    for (int s = 0; s < samples; ++s) {
+      const std::int64_t i = static_cast<std::int64_t>(
+          rng.uniform_int(static_cast<std::uint64_t>(p.size())));
+      const float orig = p[i];
+      p[i] = orig + static_cast<float>(eps);
+      const double lp = loss_of(model, data.images, data.labels);
+      p[i] = orig - static_cast<float>(eps);
+      const double lm = loss_of(model, data.images, data.labels);
+      p[i] = orig;
+      const double numeric = (lp - lm) / (2 * eps);
+      EXPECT_NEAR(analytic[pi][i], numeric, 3e-2)
+          << "param " << pi << " coord " << i;
+    }
+  }
+}
+
+TEST(SmallResNet, GnSerializationEquivalenceOnResidualTopology) {
+  // The central MBS property on a multi-branch network: accumulated
+  // sub-batch GN gradients equal full-batch GN gradients.
+  SmallResNetConfig cfg;
+  cfg.norm = NormMode::kGroup;
+  cfg.seed = 31;
+  const Dataset data = make_synthetic_dataset(16, 4, 1, 12, 37);
+
+  SmallResNet full(cfg);
+  {
+    const Tensor logits = full.forward(data.images);
+    LossResult lr = softmax_cross_entropy(logits, data.labels);
+    lr.dlogits.scale(1.0f / 16.0f);
+    full.zero_grad();
+    full.backward(lr.dlogits);
+  }
+
+  SmallResNet serial(cfg);
+  serial.zero_grad();
+  for (int off = 0; off < 16; off += 4) {
+    const Tensor xc = data.images.slice_batch(off, 4);
+    const std::vector<int> yc(data.labels.begin() + off,
+                              data.labels.begin() + off + 4);
+    const Tensor logits = serial.forward(xc);
+    LossResult lr = softmax_cross_entropy(logits, yc);
+    lr.dlogits.scale(1.0f / 16.0f);
+    serial.backward(lr.dlogits);
+  }
+
+  const auto gf = full.gradients();
+  const auto gs = serial.gradients();
+  ASSERT_EQ(gf.size(), gs.size());
+  for (std::size_t i = 0; i < gf.size(); ++i)
+    for (std::int64_t j = 0; j < gf[i]->size(); ++j)
+      EXPECT_NEAR((*gf[i])[j], (*gs[i])[j], 3e-4)
+          << "param " << i << " elem " << j;
+}
+
+TEST(SmallResNet, BnSerializationDivergesOnResidualTopology) {
+  SmallResNetConfig cfg;
+  cfg.norm = NormMode::kBatch;
+  cfg.seed = 31;
+  const Dataset data = make_synthetic_dataset(16, 4, 1, 12, 37);
+
+  SmallResNet full(cfg), serial(cfg);
+  {
+    const Tensor logits = full.forward(data.images);
+    LossResult lr = softmax_cross_entropy(logits, data.labels);
+    full.zero_grad();
+    full.backward(lr.dlogits);
+  }
+  serial.zero_grad();
+  for (int off = 0; off < 16; off += 4) {
+    const Tensor xc = data.images.slice_batch(off, 4);
+    const std::vector<int> yc(data.labels.begin() + off,
+                              data.labels.begin() + off + 4);
+    const Tensor logits = serial.forward(xc);
+    const LossResult lr = softmax_cross_entropy(logits, yc);
+    serial.backward(lr.dlogits);
+  }
+  const auto gf = full.gradients();
+  const auto gs = serial.gradients();
+  double max_rel = 0;
+  for (std::size_t i = 0; i < gf.size(); ++i)
+    for (std::int64_t j = 0; j < gf[i]->size(); ++j) {
+      const double a = (*gf[i])[j], b = (*gs[i])[j];
+      const double scale = std::max({std::fabs(a), std::fabs(b), 1e-6});
+      max_rel = std::max(max_rel, std::fabs(a - b) / scale);
+    }
+  EXPECT_GT(max_rel, 0.05);
+}
+
+TEST(SmallResNet, IdentityAndProjectionShortcutsBothPresent) {
+  SmallResNetConfig cfg;
+  cfg.stage_channels = {8, 16};
+  SmallResNet m(cfg);
+  // Stage 1 keeps channels (identity shortcut: no projection parameters);
+  // stage 2 doubles channels and strides (projection). The parameter list
+  // length distinguishes the two: with GN, identity block has 2 convs + 2
+  // norms = 6 tensors, projection block has 3 convs + 3 norms = 9.
+  // stem(1+2) + block1(6) + block2(9) + fc(2) = 20.
+  EXPECT_EQ(m.parameters().size(), 20u);
+}
+
+TEST(SmallResNet, LearnsSyntheticTask) {
+  SmallResNetConfig cfg;
+  cfg.seed = 7;
+  SmallResNet model(cfg);
+  const Dataset train_set = make_synthetic_dataset(128, 4, 1, 12, 61);
+  util::Rng rng(1);
+
+  // A few SGD steps by hand (the Trainer drives SmallCnn; SmallResNet is
+  // exercised directly to keep its interface honest).
+  double first_loss = 0, last_loss = 0;
+  for (int step = 0; step < 30; ++step) {
+    const int off = (step * 32) % 96;
+    const Tensor x = train_set.images.slice_batch(off, 32);
+    const std::vector<int> y(train_set.labels.begin() + off,
+                             train_set.labels.begin() + off + 32);
+    const Tensor logits = model.forward(x);
+    LossResult lr = softmax_cross_entropy(logits, y);
+    lr.dlogits.scale(1.0f / 32.0f);
+    model.zero_grad();
+    model.backward(lr.dlogits);
+    const auto params = model.parameters();
+    const auto grads = model.gradients();
+    for (std::size_t i = 0; i < params.size(); ++i)
+      params[i]->axpy(-0.1f, *grads[i]);
+    if (step == 0) first_loss = lr.loss_sum / 32.0;
+    last_loss = lr.loss_sum / 32.0;
+  }
+  EXPECT_LT(last_loss, first_loss * 0.8);
+}
+
+}  // namespace
+}  // namespace mbs::train

@@ -1,0 +1,346 @@
+// Tests for the MBS scheduler and the traffic model: structural invariants
+// of every (network, config) pair, the grouping algorithms, and the traffic
+// orderings the paper's evaluation rests on.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "models/zoo.h"
+#include "sched/config.h"
+#include "sched/scheduler.h"
+#include "sched/traffic.h"
+
+namespace mbs::sched {
+namespace {
+
+using core::Network;
+
+const ExecConfig kAllConfigs[] = {ExecConfig::kBaseline, ExecConfig::kArchOpt,
+                                  ExecConfig::kIL,       ExecConfig::kMbsFs,
+                                  ExecConfig::kMbs1,     ExecConfig::kMbs2};
+
+// ---- Basic helpers ----------------------------------------------------------
+
+TEST(Config, Predicates) {
+  EXPECT_FALSE(uses_weight_double_buffering(ExecConfig::kBaseline));
+  EXPECT_TRUE(uses_weight_double_buffering(ExecConfig::kArchOpt));
+  EXPECT_TRUE(uses_weight_double_buffering(ExecConfig::kMbs2));
+  EXPECT_FALSE(uses_serialization(ExecConfig::kIL));
+  EXPECT_TRUE(uses_serialization(ExecConfig::kMbsFs));
+  EXPECT_TRUE(uses_serialization(ExecConfig::kMbs1));
+  EXPECT_FALSE(uses_inter_branch_reuse(ExecConfig::kMbs1));
+  EXPECT_TRUE(uses_inter_branch_reuse(ExecConfig::kMbs2));
+  EXPECT_TRUE(uses_relu_masks(ExecConfig::kMbs2));
+  EXPECT_FALSE(uses_relu_masks(ExecConfig::kBaseline));
+}
+
+TEST(SubBatch, MaxSubBatchClamps) {
+  EXPECT_EQ(max_sub_batch(1, 1024, 32), 32);     // tiny footprint -> mini-batch
+  EXPECT_EQ(max_sub_batch(1024, 1024, 32), 1);   // exactly one sample
+  EXPECT_EQ(max_sub_batch(2048, 1024, 32), 1);   // even one sample spills
+  EXPECT_EQ(max_sub_batch(100, 1000, 32), 10);
+}
+
+TEST(SubBatch, IterationsCeil) {
+  EXPECT_EQ(iterations_for(32, 32), 1);
+  EXPECT_EQ(iterations_for(32, 17), 2);
+  EXPECT_EQ(iterations_for(32, 3), 11);
+  EXPECT_EQ(iterations_for(32, 1), 32);
+}
+
+TEST(Group, ChunksGreedyFill) {
+  Group g;
+  g.sub_batch = 3;
+  g.iterations = 11;
+  const auto chunks = g.chunks(32);
+  ASSERT_EQ(chunks.size(), 11u);  // Fig. 5: 3,3,3,3,3,3,3,3,3,3,2
+  int sum = 0;
+  for (std::size_t i = 0; i < chunks.size(); ++i) {
+    EXPECT_EQ(chunks[i], i + 1 < chunks.size() ? 3 : 2);
+    sum += chunks[i];
+  }
+  EXPECT_EQ(sum, 32);
+}
+
+TEST(Group, ChunksExactDivision) {
+  Group g;
+  g.sub_batch = 8;
+  g.iterations = 4;
+  const auto chunks = g.chunks(32);
+  ASSERT_EQ(chunks.size(), 4u);
+  for (int c : chunks) EXPECT_EQ(c, 8);
+}
+
+// ---- Parameterized invariants over every (network, config) pair ------------
+
+class ScheduleInvariants
+    : public ::testing::TestWithParam<std::tuple<std::string, ExecConfig>> {};
+
+TEST_P(ScheduleInvariants, ValidatesAndCoversAllBlocks) {
+  const Network net = models::make_network(std::get<0>(GetParam()));
+  const Schedule s = build_schedule(net, std::get<1>(GetParam()));
+  EXPECT_EQ(s.validate(net), "");
+  EXPECT_EQ(s.groups.front().first, 0);
+  EXPECT_EQ(s.groups.back().last, static_cast<int>(net.blocks.size()) - 1);
+  // Every block belongs to exactly one group.
+  for (int b = 0; b < static_cast<int>(net.blocks.size()); ++b)
+    EXPECT_GE(s.group_of_block(b), 0);
+}
+
+TEST_P(ScheduleInvariants, SerializedFootprintsFitTheBuffer) {
+  const Network net = models::make_network(std::get<0>(GetParam()));
+  const ExecConfig cfg = std::get<1>(GetParam());
+  const Schedule s = build_schedule(net, cfg);
+  if (!uses_serialization(cfg)) {
+    EXPECT_EQ(s.groups.size(), 1u);
+    EXPECT_EQ(s.groups[0].iterations, 1);
+    return;
+  }
+  for (const Group& g : s.groups)
+    for (int b = g.first; b <= g.last; ++b) {
+      const auto fp = s.block_footprint[static_cast<std::size_t>(b)];
+      if (g.sub_batch > 1)
+        EXPECT_LE(fp * g.sub_batch, s.buffer_bytes)
+            << "block " << b << " sub-batch " << g.sub_batch;
+    }
+}
+
+TEST_P(ScheduleInvariants, TrafficIsPositiveAndFinite) {
+  const Network net = models::make_network(std::get<0>(GetParam()));
+  const Schedule s = build_schedule(net, std::get<1>(GetParam()));
+  const Traffic t = compute_traffic(net, s);
+  EXPECT_GT(t.dram_bytes(), 0);
+  EXPECT_GT(t.buffer_bytes(), 0);
+  EXPECT_GE(t.dram_read_bytes(), 0);
+  EXPECT_GE(t.dram_write_bytes(), 0);
+  EXPECT_NEAR(t.dram_bytes(), t.dram_read_bytes() + t.dram_write_bytes(),
+              1.0);
+}
+
+TEST_P(ScheduleInvariants, MasksOnlyUnderMbs) {
+  const Network net = models::make_network(std::get<0>(GetParam()));
+  const ExecConfig cfg = std::get<1>(GetParam());
+  const Schedule s = build_schedule(net, cfg);
+  const Traffic t = compute_traffic(net, s);
+  const double mask = t.dram_bytes_by_class(TrafficClass::kMask);
+  if (uses_relu_masks(cfg) && net.name != "AlexNet")
+    EXPECT_GT(mask, 0);
+  if (!uses_relu_masks(cfg)) EXPECT_EQ(mask, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllNetworksAllConfigs, ScheduleInvariants,
+    ::testing::Combine(::testing::ValuesIn(models::evaluated_network_names()),
+                       ::testing::ValuesIn(kAllConfigs)),
+    [](const auto& info) {
+      std::string name = std::get<0>(info.param);
+      name += "_";
+      name += to_string(std::get<1>(info.param));
+      for (char& c : name)
+        if (c == '-') c = '_';
+      return name;
+    });
+
+// ---- Traffic orderings (the paper's Fig. 10c structure) ---------------------
+
+class TrafficOrdering : public ::testing::TestWithParam<std::string> {
+ protected:
+  double traffic(ExecConfig cfg) const {
+    const Network net = models::make_network(GetParam());
+    return dram_traffic_bytes(net, build_schedule(net, cfg));
+  }
+};
+
+TEST_P(TrafficOrdering, BaselineEqualsArchOpt) {
+  // Weight double buffering changes timing, not bytes moved.
+  EXPECT_DOUBLE_EQ(traffic(ExecConfig::kBaseline),
+                   traffic(ExecConfig::kArchOpt));
+}
+
+TEST_P(TrafficOrdering, IlNeverExceedsBaseline) {
+  EXPECT_LE(traffic(ExecConfig::kIL), traffic(ExecConfig::kBaseline));
+}
+
+TEST_P(TrafficOrdering, Mbs1BeatsMbsFs) {
+  // Greedy grouping dominates naive full serialization (Sec. 6).
+  EXPECT_LT(traffic(ExecConfig::kMbs1), traffic(ExecConfig::kMbsFs));
+}
+
+TEST_P(TrafficOrdering, Mbs2NeverWorseThanMbs1) {
+  EXPECT_LE(traffic(ExecConfig::kMbs2), traffic(ExecConfig::kMbs1) * 1.0001);
+}
+
+TEST_P(TrafficOrdering, Mbs2CutsDeepCnnTrafficSubstantially) {
+  if (GetParam() == "alexnet") GTEST_SKIP() << "AlexNet is compute dominated";
+  // Paper: 71-78% DRAM traffic reduction for the deep CNNs (Sec. 6).
+  EXPECT_LT(traffic(ExecConfig::kMbs2),
+            0.45 * traffic(ExecConfig::kArchOpt));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllNetworks, TrafficOrdering,
+                         ::testing::ValuesIn(models::evaluated_network_names()));
+
+// ---- Grouping algorithms -----------------------------------------------------
+
+TEST(Grouping, ResNet50SubBatchSizesGrowMonotonically) {
+  // Down-sampling shrinks features, so deeper groups admit larger
+  // sub-batches (Fig. 5: 3 -> 6 -> 11 -> 16 in the paper's run).
+  const Network net = models::make_network("resnet50");
+  const Schedule s = build_schedule(net, ExecConfig::kMbs2);
+  ASSERT_GE(s.groups.size(), 2u);
+  for (std::size_t g = 1; g < s.groups.size(); ++g)
+    EXPECT_GE(s.groups[g].sub_batch, s.groups[g - 1].sub_batch);
+}
+
+TEST(Grouping, GreedyNeverWorseThanInitialOrFs) {
+  for (const auto& name : models::evaluated_network_names()) {
+    const Network net = models::make_network(name);
+    const double greedy =
+        dram_traffic_bytes(net, build_schedule(net, ExecConfig::kMbs1));
+    const double fs =
+        dram_traffic_bytes(net, build_schedule(net, ExecConfig::kMbsFs));
+    EXPECT_LE(greedy, fs * 1.0001) << name;
+  }
+}
+
+TEST(Grouping, DpOptimalNeverWorseThanGreedy) {
+  // Footnote 1: exhaustive grouping improves traffic by roughly 1%.
+  ScheduleParams opt;
+  opt.optimal_grouping = true;
+  for (const auto& name : {"resnet50", "alexnet"}) {
+    const Network net = models::make_network(name);
+    const double greedy =
+        dram_traffic_bytes(net, build_schedule(net, ExecConfig::kMbs2));
+    const double dp = dram_traffic_bytes(
+        net, build_schedule(net, ExecConfig::kMbs2, opt));
+    EXPECT_LE(dp, greedy * 1.0001) << name;
+    // ... and greedy stays close to optimal.
+    EXPECT_LE(greedy, dp * 1.08) << name;
+  }
+}
+
+TEST(Grouping, MbsFsIsSingleGroup) {
+  const Network net = models::make_network("resnet50");
+  const Schedule s = build_schedule(net, ExecConfig::kMbsFs);
+  EXPECT_EQ(s.groups.size(), 1u);
+}
+
+TEST(Grouping, BufferSizeMonotonicity) {
+  // A larger global buffer can only reduce MBS traffic (Fig. 11).
+  const Network net = models::make_network("resnet50");
+  double prev = 1e300;
+  for (double mib : {5.0, 10.0, 20.0, 30.0, 40.0}) {
+    ScheduleParams p;
+    p.buffer_bytes = static_cast<std::int64_t>(mib * 1024 * 1024);
+    const double t =
+        dram_traffic_bytes(net, build_schedule(net, ExecConfig::kMbs2, p));
+    EXPECT_LE(t, prev * 1.0001) << mib << " MiB";
+    prev = t;
+  }
+}
+
+TEST(Grouping, MiniBatchOverrideRespected) {
+  const Network net = models::make_network("resnet50");
+  ScheduleParams p;
+  p.mini_batch = 64;
+  const Schedule s = build_schedule(net, ExecConfig::kMbs2, p);
+  EXPECT_EQ(s.mini_batch, 64);
+  EXPECT_EQ(s.validate(net), "");
+}
+
+// ---- Footprint policies ------------------------------------------------------
+
+TEST(Footprints, InterBranchAtLeastPerBranch) {
+  for (const auto& name : models::evaluated_network_names()) {
+    const Network net = models::make_network(name);
+    const auto per_branch =
+        block_footprints(net, ExecConfig::kMbs1, core::DataType::kF16);
+    const auto inter =
+        block_footprints(net, ExecConfig::kMbs2, core::DataType::kF16);
+    ASSERT_EQ(per_branch.size(), inter.size());
+    for (std::size_t i = 0; i < inter.size(); ++i)
+      EXPECT_GE(inter[i], per_branch[i]) << name << " block " << i;
+  }
+}
+
+TEST(Footprints, Mbs2NeedsMoreIterationsThanMbs1) {
+  // Eq. 1/2 provisioning shrinks sub-batches, so MBS2 runs at least as many
+  // sub-batch iterations (Sec. 6's stated MBS2 cost).
+  const Network net = models::make_network("resnet50");
+  const Schedule s1 = build_schedule(net, ExecConfig::kMbs1);
+  const Schedule s2 = build_schedule(net, ExecConfig::kMbs2);
+  EXPECT_GE(s2.total_iterations(), s1.total_iterations());
+}
+
+// ---- Traffic class structure -------------------------------------------------
+
+TEST(TrafficClasses, WeightTrafficScalesWithIterations) {
+  const Network net = models::make_network("resnet50");
+  const Traffic base =
+      compute_traffic(net, build_schedule(net, ExecConfig::kBaseline));
+  const Traffic fs =
+      compute_traffic(net, build_schedule(net, ExecConfig::kMbsFs));
+  // MBS-FS re-reads weights once per sub-batch iteration.
+  EXPECT_GT(fs.dram_bytes_by_class(TrafficClass::kWeight),
+            3 * base.dram_bytes_by_class(TrafficClass::kWeight));
+}
+
+TEST(TrafficClasses, AlexNetFsWeightBlowup) {
+  // Sec. 6: AlexNet's FC weights make MBS-FS increase total traffic ~2.6x.
+  const Network net = models::make_network("alexnet");
+  const double base =
+      dram_traffic_bytes(net, build_schedule(net, ExecConfig::kBaseline));
+  const double fs =
+      dram_traffic_bytes(net, build_schedule(net, ExecConfig::kMbsFs));
+  EXPECT_GT(fs, 1.8 * base);
+  EXPECT_LT(fs, 3.5 * base);
+}
+
+TEST(TrafficClasses, MbsEliminatesMostFeatureTraffic) {
+  const Network net = models::make_network("resnet50");
+  const Traffic base =
+      compute_traffic(net, build_schedule(net, ExecConfig::kBaseline));
+  const Traffic mbs2 =
+      compute_traffic(net, build_schedule(net, ExecConfig::kMbs2));
+  EXPECT_LT(mbs2.dram_bytes_by_class(TrafficClass::kFeature),
+            0.1 * base.dram_bytes_by_class(TrafficClass::kFeature));
+  EXPECT_LT(mbs2.dram_bytes_by_class(TrafficClass::kGradient),
+            0.1 * base.dram_bytes_by_class(TrafficClass::kGradient));
+}
+
+TEST(TrafficClasses, StashSimilarAcrossConfigs) {
+  // Data stored for backward reuse is fundamental to training, not to the
+  // schedule; it should be the dominant remaining MBS traffic.
+  const Network net = models::make_network("resnet50");
+  const Traffic base =
+      compute_traffic(net, build_schedule(net, ExecConfig::kBaseline));
+  const Traffic mbs2 =
+      compute_traffic(net, build_schedule(net, ExecConfig::kMbs2));
+  const double sb = base.dram_bytes_by_class(TrafficClass::kStash);
+  const double sm = mbs2.dram_bytes_by_class(TrafficClass::kStash);
+  EXPECT_GT(sm, 0.5 * sb);
+  EXPECT_LT(sm, 1.5 * sb);
+}
+
+TEST(TrafficClasses, InputTrafficIndependentOfConfig) {
+  const Network net = models::make_network("resnet50");
+  const Traffic a =
+      compute_traffic(net, build_schedule(net, ExecConfig::kBaseline));
+  const Traffic b =
+      compute_traffic(net, build_schedule(net, ExecConfig::kMbs2));
+  EXPECT_DOUBLE_EQ(a.dram_bytes_by_class(TrafficClass::kInput),
+                   b.dram_bytes_by_class(TrafficClass::kInput));
+}
+
+TEST(TrafficClasses, PerBlockAttributionSumsToTotal) {
+  const Network net = models::make_network("resnet50");
+  const Schedule s = build_schedule(net, ExecConfig::kMbs2);
+  const Traffic t = compute_traffic(net, s);
+  double sum = 0;
+  for (int b = 0; b < static_cast<int>(net.blocks.size()); ++b)
+    sum += t.dram_bytes_for_block(b);
+  EXPECT_NEAR(sum, t.dram_bytes(), t.dram_bytes() * 1e-9);
+}
+
+}  // namespace
+}  // namespace mbs::sched

@@ -1,0 +1,119 @@
+// Unit tests for src/util: formatting, RNG determinism, statistics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/table.h"
+#include "util/units.h"
+
+namespace mbs::util {
+namespace {
+
+TEST(Units, FormatBytes) {
+  EXPECT_EQ(format_bytes(512), "512.00 B");
+  EXPECT_EQ(format_bytes(10.0 * kMiB), "10.00 MiB");
+  EXPECT_EQ(format_bytes(1.5 * kGiB), "1.50 GiB");
+}
+
+TEST(Units, FormatSi) {
+  EXPECT_EQ(format_si(3.86e9), "3.86 G");
+  EXPECT_EQ(format_si(125e12), "125.00 T");
+  EXPECT_EQ(format_si(42), "42.00");
+}
+
+TEST(Units, FormatTime) {
+  EXPECT_EQ(format_time(1.5e-3), "1.50 ms");
+  EXPECT_EQ(format_time(2.5e-7), "250.00 ns");
+  EXPECT_EQ(format_time(2.0), "2.000 s");
+}
+
+TEST(Fmt, IntThousandsSeparators) {
+  EXPECT_EQ(fmt_int(0), "0");
+  EXPECT_EQ(fmt_int(999), "999");
+  EXPECT_EQ(fmt_int(25557032), "25,557,032");
+  EXPECT_EQ(fmt_int(-1234), "-1,234");
+}
+
+TEST(Table, AlignedOutputContainsAllCells) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1.0"});
+  t.add_row({"b", "20.5"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("20.5"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(Table, CsvEmitsCommaSeparatedRows) {
+  Table t({"a", "b"});
+  t.add_row({"1", "2"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(Table, ShortRowsArePadded) {
+  Table t({"a", "b", "c"});
+  t.add_row({"only"});
+  std::ostringstream os;
+  t.print(os);  // must not crash; missing cells render empty
+  EXPECT_EQ(t.row_count(), 1u);
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  EXPECT_NE(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformIntInRange) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(r.uniform_int(10), 10u);
+}
+
+TEST(Rng, NormalMomentsApproximatelyStandard) {
+  Rng r(123);
+  Accumulator acc;
+  for (int i = 0; i < 20000; ++i) acc.add(r.normal());
+  EXPECT_NEAR(acc.mean(), 0.0, 0.03);
+  EXPECT_NEAR(acc.stddev(), 1.0, 0.03);
+}
+
+TEST(Stats, AccumulatorBasics) {
+  Accumulator acc;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) acc.add(x);
+  EXPECT_EQ(acc.count(), 4);
+  EXPECT_DOUBLE_EQ(acc.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(acc.sum(), 10.0);
+  EXPECT_DOUBLE_EQ(acc.min(), 1.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 4.0);
+  EXPECT_NEAR(acc.variance(), 5.0 / 3.0, 1e-12);
+}
+
+TEST(Stats, EmptyAccumulatorIsSafe) {
+  Accumulator acc;
+  EXPECT_EQ(acc.count(), 0);
+  EXPECT_EQ(acc.mean(), 0.0);
+  EXPECT_EQ(acc.variance(), 0.0);
+}
+
+}  // namespace
+}  // namespace mbs::util
