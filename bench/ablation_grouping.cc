@@ -1,13 +1,14 @@
 // Ablation (footnote 1): greedy layer grouping vs the optimal contiguous
 // partition found by dynamic programming. The paper reports the exhaustive
-// search improves traffic and performance by roughly 1%.
+// search improves traffic and performance by roughly 1%. Greedy and DP
+// schedules for all (network, config) pairs come from one engine sweep —
+// the DP points differ only in ScheduleParams::optimal_grouping, so they
+// memoize under distinct schedule keys.
 #include <cstdio>
 #include <iostream>
 
+#include "engine/engine.h"
 #include "models/zoo.h"
-#include "sched/scheduler.h"
-#include "sched/traffic.h"
-#include "util/table.h"
 
 int main() {
   using namespace mbs;
@@ -15,25 +16,40 @@ int main() {
   std::printf("=== Ablation: greedy vs optimal (DP) layer grouping "
               "(paper footnote 1: optimal is ~1%% better) ===\n\n");
 
-  util::Table t({"network", "config", "greedy groups", "DP groups",
-                 "greedy DRAM [GiB]", "DP DRAM [GiB]", "DP gain"});
-  for (const auto& name : models::evaluated_network_names()) {
-    const core::Network net = models::make_network(name);
-    for (auto cfg : {sched::ExecConfig::kMbs1, sched::ExecConfig::kMbs2}) {
-      const sched::Schedule greedy = sched::build_schedule(net, cfg);
-      sched::ScheduleParams p;
-      p.optimal_grouping = true;
-      const sched::Schedule dp = sched::build_schedule(net, cfg, p);
-      const double tg = sched::dram_traffic_bytes(net, greedy);
-      const double td = sched::dram_traffic_bytes(net, dp);
-      t.add_row({net.name, sched::to_string(cfg),
-                 std::to_string(greedy.groups.size()),
-                 std::to_string(dp.groups.size()),
-                 util::fmt(tg / (1024.0 * 1024 * 1024), 3),
-                 util::fmt(td / (1024.0 * 1024 * 1024), 3),
-                 util::fmt(100.0 * (tg - td) / tg, 2) + "%"});
-    }
+  const std::vector<sched::ExecConfig> configs = {sched::ExecConfig::kMbs1,
+                                                  sched::ExecConfig::kMbs2};
+  std::vector<engine::Scenario> grid;
+  for (const std::string& name : models::evaluated_network_names())
+    for (sched::ExecConfig cfg : configs)
+      for (bool optimal : {false, true}) {
+        engine::Scenario s;
+        s.network = name;
+        s.config = cfg;
+        s.params.optimal_grouping = optimal;
+        s.stage = engine::Stage::kTraffic;  // no step simulation needed
+        grid.push_back(std::move(s));
+      }
+
+  engine::Evaluator eval;
+  const auto results = engine::SweepRunner().run(grid, eval);
+
+  engine::ResultSink sink(
+      "", {"network", "config", "greedy groups", "DP groups",
+           "greedy DRAM [GiB]", "DP DRAM [GiB]", "DP gain"});
+  for (std::size_t i = 0; i + 1 < results.size(); i += 2) {
+    const engine::ScenarioResult& greedy = results[i];
+    const engine::ScenarioResult& dp = results[i + 1];
+    const double tg = greedy.traffic->dram_bytes();
+    const double td = dp.traffic->dram_bytes();
+    sink.add_row({greedy.network->name,
+                  sched::to_string(greedy.scenario.config),
+                  std::to_string(greedy.schedule->groups.size()),
+                  std::to_string(dp.schedule->groups.size()),
+                  util::fmt(tg / (1024.0 * 1024 * 1024), 3),
+                  util::fmt(td / (1024.0 * 1024 * 1024), 3),
+                  util::fmt(100.0 * (tg - td) / tg, 2) + "%"});
   }
-  t.print(std::cout);
+  sink.print(std::cout);
+  sink.export_files("ablation_grouping");
   return 0;
 }

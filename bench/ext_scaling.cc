@@ -2,15 +2,14 @@
 // across multiple WaveCore accelerators. Each device runs the same MBS
 // schedule on its mini-batch shard and joins a ring all-reduce of the 16b
 // parameter gradients at the end of the step — the only communication the
-// paper's scheme requires besides loss computation.
+// paper's scheme requires besides loss computation. The per-device step
+// simulations come from one engine sweep; the (closed-form) scaling model
+// is evaluated on top of them.
 #include <cstdio>
 #include <iostream>
 
 #include "arch/scaling.h"
-#include "models/zoo.h"
-#include "sched/scheduler.h"
-#include "sim/simulator.h"
-#include "util/table.h"
+#include "engine/engine.h"
 
 int main() {
   using namespace mbs;
@@ -18,29 +17,31 @@ int main() {
   std::printf("=== Extension: multi-accelerator weak scaling of MBS2 "
               "training ===\n\n");
 
-  util::Table t({"network", "devices", "step [ms]", "all-reduce [ms]",
-                 "efficiency", "samples/s"});
-  for (const char* name : {"resnet50", "inception_v3"}) {
-    const core::Network net = models::make_network(name);
-    const sched::Schedule s =
-        sched::build_schedule(net, sched::ExecConfig::kMbs2);
-    const sim::StepResult r =
-        sim::simulate_step(net, s, sim::WaveCoreConfig{});
+  const auto grid = engine::scenario_grid({"resnet50", "inception_v3"},
+                                          {sched::ExecConfig::kMbs2});
+  engine::Evaluator eval;
+  const auto results = engine::SweepRunner().run(grid, eval);
+
+  engine::ResultSink sink(
+      "", {"network", "devices", "step [ms]", "all-reduce [ms]", "efficiency",
+           "samples/s"});
+  for (const engine::ScenarioResult& r : results) {
     const double grad_bytes =
-        2.0 * static_cast<double>(net.param_count());  // 16b gradients
+        2.0 * static_cast<double>(r.network->param_count());  // 16b gradients
 
     for (const auto& sr : arch::weak_scaling_sweep(
-             r.time_s, grad_bytes, {1, 2, 4, 8, 16, 32})) {
+             r.step.time_s, grad_bytes, {1, 2, 4, 8, 16, 32})) {
       const double samples =
-          static_cast<double>(net.mini_batch_per_core) * 2 * sr.devices;
-      t.add_row({net.name, std::to_string(sr.devices),
-                 util::fmt(sr.step_time_s * 1e3, 1),
-                 util::fmt(sr.allreduce_time_s * 1e3, 1),
-                 util::fmt(sr.efficiency * 100, 1) + "%",
-                 util::fmt(samples / sr.step_time_s, 0)});
+          static_cast<double>(r.network->mini_batch_per_core) * 2 * sr.devices;
+      sink.add_row({r.network->name, std::to_string(sr.devices),
+                    util::fmt(sr.step_time_s * 1e3, 1),
+                    util::fmt(sr.allreduce_time_s * 1e3, 1),
+                    util::fmt(sr.efficiency * 100, 1) + "%",
+                    util::fmt(samples / sr.step_time_s, 0)});
     }
   }
-  t.print(std::cout);
+  sink.print(std::cout);
+  sink.export_files("ext_scaling");
   std::printf("\nMBS helps scaling indirectly: shorter steps raise the "
               "relative all-reduce cost, but even at 32 devices efficiency "
               "stays high because gradients are 16b and the ring moves at "

@@ -1,19 +1,24 @@
 // Fig. 3: per-layer inter-layer data and parameter sizes of ResNet50 with a
 // mini-batch of 32 and 16b words, sorted by inter-layer data size; plus
 // Sec. 2's observation that only ~9% of inter-layer data is reusable with a
-// 10 MiB buffer.
+// 10 MiB buffer. The (single-scenario) analysis runs through the engine so
+// the network build is shared with any co-resident sweep.
 #include <algorithm>
 #include <cstdio>
 #include <iostream>
 #include <vector>
 
-#include "models/zoo.h"
-#include "util/table.h"
-#include "util/units.h"
+#include "engine/engine.h"
 
 int main() {
   using namespace mbs;
-  const core::Network net = models::make_network("resnet50");
+
+  engine::Scenario scenario;
+  scenario.network = "resnet50";
+  scenario.stage = engine::Stage::kNetwork;  // layer walk only, no scheduling
+  engine::Evaluator eval;
+  const auto results = engine::SweepRunner().run({scenario}, eval);
+  const core::Network& net = *results[0].network;
   const int n = net.mini_batch_per_core;
 
   struct Row {
@@ -38,12 +43,14 @@ int main() {
 
   std::printf("=== Fig. 3: ResNet50 per-layer footprints "
               "(mini-batch %d, 16b words), sorted ===\n\n", n);
-  util::Table t({"rank", "layer", "inter-layer data [MB]", "params [MB]"});
+  engine::ResultSink sink(
+      "", {"rank", "layer", "inter-layer data [MB]", "params [MB]"});
   for (std::size_t i = 0; i < rows.size(); ++i)
-    t.add_row({std::to_string(i + 1), rows[i].name,
-               util::fmt(rows[i].inter_layer_mb, 2),
-               util::fmt(rows[i].params_mb, 3)});
-  t.print(std::cout);
+    sink.add_row({std::to_string(i + 1), rows[i].name,
+                  util::fmt(rows[i].inter_layer_mb, 2),
+                  util::fmt(rows[i].params_mb, 3)});
+  sink.print(std::cout);
+  sink.export_files("fig03_footprint");
 
   // Sec. 2: fraction of inter-layer data reusable with a 10 MiB buffer —
   // data volume belonging to layers whose whole-mini-batch working set fits.

@@ -1,41 +1,45 @@
 // Fig. 4: per-block inter-layer data size per sample, the resulting minimum
 // sub-batch iteration count, and the MBS layer grouping for ResNet50 with 32
-// samples and a 10 MiB buffer.
+// samples and a 10 MiB buffer. The MBS1/MBS2 schedules come from one engine
+// sweep (the network is built once and shared).
 #include <cstdio>
 #include <iostream>
 
-#include "models/zoo.h"
-#include "sched/scheduler.h"
-#include "util/table.h"
-#include "util/units.h"
+#include "engine/engine.h"
 
 int main() {
   using namespace mbs;
-  const core::Network net = models::make_network("resnet50");
+
+  const auto grid = engine::scenario_grid(
+      {"resnet50"}, {sched::ExecConfig::kMbs1, sched::ExecConfig::kMbs2}, {},
+      {}, engine::Stage::kSchedule);
+  engine::Evaluator eval;
+  const auto results = engine::SweepRunner().run(grid, eval);
+
+  const core::Network& net = *results[0].network;
+  const sched::Schedule& s1 = *results[0].schedule;
+  const sched::Schedule& s2 = *results[1].schedule;
 
   std::printf("=== Fig. 4: ResNet50 per-block footprints, minimum iteration "
               "counts and MBS grouping (32 samples, 10 MiB) ===\n\n");
 
-  const sched::Schedule s1 =
-      sched::build_schedule(net, sched::ExecConfig::kMbs1);
-  const sched::Schedule s2 =
-      sched::build_schedule(net, sched::ExecConfig::kMbs2);
-
-  util::Table t({"block", "kind", "data/sample [MB]", "MBS2 data/sample [MB]",
-                 "max sub-batch", "MIN iterations", "MBS1 group",
-                 "MBS2 group"});
+  engine::ResultSink sink(
+      "", {"block", "kind", "data/sample [MB]", "MBS2 data/sample [MB]",
+           "max sub-batch", "MIN iterations", "MBS1 group", "MBS2 group"});
   for (std::size_t b = 0; b < net.blocks.size(); ++b) {
     const int bi = static_cast<int>(b);
-    t.add_row({net.blocks[b].name, core::to_string(net.blocks[b].kind),
-               util::fmt(static_cast<double>(s1.block_footprint[b]) / 1e6, 2),
-               util::fmt(static_cast<double>(s2.block_footprint[b]) / 1e6, 2),
-               std::to_string(s2.block_max_sub[b]),
-               std::to_string(sched::iterations_for(s2.mini_batch,
-                                                    s2.block_max_sub[b])),
-               std::to_string(s1.group_of_block(bi) + 1),
-               std::to_string(s2.group_of_block(bi) + 1)});
+    sink.add_row(
+        {net.blocks[b].name, core::to_string(net.blocks[b].kind),
+         util::fmt(static_cast<double>(s1.block_footprint[b]) / 1e6, 2),
+         util::fmt(static_cast<double>(s2.block_footprint[b]) / 1e6, 2),
+         std::to_string(s2.block_max_sub[b]),
+         std::to_string(
+             sched::iterations_for(s2.mini_batch, s2.block_max_sub[b])),
+         std::to_string(s1.group_of_block(bi) + 1),
+         std::to_string(s2.group_of_block(bi) + 1)});
   }
-  t.print(std::cout);
+  sink.print(std::cout);
+  sink.export_files("fig04_grouping");
 
   std::printf("\nMBS1 forms %zu groups; MBS2 forms %zu groups "
               "(paper Fig. 4 shows 4 groups for its configuration).\n",

@@ -1,26 +1,31 @@
 // Fig. 5: the serialized training flow MBS produces for ResNet50 — layer
 // groups, per-group sub-batch sizes, iteration counts and the chunk
-// sequences (the paper's run shows e.g. "3,3,3,3,3,3,3,3,3,3,2").
+// sequences (the paper's run shows e.g. "3,3,3,3,3,3,3,3,3,3,2"). Schedules
+// and traffic come from one engine sweep.
 #include <cstdio>
 
-#include "models/zoo.h"
-#include "sched/scheduler.h"
-#include "sched/traffic.h"
+#include "engine/engine.h"
 
 int main() {
   using namespace mbs;
-  const core::Network net = models::make_network("resnet50");
+
+  const auto grid = engine::scenario_grid(
+      {"resnet50"}, {sched::ExecConfig::kMbs1, sched::ExecConfig::kMbs2}, {},
+      {}, engine::Stage::kTraffic);
+  engine::Evaluator eval;
+  const auto results = engine::SweepRunner().run(grid, eval);
+  const core::Network& net = *results[0].network;
 
   std::printf("=== Fig. 5: MBS serialized training flow for ResNet50 "
               "(mini-batch %d per core) ===\n\n", net.mini_batch_per_core);
 
-  for (auto cfg : {sched::ExecConfig::kMbs1, sched::ExecConfig::kMbs2}) {
-    const sched::Schedule s = sched::build_schedule(net, cfg);
-    const sched::Traffic t = sched::compute_traffic(net, s);
+  for (const engine::ScenarioResult& r : results) {
+    const sched::Schedule& s = *r.schedule;
     std::printf("%s (%zu groups, %d total sub-batch iterations, "
                 "%.2f GiB DRAM/step/core):\n",
-                sched::to_string(cfg), s.groups.size(), s.total_iterations(),
-                t.dram_bytes() / (1024.0 * 1024 * 1024));
+                sched::to_string(r.scenario.config), s.groups.size(),
+                s.total_iterations(),
+                r.traffic->dram_bytes() / (1024.0 * 1024 * 1024));
     for (std::size_t g = 0; g < s.groups.size(); ++g) {
       const sched::Group& grp = s.groups[g];
       std::printf("  Group%zu  blocks %-8s .. %-8s  sub-batch %2d  "

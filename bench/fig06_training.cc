@@ -5,15 +5,16 @@
 // The paper trains ResNet50 on ImageNet across 4 GPUs; this reproduction
 // trains a compact CNN on a synthetic dataset (DESIGN.md substitutions) and
 // additionally reports the bit-level check that MBS serialization does not
-// change GN gradients — the property that makes the curves coincide.
+// change GN gradients — the property that makes the curves coincide. The
+// three independent training runs fan out across the engine's SweepRunner.
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <iostream>
 
+#include "engine/engine.h"
 #include "train/data.h"
 #include "train/trainer.h"
-#include "util/table.h"
 
 int main() {
   using namespace mbs;
@@ -34,34 +35,42 @@ int main() {
   rc.lr_decay = 0.1;
 
   auto run = [&](NormMode norm, bool serialize) {
-    SmallCnnConfig cfg;
-    cfg.norm = norm;
-    cfg.classes = 8;
-    cfg.stage_channels = {16, 32};
-    cfg.seed = 2026;
-    SmallCnn model(cfg);
-    TrainRunConfig r = rc;
-    if (serialize) r.chunks = {8, 8, 8, 8};  // MBS sub-batches
-    return train_model(model, train_set, val_set, r);
+    return [&, norm, serialize] {
+      SmallCnnConfig cfg;
+      cfg.norm = norm;
+      cfg.classes = 8;
+      cfg.stage_channels = {16, 32};
+      cfg.seed = 2026;
+      SmallCnn model(cfg);
+      TrainRunConfig r = rc;
+      if (serialize) r.chunks = {8, 8, 8, 8};  // MBS sub-batches
+      return train_model(model, train_set, val_set, r);
+    };
   };
 
   std::printf("=== Fig. 6: BN vs GN+MBS training (synthetic ImageNet "
               "stand-in; see DESIGN.md) ===\n\n");
-  const auto bn = run(NormMode::kBatch, /*serialize=*/false);
-  const auto gn_mbs = run(NormMode::kGroup, /*serialize=*/true);
-  const auto none = run(NormMode::kNone, /*serialize=*/false);
+  const auto runs = engine::SweepRunner().map<std::vector<EpochLog>>(
+      {run(NormMode::kBatch, /*serialize=*/false),
+       run(NormMode::kGroup, /*serialize=*/true),
+       run(NormMode::kNone, /*serialize=*/false)});
+  const auto& bn = runs[0];
+  const auto& gn_mbs = runs[1];
+  const auto& none = runs[2];
 
-  util::Table t({"epoch", "BN val err [%]", "GN+MBS val err [%]",
-                 "no-norm val err [%]", "BN preact mean (last)",
-                 "GN+MBS preact mean (last)", "no-norm preact mean (last)"});
+  engine::ResultSink sink(
+      "", {"epoch", "BN val err [%]", "GN+MBS val err [%]",
+           "no-norm val err [%]", "BN preact mean (last)",
+           "GN+MBS preact mean (last)", "no-norm preact mean (last)"});
   for (std::size_t e = 0; e < bn.size(); ++e)
-    t.add_row({std::to_string(e), util::fmt(bn[e].val_error, 1),
-               util::fmt(gn_mbs[e].val_error, 1),
-               util::fmt(none[e].val_error, 1),
-               util::fmt(bn[e].last_preact_mean, 3),
-               util::fmt(gn_mbs[e].last_preact_mean, 3),
-               util::fmt(none[e].last_preact_mean, 3)});
-  t.print(std::cout);
+    sink.add_row({std::to_string(e), util::fmt(bn[e].val_error, 1),
+                  util::fmt(gn_mbs[e].val_error, 1),
+                  util::fmt(none[e].val_error, 1),
+                  util::fmt(bn[e].last_preact_mean, 3),
+                  util::fmt(gn_mbs[e].last_preact_mean, 3),
+                  util::fmt(none[e].last_preact_mean, 3)});
+  sink.print(std::cout);
+  sink.export_files("fig06_training");
 
   std::printf("\nfinal validation error: BN %.1f%%  GN+MBS %.1f%%  "
               "no-norm %.1f%%\n", bn.back().val_error,

@@ -2,72 +2,74 @@
 // traffic (c) for the six evaluated CNNs under the six Tab. 3
 // configurations. Bars in the paper are absolute values; lines are values
 // normalized to Baseline (time, energy) and to ArchOpt (traffic).
+//
+// The 36-scenario grid runs through the parallel experiment engine: each
+// network is built once and each (network, config) schedule is computed
+// once, shared across the sweep threads.
 #include <cstdio>
 #include <iostream>
 
+#include "engine/engine.h"
 #include "models/zoo.h"
-#include "sched/scheduler.h"
-#include "sim/simulator.h"
-#include "util/table.h"
 #include "util/units.h"
 
 int main() {
   using namespace mbs;
 
-  const sched::ExecConfig configs[] = {
-      sched::ExecConfig::kBaseline, sched::ExecConfig::kArchOpt,
-      sched::ExecConfig::kIL,       sched::ExecConfig::kMbsFs,
-      sched::ExecConfig::kMbs1,     sched::ExecConfig::kMbs2};
+  const std::vector<sched::ExecConfig> configs = sched::paper_tab3_configs();
+  const std::vector<engine::Scenario> grid =
+      engine::scenario_grid(models::evaluated_network_names(), configs);
+
+  engine::Evaluator eval;
+  const auto results = engine::SweepRunner().run(grid, eval);
 
   std::printf("=== Fig. 10: per-step time / energy / DRAM traffic "
               "(WaveCore, HBM2, mini-batch 32/core; AlexNet 64) ===\n\n");
 
-  util::Table time_tab({"network", "config", "time [ms]", "vs Baseline",
-                        "vs ArchOpt"});
-  util::Table energy_tab({"network", "config", "energy [J]", "vs Baseline",
-                          "DRAM share"});
-  util::Table traffic_tab({"network", "config", "DRAM [GiB]", "vs ArchOpt"});
+  engine::ResultSink time_sink(
+      "Fig. 10a: execution time per training step",
+      {"network", "config", "time [ms]", "vs Baseline", "vs ArchOpt"});
+  engine::ResultSink energy_sink(
+      "Fig. 10b: energy per training step",
+      {"network", "config", "energy [J]", "vs Baseline", "DRAM share"});
+  engine::ResultSink traffic_sink(
+      "Fig. 10c: DRAM traffic per training step",
+      {"network", "config", "DRAM [GiB]", "vs ArchOpt"});
 
-  for (const auto& name : models::evaluated_network_names()) {
-    const core::Network net = models::make_network(name);
-    sim::WaveCoreConfig hw;
+  const std::size_t ncfg = configs.size();
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const engine::ScenarioResult& r = results[i];
+    // Rows are network-major: the network's Baseline and ArchOpt rows sit at
+    // the start of its stripe.
+    const std::size_t base = i - i % ncfg;
+    const sim::StepResult& baseline = results[base].step;
+    const sim::StepResult& archopt = results[base + 1].step;
 
-    double base_time = 0, archopt_time = 0, base_energy = 0, archopt_traffic = 0;
-    for (auto cfg : configs) {
-      const sched::Schedule s = sched::build_schedule(net, cfg);
-      const sim::StepResult r = sim::simulate_step(net, s, hw);
-      if (cfg == sched::ExecConfig::kBaseline) {
-        base_time = r.time_s;
-        base_energy = r.energy.total();
-      }
-      if (cfg == sched::ExecConfig::kArchOpt) {
-        archopt_time = r.time_s;
-        archopt_traffic = r.dram_bytes;
-      }
-      time_tab.add_row({net.name, sched::to_string(cfg),
-                        util::fmt(r.time_s * 1e3, 2),
-                        util::fmt(base_time / r.time_s, 2),
-                        archopt_time > 0
-                            ? util::fmt(archopt_time / r.time_s, 2)
-                            : "-"});
-      energy_tab.add_row({net.name, sched::to_string(cfg),
-                          util::fmt(r.energy.total(), 2),
-                          util::fmt(r.energy.total() / base_energy, 2),
-                          util::fmt(r.energy.dram_fraction() * 100, 1) + "%"});
-      traffic_tab.add_row(
-          {net.name, sched::to_string(cfg),
-           util::fmt(r.dram_bytes / static_cast<double>(util::kGiB), 2),
-           archopt_traffic > 0
-               ? util::fmt(r.dram_bytes / archopt_traffic, 2)
-               : "-"});
-    }
+    time_sink.add_row({r.network->name, sched::to_string(r.scenario.config),
+                       util::fmt(r.step.time_s * 1e3, 2),
+                       util::fmt(baseline.time_s / r.step.time_s, 2),
+                       i % ncfg >= 1
+                           ? util::fmt(archopt.time_s / r.step.time_s, 2)
+                           : "-"});
+    energy_sink.add_row(
+        {r.network->name, sched::to_string(r.scenario.config),
+         util::fmt(r.step.energy.total(), 2),
+         util::fmt(r.step.energy.total() / baseline.energy.total(), 2),
+         util::fmt(r.step.energy.dram_fraction() * 100, 1) + "%"});
+    traffic_sink.add_row(
+        {r.network->name, sched::to_string(r.scenario.config),
+         util::fmt(r.step.dram_bytes / static_cast<double>(util::kGiB), 2),
+         i % ncfg >= 1 ? util::fmt(r.step.dram_bytes / archopt.dram_bytes, 2)
+                       : "-"});
   }
 
-  std::printf("--- Fig. 10a: execution time per training step ---\n");
-  time_tab.print(std::cout);
-  std::printf("\n--- Fig. 10b: energy per training step ---\n");
-  energy_tab.print(std::cout);
-  std::printf("\n--- Fig. 10c: DRAM traffic per training step ---\n");
-  traffic_tab.print(std::cout);
+  time_sink.print(std::cout);
+  std::printf("\n");
+  energy_sink.print(std::cout);
+  std::printf("\n");
+  traffic_sink.print(std::cout);
+  time_sink.export_files("fig10_time");
+  energy_sink.export_files("fig10_energy");
+  traffic_sink.export_files("fig10_traffic");
   return 0;
 }

@@ -1,17 +1,26 @@
-// google-benchmark microbenchmarks of the library's hot paths: the systolic
-// GEMM timing model, the traffic model, and the full scheduler. These bound
-// the cost of design-space sweeps (Fig. 11/12-style studies run thousands of
-// simulate_step calls).
+// google-benchmark microbenchmarks of the library's hot paths — the
+// systolic GEMM timing model, the scheduler and the network builders — plus
+// the engine layer on top of them: single-scenario evaluation (cold vs
+// memoized) and full Fig. 10-style sweeps (serial vs threaded). These bound
+// the cost of design-space studies, which run thousands of scenarios.
 #include <benchmark/benchmark.h>
 
+#include "engine/engine.h"
 #include "models/zoo.h"
 #include "sched/scheduler.h"
-#include "sched/traffic.h"
-#include "sim/simulator.h"
 
 namespace {
 
 using namespace mbs;
+
+engine::Scenario resnet50_mbs2() {
+  engine::Scenario s;
+  s.network = "resnet50";
+  s.config = sched::ExecConfig::kMbs2;
+  return s;
+}
+
+// ---- Library primitives -----------------------------------------------------
 
 void BM_SimulateGemm(benchmark::State& state) {
   arch::SystolicConfig cfg;
@@ -39,30 +48,59 @@ void BM_BuildScheduleOptimalDp(benchmark::State& state) {
 }
 BENCHMARK(BM_BuildScheduleOptimalDp);
 
-void BM_ComputeTraffic(benchmark::State& state) {
-  const core::Network net = models::make_network("resnet50");
-  const sched::Schedule s =
-      sched::build_schedule(net, sched::ExecConfig::kMbs2);
-  for (auto _ : state)
-    benchmark::DoNotOptimize(sched::compute_traffic(net, s));
-}
-BENCHMARK(BM_ComputeTraffic);
-
-void BM_SimulateStep(benchmark::State& state) {
-  const core::Network net = models::make_network("resnet50");
-  const sched::Schedule s =
-      sched::build_schedule(net, sched::ExecConfig::kMbs2);
-  const sim::WaveCoreConfig hw;
-  for (auto _ : state)
-    benchmark::DoNotOptimize(sim::simulate_step(net, s, hw));
-}
-BENCHMARK(BM_SimulateStep);
-
 void BM_BuildResNet50(benchmark::State& state) {
   for (auto _ : state)
     benchmark::DoNotOptimize(models::make_network("resnet50"));
 }
 BENCHMARK(BM_BuildResNet50);
+
+// ---- Engine: memoized scenario evaluation -----------------------------------
+
+// Full cold pipeline: network build + schedule + traffic + simulate_step.
+void BM_EvaluateScenarioCold(benchmark::State& state) {
+  const engine::Scenario s = resnet50_mbs2();
+  for (auto _ : state) {
+    engine::Evaluator eval;
+    benchmark::DoNotOptimize(engine::evaluate_scenario(s, eval));
+  }
+}
+BENCHMARK(BM_EvaluateScenarioCold);
+
+// Memoized path: every stage is an evaluator cache hit.
+void BM_EvaluateScenarioCached(benchmark::State& state) {
+  const engine::Scenario s = resnet50_mbs2();
+  engine::Evaluator eval;
+  engine::evaluate_scenario(s, eval);  // warm the caches
+  for (auto _ : state)
+    benchmark::DoNotOptimize(engine::evaluate_scenario(s, eval));
+}
+BENCHMARK(BM_EvaluateScenarioCached);
+
+// ---- Engine: Fig. 10-shaped sweeps (6 networks x 6 configs) -----------------
+
+void BM_SweepFig10Serial(benchmark::State& state) {
+  const auto grid = engine::scenario_grid(models::evaluated_network_names(),
+                                          sched::paper_tab3_configs());
+  engine::SweepOptions opts;
+  opts.threads = 1;
+  const engine::SweepRunner runner(opts);
+  for (auto _ : state) {
+    engine::Evaluator eval;
+    benchmark::DoNotOptimize(runner.run(grid, eval));
+  }
+}
+BENCHMARK(BM_SweepFig10Serial);
+
+void BM_SweepFig10Threaded(benchmark::State& state) {
+  const auto grid = engine::scenario_grid(models::evaluated_network_names(),
+                                          sched::paper_tab3_configs());
+  const engine::SweepRunner runner;  // hardware_concurrency threads
+  for (auto _ : state) {
+    engine::Evaluator eval;
+    benchmark::DoNotOptimize(runner.run(grid, eval));
+  }
+}
+BENCHMARK(BM_SweepFig10Threaded);
 
 }  // namespace
 

@@ -2,52 +2,55 @@
 //
 //   $ ./quickstart
 //
-// Demonstrates the three core API calls:
-//   1. models::make_network(...)   — build a CNN description
-//   2. sched::build_schedule(...)  — run the MBS scheduler
-//   3. sim::simulate_step(...)     — execute it on the WaveCore model
+// Demonstrates the engine API every bench and example builds on:
+//   1. declare Scenarios        — which network, which Tab. 3 config
+//   2. engine::SweepRunner      — evaluate them (threaded, memoized)
+//   3. read ScenarioResults     — network, schedule and step metrics
 #include <cstdio>
 
-#include "models/zoo.h"
-#include "sched/scheduler.h"
-#include "sim/simulator.h"
-#include "util/table.h"
+#include "engine/engine.h"
 
 int main() {
   using namespace mbs;
 
-  // 1. A network description: ResNet50, 32 samples per accelerator core.
-  const core::Network net = models::make_network("resnet50");
+  // 1. Two scenarios: conventional training vs MBS with inter-branch reuse,
+  //    both on ResNet50 with the default Sec. 4.2 WaveCore.
+  const auto scenarios = engine::scenario_grid(
+      {"resnet50"},
+      {sched::ExecConfig::kBaseline, sched::ExecConfig::kMbs2});
+
+  // 2. One engine sweep. The evaluator builds ResNet50 once and shares it;
+  //    with more scenarios the runner fans out across a thread pool.
+  engine::Evaluator eval;
+  const auto results = engine::SweepRunner().run(scenarios, eval);
+  const engine::ScenarioResult& rb = results[0];  // Baseline
+  const engine::ScenarioResult& rm = results[1];  // MBS2
+
+  // 3. Results: the network description, the MBS layer grouping, and the
+  //    simulated step metrics.
+  const core::Network& net = *rb.network;
   std::printf("network: %s (%s parameters, %.1f GFLOPs/sample)\n",
               net.name.c_str(), util::fmt_int(net.param_count()).c_str(),
               static_cast<double>(net.flops_per_sample()) / 1e9);
-
-  // 2. Schedules: conventional training vs MBS with inter-branch reuse.
-  const sched::Schedule baseline =
-      sched::build_schedule(net, sched::ExecConfig::kBaseline);
-  const sched::Schedule mbs =
-      sched::build_schedule(net, sched::ExecConfig::kMbs2);
-  std::printf("MBS formed %zu layer groups; sub-batch sizes:", mbs.groups.size());
-  for (const sched::Group& g : mbs.groups) std::printf(" %d", g.sub_batch);
+  std::printf("MBS formed %zu layer groups; sub-batch sizes:",
+              rm.schedule->groups.size());
+  for (const sched::Group& g : rm.schedule->groups)
+    std::printf(" %d", g.sub_batch);
   std::printf("\n");
-
-  // 3. Simulate one training step of each on the default WaveCore (two
-  //    128x128 systolic cores, 10 MiB global buffers, HBM2).
-  const sim::WaveCoreConfig hw;
-  const sim::StepResult rb = sim::simulate_step(net, baseline, hw);
-  const sim::StepResult rm = sim::simulate_step(net, mbs, hw);
 
   std::printf("\n%-22s %12s %12s\n", "", "Baseline", "MBS2");
   std::printf("%-22s %9.1f ms %9.1f ms\n", "step time",
-              rb.time_s * 1e3, rm.time_s * 1e3);
+              rb.step.time_s * 1e3, rm.step.time_s * 1e3);
   std::printf("%-22s %9.1f GB %9.1f GB\n", "DRAM traffic",
-              rb.dram_bytes / 1e9, rm.dram_bytes / 1e9);
+              rb.step.dram_bytes / 1e9, rm.step.dram_bytes / 1e9);
   std::printf("%-22s %10.2f J %10.2f J\n", "energy",
-              rb.energy.total(), rm.energy.total());
+              rb.step.energy.total(), rm.step.energy.total());
   std::printf("%-22s %11.0f%% %11.0f%%\n", "systolic utilization",
-              100 * rb.systolic_utilization, 100 * rm.systolic_utilization);
+              100 * rb.step.systolic_utilization,
+              100 * rm.step.systolic_utilization);
   std::printf("\nMBS2: %.2fx speedup, %.1fx less DRAM traffic, %.0f%% energy"
-              " saved\n", rb.time_s / rm.time_s, rb.dram_bytes / rm.dram_bytes,
-              100 * (1 - rm.energy.total() / rb.energy.total()));
+              " saved\n", rb.step.time_s / rm.step.time_s,
+              rb.step.dram_bytes / rm.step.dram_bytes,
+              100 * (1 - rm.step.energy.total() / rb.step.energy.total()));
   return 0;
 }

@@ -7,15 +7,13 @@
 //
 // Prints, for each Tab. 3 configuration: the layer groups the scheduler
 // forms, their sub-batch sizes/iteration counts (Fig. 5), and the modeled
-// per-step DRAM traffic broken down by class.
+// per-step DRAM traffic broken down by class. All six (config) scenarios
+// run as one engine sweep over the shared network build.
 #include <cstdio>
 #include <iostream>
 #include <string>
 
-#include "models/zoo.h"
-#include "sched/scheduler.h"
-#include "sched/traffic.h"
-#include "util/table.h"
+#include "engine/engine.h"
 #include "util/units.h"
 
 int main(int argc, char** argv) {
@@ -24,10 +22,16 @@ int main(int argc, char** argv) {
   const std::string net_name = argc > 1 ? argv[1] : "resnet50";
   const double buffer_mib = argc > 2 ? std::stod(argv[2]) : 10.0;
 
-  const core::Network net = models::make_network(net_name);
   sched::ScheduleParams params;
   params.buffer_bytes =
       static_cast<std::int64_t>(buffer_mib * static_cast<double>(util::kMiB));
+
+  const auto grid = engine::scenario_grid(
+      {net_name}, sched::paper_tab3_configs(), params, {},
+      engine::Stage::kTraffic);
+  engine::Evaluator eval;
+  const auto results = engine::SweepRunner().run(grid, eval);
+  const core::Network& net = *results[0].network;
 
   std::printf("%s: %d blocks, %d layers, %s params, %.2f GFLOPs/sample\n",
               net.name.c_str(), static_cast<int>(net.blocks.size()),
@@ -36,24 +40,20 @@ int main(int argc, char** argv) {
   std::printf("mini-batch/core: %d, buffer: %.1f MiB\n\n",
               net.mini_batch_per_core, buffer_mib);
 
-  const sched::ExecConfig configs[] = {
-      sched::ExecConfig::kBaseline, sched::ExecConfig::kArchOpt,
-      sched::ExecConfig::kIL,       sched::ExecConfig::kMbsFs,
-      sched::ExecConfig::kMbs1,     sched::ExecConfig::kMbs2};
-
-  util::Table summary({"config", "groups", "iterations", "DRAM/step",
-                       "weights", "wgrad", "features", "gradients", "stash"});
-  for (auto cfg : configs) {
-    const sched::Schedule s = sched::build_schedule(net, cfg, params);
+  engine::ResultSink summary(
+      "", {"config", "groups", "iterations", "DRAM/step", "weights", "wgrad",
+           "features", "gradients", "stash"});
+  for (const engine::ScenarioResult& r : results) {
+    const sched::Schedule& s = *r.schedule;
     const std::string err = s.validate(net);
     if (!err.empty()) {
       std::fprintf(stderr, "invalid schedule (%s): %s\n",
-                   sched::to_string(cfg), err.c_str());
+                   sched::to_string(r.scenario.config), err.c_str());
       return 1;
     }
-    const sched::Traffic t = sched::compute_traffic(net, s);
+    const sched::Traffic& t = *r.traffic;
     summary.add_row(
-        {sched::to_string(cfg), std::to_string(s.groups.size()),
+        {sched::to_string(r.scenario.config), std::to_string(s.groups.size()),
          std::to_string(s.total_iterations()),
          util::format_bytes(t.dram_bytes()),
          util::format_bytes(t.dram_bytes_by_class(sched::TrafficClass::kWeight)),
@@ -66,8 +66,9 @@ int main(int argc, char** argv) {
          util::format_bytes(
              t.dram_bytes_by_class(sched::TrafficClass::kStash))});
 
-    if (sched::uses_serialization(cfg)) {
-      std::printf("%s groups (Fig. 5 style):\n", sched::to_string(cfg));
+    if (sched::uses_serialization(r.scenario.config)) {
+      std::printf("%s groups (Fig. 5 style):\n",
+                  sched::to_string(r.scenario.config));
       for (std::size_t g = 0; g < s.groups.size(); ++g) {
         const auto& grp = s.groups[g];
         std::printf("  group %zu: blocks [%d..%d] (%s..%s), sub-batch %d, "
@@ -85,5 +86,6 @@ int main(int argc, char** argv) {
     }
   }
   summary.print(std::cout);
+  summary.export_files("schedule_explorer");
   return 0;
 }

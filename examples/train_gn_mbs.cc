@@ -4,13 +4,16 @@
 // (a) conventional full-mini-batch GN training and (b) MBS-serialized GN
 // training (sub-batches of 8 with one parameter update per mini-batch), and
 // prints both loss trajectories — they coincide to float32 precision, which
-// is the correctness property MBS rests on (Sec. 3).
+// is the correctness property MBS rests on (Sec. 3). The two independent
+// runs fan out across the engine's SweepRunner.
 #include <cstdio>
 
+#include "engine/engine.h"
 #include "train/data.h"
 #include "train/trainer.h"
 
 int main() {
+  using namespace mbs;
   using namespace mbs::train;
 
   const Dataset train_set = make_synthetic_dataset(256, 4, 1, 12, /*seed=*/51);
@@ -25,12 +28,20 @@ int main() {
   cfg.norm = NormMode::kGroup;
   cfg.seed = 12345;
 
-  SmallCnn conventional(cfg);
-  const auto full = train_model(conventional, train_set, val_set, rc);
+  auto run = [&](std::vector<int> chunks) {
+    return [&, chunks] {
+      SmallCnn model(cfg);
+      TrainRunConfig r = rc;
+      r.chunks = chunks;
+      return train_model(model, train_set, val_set, r);
+    };
+  };
 
-  rc.chunks = {8, 8, 8, 8};  // MBS: four sub-batch iterations per step
-  SmallCnn serialized(cfg);
-  const auto mbs = train_model(serialized, train_set, val_set, rc);
+  const auto runs = engine::SweepRunner().map<std::vector<EpochLog>>(
+      {run({}),              // conventional full-mini-batch training
+       run({8, 8, 8, 8})});  // MBS: four sub-batch iterations per step
+  const auto& full = runs[0];
+  const auto& mbs = runs[1];
 
   std::printf("epoch | full-batch loss / val err | MBS(8,8,8,8) loss / val err\n");
   std::printf("------+---------------------------+----------------------------\n");

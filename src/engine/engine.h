@@ -1,0 +1,9 @@
+// Umbrella header for the parallel experiment engine: Scenario descriptors,
+// the memoizing Evaluator, the threaded SweepRunner, and the ResultSink.
+// Every bench/ and examples/ binary drives its sweep through these four.
+#pragma once
+
+#include "engine/evaluator.h"
+#include "engine/result_sink.h"
+#include "engine/scenario.h"
+#include "engine/sweep_runner.h"

@@ -1,0 +1,77 @@
+#include "engine/evaluator.h"
+
+#include <cassert>
+
+#include "models/zoo.h"
+#include "sched/scheduler.h"
+
+namespace mbs::engine {
+
+void Evaluator::count(std::int64_t EvaluatorStats::*hits,
+                      std::int64_t EvaluatorStats::*misses, bool was_hit) {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  if (was_hit)
+    ++(stats_.*hits);
+  else
+    ++(stats_.*misses);
+}
+
+const core::Network& Evaluator::network(const std::string& name) {
+  bool hit = false;
+  const core::Network& net = networks_.get_or_compute(
+      name, [&] { return models::make_network(name); }, &hit);
+  count(&EvaluatorStats::network_hits, &EvaluatorStats::network_misses, hit);
+  return net;
+}
+
+const sched::Schedule& Evaluator::schedule(const Scenario& s) {
+  bool hit = false;
+  const sched::Schedule& sch = schedules_.get_or_compute(
+      s.schedule_key(),
+      [&] { return sched::build_schedule(network(s.network), s.config, s.params); },
+      &hit);
+  count(&EvaluatorStats::schedule_hits, &EvaluatorStats::schedule_misses, hit);
+  return sch;
+}
+
+const sched::Traffic& Evaluator::traffic(const Scenario& s) {
+  bool hit = false;
+  const sched::Traffic& t = traffics_.get_or_compute(
+      s.schedule_key(),
+      [&] { return sched::compute_traffic(network(s.network), schedule(s)); },
+      &hit);
+  count(&EvaluatorStats::traffic_hits, &EvaluatorStats::traffic_misses, hit);
+  return t;
+}
+
+const sim::StepResult& Evaluator::step(const Scenario& s) {
+  assert(s.device == Device::kWaveCore);
+  bool hit = false;
+  const sim::StepResult& r = steps_.get_or_compute(
+      s.cache_key(),
+      [&] { return sim::simulate_step(network(s.network), schedule(s), s.hw); },
+      &hit);
+  count(&EvaluatorStats::step_hits, &EvaluatorStats::step_misses, hit);
+  return r;
+}
+
+const arch::GpuStepResult& Evaluator::gpu_step(const Scenario& s) {
+  assert(s.device == Device::kGpu);
+  bool hit = false;
+  const arch::GpuStepResult& r = gpu_steps_.get_or_compute(
+      s.cache_key(),
+      [&] {
+        return arch::simulate_gpu_step(s.gpu, network(s.network),
+                                       s.gpu_mini_batch);
+      },
+      &hit);
+  count(&EvaluatorStats::gpu_hits, &EvaluatorStats::gpu_misses, hit);
+  return r;
+}
+
+EvaluatorStats Evaluator::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+}  // namespace mbs::engine

@@ -1,0 +1,125 @@
+// Evaluator: memoized Scenario -> network -> schedule -> result pipeline.
+//
+// The paper's sweeps share almost all intermediate work: Fig. 10 builds
+// each of the six networks once but schedules it six times; Fig. 11
+// schedules ResNet50 twenty times but builds it once; Fig. 13 reuses one
+// MBS2 schedule across four memory systems. The Evaluator caches each
+// pipeline stage under the Scenario's stage key so shared work is computed
+// exactly once — including across SweepRunner threads, where concurrent
+// requests for the same key block on a per-entry std::once_flag while
+// distinct keys proceed in parallel.
+//
+// All cached objects are immutable once constructed; references returned
+// by the accessors stay valid for the Evaluator's lifetime.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "arch/gpu.h"
+#include "core/network.h"
+#include "engine/scenario.h"
+#include "sched/schedule.h"
+#include "sched/traffic.h"
+#include "sim/simulator.h"
+
+namespace mbs::engine {
+
+/// Cache hit/miss counters, one pair per pipeline stage.
+struct EvaluatorStats {
+  std::int64_t network_hits = 0, network_misses = 0;
+  std::int64_t schedule_hits = 0, schedule_misses = 0;
+  std::int64_t traffic_hits = 0, traffic_misses = 0;
+  std::int64_t step_hits = 0, step_misses = 0;
+  std::int64_t gpu_hits = 0, gpu_misses = 0;
+};
+
+namespace detail {
+
+/// String-keyed cache of immutable values with exactly-once construction.
+/// Entries are heap-allocated so references stay stable across rehashes.
+template <typename T>
+class KeyedCache {
+ public:
+  /// Returns the cached value for `key`, constructing it with `fn()` on
+  /// first use. Concurrent callers with the same key wait for the single
+  /// construction; callers with different keys do not serialize against
+  /// each other (the map mutex is only held for the lookup).
+  template <typename Fn>
+  const T& get_or_compute(const std::string& key, Fn&& fn, bool* was_hit) {
+    Entry* entry = nullptr;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      std::unique_ptr<Entry>& slot = map_[key];
+      if (slot) {
+        *was_hit = true;
+      } else {
+        slot = std::make_unique<Entry>();
+        *was_hit = false;
+      }
+      entry = slot.get();
+    }
+    std::call_once(entry->once, [&] { entry->value = fn(); });
+    return entry->value;
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return map_.size();
+  }
+
+ private:
+  struct Entry {
+    std::once_flag once;
+    T value;
+  };
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, std::unique_ptr<Entry>> map_;
+};
+
+}  // namespace detail
+
+class Evaluator {
+ public:
+  /// models::make_network, memoized by name.
+  const core::Network& network(const std::string& name);
+
+  /// sched::build_schedule for the scenario's (network, config, params),
+  /// memoized by Scenario::schedule_key().
+  const sched::Schedule& schedule(const Scenario& s);
+
+  /// sched::compute_traffic for the scenario's schedule, memoized by
+  /// Scenario::schedule_key() (traffic does not depend on hw).
+  const sched::Traffic& traffic(const Scenario& s);
+
+  /// sim::simulate_step for the full scenario, memoized by
+  /// Scenario::cache_key(). Requires device == kWaveCore.
+  const sim::StepResult& step(const Scenario& s);
+
+  /// arch::simulate_gpu_step for kGpu scenarios, memoized by
+  /// Scenario::cache_key().
+  const arch::GpuStepResult& gpu_step(const Scenario& s);
+
+  /// Snapshot of the hit/miss counters.
+  EvaluatorStats stats() const;
+
+ private:
+  detail::KeyedCache<core::Network> networks_;
+  detail::KeyedCache<sched::Schedule> schedules_;
+  detail::KeyedCache<sched::Traffic> traffics_;
+  detail::KeyedCache<sim::StepResult> steps_;
+  detail::KeyedCache<arch::GpuStepResult> gpu_steps_;
+
+  mutable std::mutex stats_mu_;
+  EvaluatorStats stats_;
+
+  void count(std::int64_t EvaluatorStats::*hits,
+             std::int64_t EvaluatorStats::*misses, bool was_hit);
+};
+
+}  // namespace mbs::engine

@@ -1,0 +1,123 @@
+#include "engine/scenario.h"
+
+#include <cstdio>
+
+namespace mbs::engine {
+
+namespace {
+
+/// Appends one `name=value` field to a key. Doubles print with %.17g so
+/// distinct configurations can never collide after rounding.
+void field(std::string& key, const char* name, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%s=%.17g;", name, v);
+  key += buf;
+}
+
+void field(std::string& key, const char* name, std::int64_t v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%s=%lld;", name,
+                static_cast<long long>(v));
+  key += buf;
+}
+
+void field(std::string& key, const char* name, int v) {
+  field(key, name, static_cast<std::int64_t>(v));
+}
+
+void field(std::string& key, const char* name, bool v) {
+  key += name;
+  key += v ? "=1;" : "=0;";
+}
+
+void field(std::string& key, const char* name, const std::string& v) {
+  key += name;
+  key += '=';
+  key += v;
+  key += ';';
+}
+
+}  // namespace
+
+const char* to_string(Device d) {
+  switch (d) {
+    case Device::kWaveCore: return "WaveCore";
+    case Device::kGpu: return "GPU";
+  }
+  return "?";
+}
+
+std::string Scenario::network_key() const { return network; }
+
+std::string Scenario::schedule_key() const {
+  std::string key;
+  field(key, "net", network);
+  field(key, "cfg", std::string(sched::to_string(config)));
+  field(key, "buf", params.buffer_bytes);
+  field(key, "mb", params.mini_batch);
+  field(key, "opt", params.optimal_grouping);
+  field(key, "ft", static_cast<int>(params.feature_type));
+  return key;
+}
+
+std::string Scenario::cache_key() const {
+  if (device == Device::kGpu) {
+    std::string key;
+    field(key, "dev", std::string("gpu"));
+    field(key, "net", network);
+    field(key, "gmb", gpu_mini_batch);
+    field(key, "flops", gpu.peak_flops);
+    field(key, "bw", gpu.mem_bw_bytes);
+    field(key, "sm", gpu.sm_count);
+    field(key, "tile", gpu.tile);
+    field(key, "bps", gpu.blocks_per_sm);
+    field(key, "ko", gpu.kernel_overhead_s);
+    field(key, "eff", gpu.gemm_efficiency);
+    field(key, "im2col", gpu.materialize_im2col);
+    return key;
+  }
+  std::string key = schedule_key();
+  field(key, "rows", hw.systolic.rows);
+  field(key, "cols", hw.systolic.cols);
+  field(key, "clk", hw.systolic.clock_hz);
+  field(key, "acc", hw.systolic.acc_half_bytes);
+  field(key, "mem", hw.memory.name);
+  field(key, "membw", hw.memory.bandwidth_bytes_per_s);
+  field(key, "memcap", hw.memory.capacity_bytes);
+  field(key, "memch", hw.memory.channels);
+  field(key, "mempj", hw.memory.energy_pj_per_byte);
+  field(key, "cores", hw.cores);
+  field(key, "gbuf", hw.global_buffer_bytes);
+  field(key, "gbw", hw.buffer_bw_bytes);
+  field(key, "vflops", hw.vector_flops);
+  field(key, "edram", hw.energy.dram_pj_per_byte);
+  field(key, "ebuf", hw.energy.buffer_pj_per_byte);
+  field(key, "emac", hw.energy.mac_pj);
+  field(key, "evec", hw.energy.vector_op_pj);
+  field(key, "ezero", hw.energy.zero_skip_fraction);
+  field(key, "estat", hw.energy.static_power_w);
+  field(key, "nobw", hw.unlimited_dram_bw);
+  return key;
+}
+
+std::vector<Scenario> scenario_grid(
+    const std::vector<std::string>& networks,
+    const std::vector<sched::ExecConfig>& configs,
+    const sched::ScheduleParams& params, const sim::WaveCoreConfig& hw,
+    Stage stage) {
+  std::vector<Scenario> out;
+  out.reserve(networks.size() * configs.size());
+  for (const std::string& net : networks)
+    for (sched::ExecConfig cfg : configs) {
+      Scenario s;
+      s.network = net;
+      s.config = cfg;
+      s.params = params;
+      s.hw = hw;
+      s.stage = stage;
+      out.push_back(std::move(s));
+    }
+  return out;
+}
+
+}  // namespace mbs::engine

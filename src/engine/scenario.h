@@ -1,0 +1,76 @@
+// Scenario: one point of the paper's evaluation design space.
+//
+// Every figure and table of the MBS evaluation is a sweep over the same
+// four coordinates: which network, which Tab. 3 execution configuration,
+// which scheduler parameters (buffer size, mini-batch, grouping algorithm),
+// and which hardware model (WaveCore variant or the Fig. 13 GPU
+// comparator). A Scenario captures one such point as plain data with a
+// stable cache key, so the engine can memoize and parallelize sweeps
+// without the 18 bespoke main() loops the seed repo used.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "arch/gpu.h"
+#include "sched/config.h"
+#include "sched/schedule.h"
+#include "sim/simulator.h"
+
+namespace mbs::engine {
+
+/// Hardware model a scenario executes on.
+enum class Device {
+  kWaveCore,  ///< the Sec. 4.2 accelerator model (sim::simulate_step)
+  kGpu,       ///< the analytical V100 comparator (arch::simulate_gpu_step)
+};
+
+const char* to_string(Device d);
+
+/// How deep the pipeline runs for a scenario. Analysis benches that only
+/// need the network or the schedule skip the later (more expensive) stages.
+enum class Stage {
+  kNetwork,   ///< build the network only
+  kSchedule,  ///< + run the scheduler
+  kTraffic,   ///< + compute the traffic model
+  kSimulate,  ///< + simulate the training step (default)
+};
+
+/// One evaluation point. Value type: copy freely, no behaviour beyond key
+/// derivation.
+struct Scenario {
+  std::string network;  ///< models::make_network name ("resnet50", ...)
+  sched::ExecConfig config = sched::ExecConfig::kBaseline;
+  sched::ScheduleParams params;
+  sim::WaveCoreConfig hw;
+
+  Device device = Device::kWaveCore;
+  arch::GpuModel gpu;      ///< used when device == kGpu
+  int gpu_mini_batch = 64; ///< global mini-batch for the GPU comparator
+
+  /// Evaluation depth (not part of any cache key: each stage memoizes
+  /// independently, so deep and shallow scenarios share work).
+  Stage stage = Stage::kSimulate;
+
+  std::string label;  ///< free-form tag carried through to results
+
+  /// Key of the network-construction stage (models::make_network input).
+  std::string network_key() const;
+  /// Key of the scheduling stage: network + config + every ScheduleParams
+  /// field. Scenarios differing only in `hw` share this key.
+  std::string schedule_key() const;
+  /// Key of the simulation stage: schedule_key + every hardware field (or
+  /// the GPU model fields for kGpu scenarios). Two scenarios with equal
+  /// cache keys produce bit-identical results.
+  std::string cache_key() const;
+};
+
+/// Cross product of networks x configs sharing `params` and `hw`, in
+/// row-major (network-major) order — the shape of Figs. 10 and 14.
+std::vector<Scenario> scenario_grid(
+    const std::vector<std::string>& networks,
+    const std::vector<sched::ExecConfig>& configs,
+    const sched::ScheduleParams& params = {},
+    const sim::WaveCoreConfig& hw = {}, Stage stage = Stage::kSimulate);
+
+}  // namespace mbs::engine

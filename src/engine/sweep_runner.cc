@@ -1,0 +1,84 @@
+#include "engine/sweep_runner.h"
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mbs::engine {
+
+ScenarioResult evaluate_scenario(const Scenario& s, Evaluator& eval) {
+  ScenarioResult r;
+  r.scenario = s;
+  r.network = &eval.network(s.network);
+  if (s.device == Device::kGpu) {
+    r.gpu = eval.gpu_step(s);
+    r.step.time_s = r.gpu.time_s;
+    r.step.dram_bytes = r.gpu.dram_bytes;
+    r.step.compute_time_s = r.gpu.compute_time_s;
+    r.step.memory_time_s = r.gpu.memory_time_s;
+  } else {
+    if (s.stage >= Stage::kSchedule) r.schedule = &eval.schedule(s);
+    if (s.stage >= Stage::kTraffic) r.traffic = &eval.traffic(s);
+    if (s.stage >= Stage::kSimulate) r.step = eval.step(s);
+  }
+  return r;
+}
+
+SweepRunner::SweepRunner(SweepOptions opts) : opts_(opts) {}
+
+int SweepRunner::thread_count(int n) const {
+  int t = opts_.threads;
+  if (t <= 0) t = static_cast<int>(std::thread::hardware_concurrency());
+  if (t <= 0) t = 1;
+  if (t > n) t = n;
+  return t < 1 ? 1 : t;
+}
+
+void SweepRunner::for_each_index(int n, const std::function<void(int)>& fn) const {
+  if (n <= 0) return;
+  const int threads = thread_count(n);
+  if (threads == 1) {
+    for (int i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  std::atomic<int> next{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr error;
+  std::mutex error_mu;
+
+  auto worker = [&] {
+    for (;;) {
+      const int i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n || failed.load(std::memory_order_relaxed)) return;
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (!error) error = std::current_exception();
+        failed.store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(threads));
+  for (int t = 0; t < threads; ++t) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+  if (error) std::rethrow_exception(error);
+}
+
+std::vector<ScenarioResult> SweepRunner::run(
+    const std::vector<Scenario>& scenarios, Evaluator& eval) const {
+  std::vector<ScenarioResult> out(scenarios.size());
+  for_each_index(static_cast<int>(scenarios.size()), [&](int i) {
+    const std::size_t idx = static_cast<std::size_t>(i);
+    out[idx] = evaluate_scenario(scenarios[idx], eval);
+  });
+  return out;
+}
+
+}  // namespace mbs::engine

@@ -1,0 +1,74 @@
+// SweepRunner: fans a vector of Scenarios (or arbitrary jobs) across a
+// std::thread pool and returns results in input order.
+//
+// Every pipeline stage the workers touch is a pure function memoized by the
+// shared Evaluator, so a parallel sweep is deterministically bit-identical
+// to running the same scenarios serially — the property tests/engine_test.cc
+// asserts and the paper-figure benches rely on for reproducibility.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "engine/evaluator.h"
+#include "engine/scenario.h"
+
+namespace mbs::engine {
+
+/// One evaluated scenario. `network`/`schedule`/`traffic` point at entries
+/// owned by the Evaluator and stay valid for its lifetime; they are null
+/// where the stage does not apply (GPU scenarios have no schedule; a
+/// Scenario::stage shallower than kSimulate leaves later stages unrun).
+struct ScenarioResult {
+  Scenario scenario;
+  const core::Network* network = nullptr;
+  const sched::Schedule* schedule = nullptr;
+  const sched::Traffic* traffic = nullptr;
+  /// WaveCore step metrics; for kGpu scenarios the time/traffic fields are
+  /// mapped from the GPU estimate so sweeps mixing devices tabulate
+  /// uniformly.
+  sim::StepResult step;
+  arch::GpuStepResult gpu;  ///< populated only for kGpu scenarios
+};
+
+/// Evaluates one scenario against `eval` (the serial reference path; the
+/// parallel runner calls exactly this per index).
+ScenarioResult evaluate_scenario(const Scenario& s, Evaluator& eval);
+
+struct SweepOptions {
+  /// Worker threads; 0 uses std::thread::hardware_concurrency().
+  int threads = 0;
+};
+
+class SweepRunner {
+ public:
+  explicit SweepRunner(SweepOptions opts = {});
+
+  /// Runs scenario `i` on the pool for every i; results come back in input
+  /// order, identical to calling evaluate_scenario serially.
+  std::vector<ScenarioResult> run(const std::vector<Scenario>& scenarios,
+                                  Evaluator& eval) const;
+
+  /// Parallel for over [0, n): each index is claimed once by some worker.
+  /// `fn` must be safe to call concurrently for distinct indices.
+  void for_each_index(int n, const std::function<void(int)>& fn) const;
+
+  /// Generic ordered parallel map for consumers whose unit of work is not a
+  /// Scenario (e.g. the training benches): executes `jobs` on the pool and
+  /// returns their results in input order. R must be default-constructible.
+  template <typename R>
+  std::vector<R> map(const std::vector<std::function<R()>>& jobs) const {
+    std::vector<R> out(jobs.size());
+    for_each_index(static_cast<int>(jobs.size()),
+                   [&](int i) { out[static_cast<std::size_t>(i)] = jobs[static_cast<std::size_t>(i)](); });
+    return out;
+  }
+
+  /// Threads that would be used for `n` jobs (bounded by both).
+  int thread_count(int n) const;
+
+ private:
+  SweepOptions opts_;
+};
+
+}  // namespace mbs::engine

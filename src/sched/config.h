@@ -1,6 +1,8 @@
 // Execution configurations evaluated in the paper (Tab. 3).
 #pragma once
 
+#include <vector>
+
 namespace mbs::sched {
 
 /// Tab. 3's six evaluation configurations, in presentation order.
@@ -23,6 +25,26 @@ inline const char* to_string(ExecConfig c) {
     case ExecConfig::kMbs2: return "MBS2";
   }
   return "?";
+}
+
+/// All six execution configurations, in Tab. 3's presentation order.
+/// (Previously copy-pasted as array literals across the bench binaries.)
+inline std::vector<ExecConfig> all_exec_configs() {
+  return {ExecConfig::kBaseline, ExecConfig::kArchOpt, ExecConfig::kIL,
+          ExecConfig::kMbsFs,    ExecConfig::kMbs1,    ExecConfig::kMbs2};
+}
+
+/// Alias for the Tab. 3 evaluation set (all six configurations); the name
+/// the paper-figure benches use when declaring their scenario grids.
+inline std::vector<ExecConfig> paper_tab3_configs() {
+  return all_exec_configs();
+}
+
+/// The serialized configurations (MBS-FS/MBS1/MBS2) plus IL — the subset
+/// Fig. 11's buffer sweep evaluates.
+inline std::vector<ExecConfig> serialized_configs_with_il() {
+  return {ExecConfig::kIL, ExecConfig::kMbsFs, ExecConfig::kMbs1,
+          ExecConfig::kMbs2};
 }
 
 /// All configurations except Baseline double-buffer weights in the PEs.

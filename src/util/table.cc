@@ -55,10 +55,24 @@ void Table::print(std::ostream& os) const {
 }
 
 void Table::print_csv(std::ostream& os) const {
+  // RFC-4180 quoting: cells containing a comma, quote or newline are
+  // double-quoted with embedded quotes doubled; plain cells pass through.
+  auto cell = [&](const std::string& s) {
+    if (s.find_first_of(",\"\n\r") == std::string::npos) {
+      os << s;
+      return;
+    }
+    os << '"';
+    for (char c : s) {
+      if (c == '"') os << '"';
+      os << c;
+    }
+    os << '"';
+  };
   auto emit = [&](const std::vector<std::string>& row) {
     for (std::size_t c = 0; c < row.size(); ++c) {
       if (c) os << ',';
-      os << row[c];
+      cell(row[c]);
     }
     os << '\n';
   };

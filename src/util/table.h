@@ -21,10 +21,17 @@ class Table {
   /// Number of data rows added so far.
   std::size_t row_count() const { return rows_.size(); }
 
+  /// Column headers, as passed to the constructor.
+  const std::vector<std::string>& headers() const { return headers_; }
+
+  /// All data rows (each padded to the header width by add_row).
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
   /// Renders the aligned table to `os`.
   void print(std::ostream& os) const;
 
-  /// Renders the table as CSV (no alignment padding).
+  /// Renders the table as CSV (RFC-4180: cells containing a comma, quote or
+  /// newline are double-quoted with embedded quotes doubled).
   void print_csv(std::ostream& os) const;
 
  private:

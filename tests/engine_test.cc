@@ -1,0 +1,271 @@
+// Tests for the parallel experiment engine: scenario cache keys, evaluator
+// memoization, parallel-vs-serial determinism of SweepRunner, and the
+// ResultSink CSV/JSON round trip.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <sstream>
+#include <stdexcept>
+
+#include "engine/engine.h"
+#include "models/zoo.h"
+#include "sched/config.h"
+
+namespace mbs::engine {
+namespace {
+
+Scenario mbs2_scenario(const std::string& net = "resnet50") {
+  Scenario s;
+  s.network = net;
+  s.config = sched::ExecConfig::kMbs2;
+  return s;
+}
+
+bool step_equal(const sim::StepResult& a, const sim::StepResult& b) {
+  return a.time_s == b.time_s && a.dram_bytes == b.dram_bytes &&
+         a.buffer_bytes == b.buffer_bytes && a.total_macs == b.total_macs &&
+         a.systolic_utilization == b.systolic_utilization &&
+         a.compute_time_s == b.compute_time_s &&
+         a.memory_time_s == b.memory_time_s &&
+         a.energy.total() == b.energy.total() &&
+         a.time_by_type.total() == b.time_by_type.total();
+}
+
+// ---- Scenario keys ----------------------------------------------------------
+
+TEST(Scenario, EqualScenariosShareKeys) {
+  const Scenario a = mbs2_scenario();
+  const Scenario b = mbs2_scenario();
+  EXPECT_EQ(a.cache_key(), b.cache_key());
+  EXPECT_EQ(a.schedule_key(), b.schedule_key());
+}
+
+TEST(Scenario, ScheduleKeyIgnoresHardware) {
+  Scenario a = mbs2_scenario();
+  Scenario b = mbs2_scenario();
+  b.hw.memory = arch::lpddr4();
+  b.hw.unlimited_dram_bw = true;
+  EXPECT_EQ(a.schedule_key(), b.schedule_key());
+  EXPECT_NE(a.cache_key(), b.cache_key());
+}
+
+TEST(Scenario, KeyDistinguishesEveryScheduleField) {
+  const Scenario base = mbs2_scenario();
+  Scenario s = base;
+  s.config = sched::ExecConfig::kMbs1;
+  EXPECT_NE(s.schedule_key(), base.schedule_key());
+  s = base;
+  s.params.buffer_bytes *= 2;
+  EXPECT_NE(s.schedule_key(), base.schedule_key());
+  s = base;
+  s.params.mini_batch = 64;
+  EXPECT_NE(s.schedule_key(), base.schedule_key());
+  s = base;
+  s.params.optimal_grouping = true;
+  EXPECT_NE(s.schedule_key(), base.schedule_key());
+  s = base;
+  s.network = "alexnet";
+  EXPECT_NE(s.schedule_key(), base.schedule_key());
+}
+
+TEST(Scenario, GpuKeyIsDisjointFromWaveCoreKey) {
+  Scenario wave = mbs2_scenario();
+  Scenario gpu = mbs2_scenario();
+  gpu.device = Device::kGpu;
+  EXPECT_NE(wave.cache_key(), gpu.cache_key());
+}
+
+TEST(Scenario, GridIsNetworkMajor) {
+  const auto grid = scenario_grid({"resnet50", "alexnet"},
+                                  {sched::ExecConfig::kBaseline,
+                                   sched::ExecConfig::kMbs2});
+  ASSERT_EQ(grid.size(), 4u);
+  EXPECT_EQ(grid[0].network, "resnet50");
+  EXPECT_EQ(grid[0].config, sched::ExecConfig::kBaseline);
+  EXPECT_EQ(grid[1].network, "resnet50");
+  EXPECT_EQ(grid[1].config, sched::ExecConfig::kMbs2);
+  EXPECT_EQ(grid[2].network, "alexnet");
+  EXPECT_EQ(grid[3].config, sched::ExecConfig::kMbs2);
+}
+
+// ---- Evaluator memoization --------------------------------------------------
+
+TEST(Evaluator, MemoizesNetworkBuilds) {
+  Evaluator eval;
+  const core::Network& a = eval.network("resnet50");
+  const core::Network& b = eval.network("resnet50");
+  EXPECT_EQ(&a, &b);  // same cached object, not a rebuild
+  const EvaluatorStats stats = eval.stats();
+  EXPECT_EQ(stats.network_misses, 1);
+  EXPECT_EQ(stats.network_hits, 1);
+}
+
+TEST(Evaluator, MemoizesSchedulesAcrossHardwareVariants) {
+  Evaluator eval;
+  Scenario a = mbs2_scenario();
+  Scenario b = mbs2_scenario();
+  b.hw.memory = arch::lpddr4();  // different hw, same scheduling problem
+  const sched::Schedule& sa = eval.schedule(a);
+  const sched::Schedule& sb = eval.schedule(b);
+  EXPECT_EQ(&sa, &sb);
+}
+
+TEST(Evaluator, CacheHitReturnsIdenticalStepResult) {
+  Evaluator eval;
+  const Scenario s = mbs2_scenario();
+  const sim::StepResult first = eval.step(s);
+  const sim::StepResult second = eval.step(s);  // cache hit
+  EXPECT_TRUE(step_equal(first, second));
+  EXPECT_EQ(&eval.step(s), &eval.step(s));  // same cached object
+  const EvaluatorStats stats = eval.stats();
+  EXPECT_EQ(stats.step_misses, 1);
+  EXPECT_GE(stats.step_hits, 2);
+}
+
+TEST(Evaluator, DistinctKeysComputeDistinctResults) {
+  Evaluator eval;
+  Scenario a = mbs2_scenario();
+  Scenario b = mbs2_scenario();
+  b.config = sched::ExecConfig::kBaseline;
+  EXPECT_NE(eval.step(a).time_s, eval.step(b).time_s);
+}
+
+// ---- SweepRunner determinism ------------------------------------------------
+
+TEST(SweepRunner, ParallelMatchesSerialBitForBit) {
+  const auto grid = scenario_grid(models::evaluated_network_names(),
+                                  sched::paper_tab3_configs());
+
+  // Serial reference: evaluate each scenario in order on one thread.
+  Evaluator serial_eval;
+  std::vector<ScenarioResult> serial;
+  serial.reserve(grid.size());
+  for (const Scenario& s : grid)
+    serial.push_back(evaluate_scenario(s, serial_eval));
+
+  // Parallel run with an explicit pool.
+  SweepOptions opts;
+  opts.threads = 8;
+  Evaluator par_eval;
+  const auto parallel = SweepRunner(opts).run(grid, par_eval);
+
+  ASSERT_EQ(parallel.size(), serial.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(parallel[i].scenario.cache_key(), serial[i].scenario.cache_key());
+    EXPECT_TRUE(step_equal(parallel[i].step, serial[i].step))
+        << "scenario " << i << " diverged between serial and parallel runs";
+    EXPECT_EQ(parallel[i].traffic->dram_bytes(),
+              serial[i].traffic->dram_bytes());
+    EXPECT_EQ(parallel[i].schedule->groups.size(),
+              serial[i].schedule->groups.size());
+  }
+
+  // The sweep shares intermediates: six network builds serve 36 scenarios.
+  const EvaluatorStats stats = par_eval.stats();
+  EXPECT_EQ(stats.network_misses, 6);
+  EXPECT_EQ(stats.schedule_misses, 36);
+}
+
+TEST(SweepRunner, ResultsComeBackInInputOrder) {
+  SweepOptions opts;
+  opts.threads = 4;
+  const SweepRunner runner(opts);
+  std::vector<std::function<int()>> jobs;
+  for (int i = 0; i < 64; ++i) jobs.push_back([i] { return i * i; });
+  const std::vector<int> out = runner.map<int>(jobs);
+  ASSERT_EQ(out.size(), 64u);
+  for (int i = 0; i < 64; ++i)
+    EXPECT_EQ(out[static_cast<std::size_t>(i)], i * i);
+}
+
+TEST(SweepRunner, PropagatesWorkerExceptions) {
+  SweepOptions opts;
+  opts.threads = 2;
+  const SweepRunner runner(opts);
+  EXPECT_THROW(
+      runner.for_each_index(8,
+                            [](int i) {
+                              if (i == 3) throw std::runtime_error("boom");
+                            }),
+      std::runtime_error);
+}
+
+TEST(SweepRunner, GpuScenariosMapIntoStepFields) {
+  Scenario s;
+  s.network = "resnet50";
+  s.device = Device::kGpu;
+  Evaluator eval;
+  const auto results = SweepRunner().run({s}, eval);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].schedule, nullptr);
+  EXPECT_GT(results[0].gpu.time_s, 0);
+  EXPECT_EQ(results[0].step.time_s, results[0].gpu.time_s);
+  EXPECT_EQ(results[0].step.dram_bytes, results[0].gpu.dram_bytes);
+  // GPU cache activity is counted separately from the WaveCore step cache.
+  EXPECT_EQ(eval.stats().gpu_misses, 1);
+  EXPECT_EQ(eval.stats().step_misses, 0);
+}
+
+TEST(SweepRunner, ShallowStagesSkipLaterPipelineWork) {
+  Scenario s = mbs2_scenario();
+  s.stage = Stage::kSchedule;
+  Evaluator eval;
+  const auto results = SweepRunner().run({s}, eval);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_NE(results[0].schedule, nullptr);
+  EXPECT_EQ(results[0].traffic, nullptr);
+  EXPECT_EQ(eval.stats().step_misses, 0);   // simulate_step never ran
+  EXPECT_EQ(eval.stats().traffic_misses, 0);
+
+  // Deepening the same scenario reuses the memoized shallow stages.
+  s.stage = Stage::kSimulate;
+  const auto deep = SweepRunner().run({s}, eval);
+  EXPECT_EQ(deep[0].schedule, results[0].schedule);
+  EXPECT_EQ(eval.stats().schedule_misses, 1);
+}
+
+// ---- ResultSink -------------------------------------------------------------
+
+TEST(ResultSink, CsvRoundTripsTableContents) {
+  ResultSink sink("Fig. X", {"network", "value", "note"});
+  sink.add_row({"resnet50", "1.25", "plain"});
+  sink.add_row({"odd,cell", "with \"quotes\"", "multi\nline"});
+  std::ostringstream os;
+  sink.write_csv(os);
+
+  const ResultSink::Parsed parsed = ResultSink::parse_csv(os.str());
+  EXPECT_EQ(parsed.headers, sink.table().headers());
+  ASSERT_EQ(parsed.rows.size(), sink.table().rows().size());
+  for (std::size_t i = 0; i < parsed.rows.size(); ++i)
+    EXPECT_EQ(parsed.rows[i], sink.table().rows()[i]);
+}
+
+TEST(ResultSink, JsonRoundTripsTableContents) {
+  ResultSink sink("Fig. 10a: time \"per step\"", {"network", "t [ms]"});
+  sink.add_row({"resnet50", "58.3"});
+  sink.add_row({"needs \\escaping\t", "line\nbreak"});
+  std::ostringstream os;
+  sink.write_json(os);
+
+  const ResultSink::Parsed parsed = ResultSink::parse_json(os.str());
+  EXPECT_EQ(parsed.title, sink.title());
+  EXPECT_EQ(parsed.headers, sink.table().headers());
+  ASSERT_EQ(parsed.rows.size(), sink.table().rows().size());
+  for (std::size_t i = 0; i < parsed.rows.size(); ++i)
+    EXPECT_EQ(parsed.rows[i], sink.table().rows()[i]);
+}
+
+TEST(ResultSink, ShortRowsRoundTripPadded) {
+  ResultSink sink("t", {"a", "b", "c"});
+  sink.add_row({"only"});  // padded to ("only", "", "") by util::Table
+  std::ostringstream csv, json;
+  sink.write_csv(csv);
+  sink.write_json(json);
+  EXPECT_EQ(ResultSink::parse_csv(csv.str()).rows[0],
+            (std::vector<std::string>{"only", "", ""}));
+  EXPECT_EQ(ResultSink::parse_json(json.str()).rows[0],
+            (std::vector<std::string>{"only", "", ""}));
+}
+
+}  // namespace
+}  // namespace mbs::engine

@@ -99,9 +99,10 @@ TEST_P(ScheduleInvariants, SerializedFootprintsFitTheBuffer) {
   for (const Group& g : s.groups)
     for (int b = g.first; b <= g.last; ++b) {
       const auto fp = s.block_footprint[static_cast<std::size_t>(b)];
-      if (g.sub_batch > 1)
+      if (g.sub_batch > 1) {
         EXPECT_LE(fp * g.sub_batch, s.buffer_bytes)
             << "block " << b << " sub-batch " << g.sub_batch;
+      }
     }
 }
 
@@ -123,9 +124,12 @@ TEST_P(ScheduleInvariants, MasksOnlyUnderMbs) {
   const Schedule s = build_schedule(net, cfg);
   const Traffic t = compute_traffic(net, s);
   const double mask = t.dram_bytes_by_class(TrafficClass::kMask);
-  if (uses_relu_masks(cfg) && net.name != "AlexNet")
+  if (uses_relu_masks(cfg) && net.name != "AlexNet") {
     EXPECT_GT(mask, 0);
-  if (!uses_relu_masks(cfg)) EXPECT_EQ(mask, 0);
+  }
+  if (!uses_relu_masks(cfg)) {
+    EXPECT_EQ(mask, 0);
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(

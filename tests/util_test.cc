@@ -57,6 +57,14 @@ TEST(Table, CsvEmitsCommaSeparatedRows) {
   EXPECT_EQ(os.str(), "a,b\n1,2\n");
 }
 
+TEST(Table, CsvQuotesSpecialCells) {
+  Table t({"a", "b"});
+  t.add_row({"25,557,032", "say \"hi\""});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n\"25,557,032\",\"say \"\"hi\"\"\"\n");
+}
+
 TEST(Table, ShortRowsArePadded) {
   Table t({"a", "b", "c"});
   t.add_row({"only"});
