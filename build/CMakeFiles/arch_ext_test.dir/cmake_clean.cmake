@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arch_ext_test.dir/tests/arch_ext_test.cc.o"
+  "CMakeFiles/arch_ext_test.dir/tests/arch_ext_test.cc.o.d"
+  "arch_ext_test"
+  "arch_ext_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arch_ext_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_scaling.dir/bench/ext_scaling.cc.o"
+  "CMakeFiles/ext_scaling.dir/bench/ext_scaling.cc.o.d"
+  "ext_scaling"
+  "ext_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

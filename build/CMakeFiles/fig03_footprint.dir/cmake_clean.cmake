@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_footprint.dir/bench/fig03_footprint.cc.o"
+  "CMakeFiles/fig03_footprint.dir/bench/fig03_footprint.cc.o.d"
+  "fig03_footprint"
+  "fig03_footprint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_footprint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_grouping.dir/bench/fig04_grouping.cc.o"
+  "CMakeFiles/fig04_grouping.dir/bench/fig04_grouping.cc.o.d"
+  "fig04_grouping"
+  "fig04_grouping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_grouping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_schedule.dir/bench/fig05_schedule.cc.o"
+  "CMakeFiles/fig05_schedule.dir/bench/fig05_schedule.cc.o.d"
+  "fig05_schedule"
+  "fig05_schedule.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_schedule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_training.dir/bench/fig06_training.cc.o"
+  "CMakeFiles/fig06_training.dir/bench/fig06_training.cc.o.d"
+  "fig06_training"
+  "fig06_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

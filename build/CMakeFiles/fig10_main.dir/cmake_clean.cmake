@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_main.dir/bench/fig10_main.cc.o"
+  "CMakeFiles/fig10_main.dir/bench/fig10_main.cc.o.d"
+  "fig10_main"
+  "fig10_main.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_main.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_buffer_sweep.dir/bench/fig11_buffer_sweep.cc.o"
+  "CMakeFiles/fig11_buffer_sweep.dir/bench/fig11_buffer_sweep.cc.o.d"
+  "fig11_buffer_sweep"
+  "fig11_buffer_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_buffer_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_memtype.dir/bench/fig12_memtype.cc.o"
+  "CMakeFiles/fig12_memtype.dir/bench/fig12_memtype.cc.o.d"
+  "fig12_memtype"
+  "fig12_memtype.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_memtype.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

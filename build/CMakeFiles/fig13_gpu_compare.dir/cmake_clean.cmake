@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_gpu_compare.dir/bench/fig13_gpu_compare.cc.o"
+  "CMakeFiles/fig13_gpu_compare.dir/bench/fig13_gpu_compare.cc.o.d"
+  "fig13_gpu_compare"
+  "fig13_gpu_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_gpu_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_utilization.dir/bench/fig14_utilization.cc.o"
+  "CMakeFiles/fig14_utilization.dir/bench/fig14_utilization.cc.o.d"
+  "fig14_utilization"
+  "fig14_utilization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_utilization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

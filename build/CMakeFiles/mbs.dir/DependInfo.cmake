@@ -1,0 +1,50 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arch/area.cc" "CMakeFiles/mbs.dir/src/arch/area.cc.o" "gcc" "CMakeFiles/mbs.dir/src/arch/area.cc.o.d"
+  "/root/repo/src/arch/energy.cc" "CMakeFiles/mbs.dir/src/arch/energy.cc.o" "gcc" "CMakeFiles/mbs.dir/src/arch/energy.cc.o.d"
+  "/root/repo/src/arch/gpu.cc" "CMakeFiles/mbs.dir/src/arch/gpu.cc.o" "gcc" "CMakeFiles/mbs.dir/src/arch/gpu.cc.o.d"
+  "/root/repo/src/arch/memory.cc" "CMakeFiles/mbs.dir/src/arch/memory.cc.o" "gcc" "CMakeFiles/mbs.dir/src/arch/memory.cc.o.d"
+  "/root/repo/src/arch/systolic.cc" "CMakeFiles/mbs.dir/src/arch/systolic.cc.o" "gcc" "CMakeFiles/mbs.dir/src/arch/systolic.cc.o.d"
+  "/root/repo/src/core/block.cc" "CMakeFiles/mbs.dir/src/core/block.cc.o" "gcc" "CMakeFiles/mbs.dir/src/core/block.cc.o.d"
+  "/root/repo/src/core/layer.cc" "CMakeFiles/mbs.dir/src/core/layer.cc.o" "gcc" "CMakeFiles/mbs.dir/src/core/layer.cc.o.d"
+  "/root/repo/src/core/network.cc" "CMakeFiles/mbs.dir/src/core/network.cc.o" "gcc" "CMakeFiles/mbs.dir/src/core/network.cc.o.d"
+  "/root/repo/src/engine/evaluator.cc" "CMakeFiles/mbs.dir/src/engine/evaluator.cc.o" "gcc" "CMakeFiles/mbs.dir/src/engine/evaluator.cc.o.d"
+  "/root/repo/src/engine/result_sink.cc" "CMakeFiles/mbs.dir/src/engine/result_sink.cc.o" "gcc" "CMakeFiles/mbs.dir/src/engine/result_sink.cc.o.d"
+  "/root/repo/src/engine/scenario.cc" "CMakeFiles/mbs.dir/src/engine/scenario.cc.o" "gcc" "CMakeFiles/mbs.dir/src/engine/scenario.cc.o.d"
+  "/root/repo/src/engine/sweep_runner.cc" "CMakeFiles/mbs.dir/src/engine/sweep_runner.cc.o" "gcc" "CMakeFiles/mbs.dir/src/engine/sweep_runner.cc.o.d"
+  "/root/repo/src/models/alexnet.cc" "CMakeFiles/mbs.dir/src/models/alexnet.cc.o" "gcc" "CMakeFiles/mbs.dir/src/models/alexnet.cc.o.d"
+  "/root/repo/src/models/inception_v3.cc" "CMakeFiles/mbs.dir/src/models/inception_v3.cc.o" "gcc" "CMakeFiles/mbs.dir/src/models/inception_v3.cc.o.d"
+  "/root/repo/src/models/inception_v4.cc" "CMakeFiles/mbs.dir/src/models/inception_v4.cc.o" "gcc" "CMakeFiles/mbs.dir/src/models/inception_v4.cc.o.d"
+  "/root/repo/src/models/resnet.cc" "CMakeFiles/mbs.dir/src/models/resnet.cc.o" "gcc" "CMakeFiles/mbs.dir/src/models/resnet.cc.o.d"
+  "/root/repo/src/models/zoo.cc" "CMakeFiles/mbs.dir/src/models/zoo.cc.o" "gcc" "CMakeFiles/mbs.dir/src/models/zoo.cc.o.d"
+  "/root/repo/src/sched/schedule.cc" "CMakeFiles/mbs.dir/src/sched/schedule.cc.o" "gcc" "CMakeFiles/mbs.dir/src/sched/schedule.cc.o.d"
+  "/root/repo/src/sched/scheduler.cc" "CMakeFiles/mbs.dir/src/sched/scheduler.cc.o" "gcc" "CMakeFiles/mbs.dir/src/sched/scheduler.cc.o.d"
+  "/root/repo/src/sched/traffic.cc" "CMakeFiles/mbs.dir/src/sched/traffic.cc.o" "gcc" "CMakeFiles/mbs.dir/src/sched/traffic.cc.o.d"
+  "/root/repo/src/sim/simulator.cc" "CMakeFiles/mbs.dir/src/sim/simulator.cc.o" "gcc" "CMakeFiles/mbs.dir/src/sim/simulator.cc.o.d"
+  "/root/repo/src/train/data.cc" "CMakeFiles/mbs.dir/src/train/data.cc.o" "gcc" "CMakeFiles/mbs.dir/src/train/data.cc.o.d"
+  "/root/repo/src/train/im2col.cc" "CMakeFiles/mbs.dir/src/train/im2col.cc.o" "gcc" "CMakeFiles/mbs.dir/src/train/im2col.cc.o.d"
+  "/root/repo/src/train/loss.cc" "CMakeFiles/mbs.dir/src/train/loss.cc.o" "gcc" "CMakeFiles/mbs.dir/src/train/loss.cc.o.d"
+  "/root/repo/src/train/model.cc" "CMakeFiles/mbs.dir/src/train/model.cc.o" "gcc" "CMakeFiles/mbs.dir/src/train/model.cc.o.d"
+  "/root/repo/src/train/norm.cc" "CMakeFiles/mbs.dir/src/train/norm.cc.o" "gcc" "CMakeFiles/mbs.dir/src/train/norm.cc.o.d"
+  "/root/repo/src/train/ops.cc" "CMakeFiles/mbs.dir/src/train/ops.cc.o" "gcc" "CMakeFiles/mbs.dir/src/train/ops.cc.o.d"
+  "/root/repo/src/train/optim.cc" "CMakeFiles/mbs.dir/src/train/optim.cc.o" "gcc" "CMakeFiles/mbs.dir/src/train/optim.cc.o.d"
+  "/root/repo/src/train/resnet_model.cc" "CMakeFiles/mbs.dir/src/train/resnet_model.cc.o" "gcc" "CMakeFiles/mbs.dir/src/train/resnet_model.cc.o.d"
+  "/root/repo/src/train/tensor.cc" "CMakeFiles/mbs.dir/src/train/tensor.cc.o" "gcc" "CMakeFiles/mbs.dir/src/train/tensor.cc.o.d"
+  "/root/repo/src/train/trainer.cc" "CMakeFiles/mbs.dir/src/train/trainer.cc.o" "gcc" "CMakeFiles/mbs.dir/src/train/trainer.cc.o.d"
+  "/root/repo/src/util/table.cc" "CMakeFiles/mbs.dir/src/util/table.cc.o" "gcc" "CMakeFiles/mbs.dir/src/util/table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

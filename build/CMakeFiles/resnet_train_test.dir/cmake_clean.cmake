@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resnet_train_test.dir/tests/resnet_train_test.cc.o"
+  "CMakeFiles/resnet_train_test.dir/tests/resnet_train_test.cc.o.d"
+  "resnet_train_test"
+  "resnet_train_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resnet_train_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

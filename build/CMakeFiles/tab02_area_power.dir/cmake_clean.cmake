@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab02_area_power.dir/bench/tab02_area_power.cc.o"
+  "CMakeFiles/tab02_area_power.dir/bench/tab02_area_power.cc.o.d"
+  "tab02_area_power"
+  "tab02_area_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab02_area_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/train_gn_mbs.dir/examples/train_gn_mbs.cc.o"
+  "CMakeFiles/train_gn_mbs.dir/examples/train_gn_mbs.cc.o.d"
+  "train_gn_mbs"
+  "train_gn_mbs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/train_gn_mbs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

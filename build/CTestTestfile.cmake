@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo
+# Build directory: /root/repo/build
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(arch_ext_test "/root/repo/build/arch_ext_test")
+set_tests_properties(arch_ext_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;128;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(arch_test "/root/repo/build/arch_test")
+set_tests_properties(arch_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;128;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(core_test "/root/repo/build/core_test")
+set_tests_properties(core_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;128;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(engine_test "/root/repo/build/engine_test")
+set_tests_properties(engine_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;128;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(im2col_test "/root/repo/build/im2col_test")
+set_tests_properties(im2col_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;128;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(models_test "/root/repo/build/models_test")
+set_tests_properties(models_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;128;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(property_test "/root/repo/build/property_test")
+set_tests_properties(property_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;128;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(resnet_train_test "/root/repo/build/resnet_train_test")
+set_tests_properties(resnet_train_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;128;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(sched_test "/root/repo/build/sched_test")
+set_tests_properties(sched_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;128;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(sim_test "/root/repo/build/sim_test")
+set_tests_properties(sim_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;128;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(train_test "/root/repo/build/train_test")
+set_tests_properties(train_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;128;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(util_test "/root/repo/build/util_test")
+set_tests_properties(util_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;128;add_test;/root/repo/CMakeLists.txt;0;")
