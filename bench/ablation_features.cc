@@ -13,17 +13,20 @@
 #include "engine/engine.h"
 #include "models/zoo.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mbs;
   using sched::TrafficClass;
+  engine::Driver driver(argc, argv);
+  const engine::ShardPlan shard = driver.shard();
 
   const std::vector<std::string> all_nets = models::evaluated_network_names();
   const auto grid = engine::scenario_grid(
       all_nets, {sched::ExecConfig::kMbs1, sched::ExecConfig::kMbs2}, {}, {},
       engine::Stage::kTraffic);
-  engine::Evaluator eval;
-  engine::SweepRunner runner;
-  const auto results = runner.run(grid, eval);
+  // Tables (1) and (2) emit one row per network; row ni reads the MBS1/MBS2
+  // pair at scenarios 2*ni and 2*ni+1.
+  const auto results =
+      driver.run(grid, [&](std::size_t i) { return shard.owns(i / 2); });
 
   std::printf("=== Ablation: MBS feature contributions ===\n\n");
 
@@ -32,6 +35,7 @@ int main() {
       "(paper: ~1.2x without it)",
       {"network", "MBS1 [GiB]", "MBS2 [GiB]", "MBS1/MBS2"});
   for (std::size_t ni = 0; ni < all_nets.size(); ++ni) {
+    if (!shard.owns(ni)) continue;  // one output row per network
     const double m1 = results[ni * 2].traffic->dram_bytes();
     const double m2 = results[ni * 2 + 1].traffic->dram_bytes();
     t1.add_row({results[ni * 2].network->name,
@@ -47,6 +51,7 @@ int main() {
       "they replace",
       {"network", "mask traffic [MiB]", "16b equivalent [MiB]", "savings"});
   for (std::size_t ni = 0; ni < all_nets.size(); ++ni) {
+    if (!shard.owns(ni)) continue;  // one output row per network
     const sched::Traffic& traffic = *results[ni * 2 + 1].traffic;  // MBS2
     const double mask = traffic.dram_bytes_by_class(TrafficClass::kMask);
     const double equivalent = mask * 16.0;  // 1b vs 16b per element
@@ -66,13 +71,15 @@ int main() {
       {sched::ExecConfig::kBaseline, sched::ExecConfig::kMbsFs,
        sched::ExecConfig::kMbs2},
       {}, {}, engine::Stage::kTraffic);
-  const auto wgrad_results = runner.run(wgrad_grid, eval);
+  const auto wgrad_results = driver.run(wgrad_grid);
 
   engine::ResultSink t3(
       "(3) weight-gradient partial-sum overhead of serialization",
       {"network", "config", "iterations", "wgrad traffic [MiB]",
        "share of total"});
-  for (const engine::ScenarioResult& r : wgrad_results) {
+  for (std::size_t i = 0; i < wgrad_results.size(); ++i) {
+    if (!shard.owns(i)) continue;  // one output row per scenario
+    const engine::ScenarioResult& r = wgrad_results[i];
     const double wg =
         r.traffic->dram_bytes_by_class(TrafficClass::kWgradPartial);
     t3.add_row({r.network->name, sched::to_string(r.scenario.config),

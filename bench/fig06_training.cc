@@ -16,9 +16,11 @@
 #include "train/data.h"
 #include "train/trainer.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mbs;
   using namespace mbs::train;
+  engine::Driver driver(argc, argv);
+  const engine::ShardPlan shard = driver.shard();
 
   // Noise level chosen so the task is learnable but not saturated — the
   // curves separate the way Fig. 6's ImageNet curves do.
@@ -50,7 +52,9 @@ int main() {
 
   std::printf("=== Fig. 6: BN vs GN+MBS training (synthetic ImageNet "
               "stand-in; see DESIGN.md) ===\n\n");
-  const auto runs = engine::SweepRunner().map<std::vector<EpochLog>>(
+  // Every epoch row compares all three training runs, so sharding cannot
+  // subdivide the training work — only the emitted rows.
+  const auto runs = driver.runner().map<std::vector<EpochLog>>(
       {run(NormMode::kBatch, /*serialize=*/false),
        run(NormMode::kGroup, /*serialize=*/true),
        run(NormMode::kNone, /*serialize=*/false)});
@@ -62,13 +66,15 @@ int main() {
       "", {"epoch", "BN val err [%]", "GN+MBS val err [%]",
            "no-norm val err [%]", "BN preact mean (last)",
            "GN+MBS preact mean (last)", "no-norm preact mean (last)"});
-  for (std::size_t e = 0; e < bn.size(); ++e)
+  for (std::size_t e = 0; e < bn.size(); ++e) {
+    if (!shard.owns(e)) continue;  // one output row per epoch
     sink.add_row({std::to_string(e), util::fmt(bn[e].val_error, 1),
                   util::fmt(gn_mbs[e].val_error, 1),
                   util::fmt(none[e].val_error, 1),
                   util::fmt(bn[e].last_preact_mean, 3),
                   util::fmt(gn_mbs[e].last_preact_mean, 3),
                   util::fmt(none[e].last_preact_mean, 3)});
+  }
   sink.print(std::cout);
   sink.export_files("fig06_training");
 

@@ -13,15 +13,16 @@
 #include "models/zoo.h"
 #include "util/units.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mbs;
+  engine::Driver driver(argc, argv);
+  const engine::ShardPlan shard = driver.shard();
 
   const std::vector<sched::ExecConfig> configs = sched::paper_tab3_configs();
   const std::vector<engine::Scenario> grid =
       engine::scenario_grid(models::evaluated_network_names(), configs);
 
-  engine::Evaluator eval;
-  const auto results = engine::SweepRunner().run(grid, eval);
+  const auto results = driver.run(grid);
 
   std::printf("=== Fig. 10: per-step time / energy / DRAM traffic "
               "(WaveCore, HBM2, mini-batch 32/core; AlexNet 64) ===\n\n");
@@ -38,6 +39,7 @@ int main() {
 
   const std::size_t ncfg = configs.size();
   for (std::size_t i = 0; i < results.size(); ++i) {
+    if (!shard.owns(i)) continue;  // un-owned rows belong to other shards
     const engine::ScenarioResult& r = results[i];
     // Rows are network-major: the network's Baseline and ArchOpt rows sit at
     // the start of its stripe.

@@ -8,8 +8,10 @@
 #include "engine/engine.h"
 #include "util/units.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mbs;
+  engine::Driver driver(argc, argv);
+  const engine::ShardPlan shard = driver.shard();
 
   const std::vector<sched::ExecConfig> configs =
       sched::serialized_configs_with_il();
@@ -26,8 +28,10 @@ int main() {
       grid.push_back(std::move(s));
     }
 
-  engine::Evaluator eval;
-  const auto results = engine::SweepRunner().run(grid, eval);
+  // One output row per buffer size: row si aggregates the ncfg scenarios
+  // si*ncfg .. si*ncfg+ncfg-1.
+  const auto results = driver.run(
+      grid, [&](std::size_t i) { return shard.owns(i / configs.size()); });
 
   std::printf("=== Fig. 11: ResNet50 sensitivity to global buffer size "
               "(normalized to IL @ 5 MiB) ===\n\n");
@@ -42,6 +46,7 @@ int main() {
                                   {"buffer", "IL", "MBS-FS", "MBS1", "MBS2"});
   const std::size_t ncfg = configs.size();
   for (std::size_t si = 0; si < std::size(sizes_mib); ++si) {
+    if (!shard.owns(si)) continue;  // one output row per buffer size
     std::vector<std::string> trow{util::fmt(sizes_mib[si], 0) + " MiB"};
     std::vector<std::string> drow{util::fmt(sizes_mib[si], 0) + " MiB"};
     for (std::size_t ci = 0; ci < ncfg; ++ci) {

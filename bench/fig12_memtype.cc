@@ -10,8 +10,10 @@
 #include "arch/memory.h"
 #include "engine/engine.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mbs;
+  engine::Driver driver(argc, argv);
+  const engine::ShardPlan shard = driver.shard();
 
   const sched::ExecConfig configs[] = {
       sched::ExecConfig::kBaseline, sched::ExecConfig::kArchOpt,
@@ -30,21 +32,26 @@ int main() {
       grid.push_back(std::move(s));
     }
 
-  engine::Evaluator eval;
-  const auto results = engine::SweepRunner().run(grid, eval);
+  const auto results = driver.run(grid);
 
   std::printf("=== Fig. 12: ResNet50 sensitivity to memory type "
               "(64 samples/core) ===\n\n");
   engine::ResultSink mem_sink(
       "Tab. 4 memory configurations",
       {"memory", "total BW [GiB/s]", "capacity [GiB]", "channels"});
-  for (const auto& m : arch::all_memory_configs())
-    mem_sink.add_row(
-        {m.name,
-         util::fmt(m.bandwidth_bytes_per_s / (1024.0 * 1024 * 1024), 1),
-         util::fmt(static_cast<double>(m.capacity_bytes) /
-                   (1024.0 * 1024 * 1024), 0),
-         std::to_string(m.channels)});
+  {
+    const auto mems = arch::all_memory_configs();
+    for (std::size_t mi = 0; mi < mems.size(); ++mi) {
+      if (!shard.owns(mi)) continue;  // one output row per memory config
+      const auto& m = mems[mi];
+      mem_sink.add_row(
+          {m.name,
+           util::fmt(m.bandwidth_bytes_per_s / (1024.0 * 1024 * 1024), 1),
+           util::fmt(static_cast<double>(m.capacity_bytes) /
+                     (1024.0 * 1024 * 1024), 0),
+           std::to_string(m.channels)});
+    }
+  }
   mem_sink.print(std::cout);
 
   // Reference: Baseline with HBM2x2 — the first scenario of the grid.
@@ -53,7 +60,9 @@ int main() {
       "per-step time breakdown by layer type [ms]",
       {"config", "memory", "time [ms]", "conv", "fc", "norm", "pool", "sum",
        "speedup"});
-  for (const engine::ScenarioResult& r : results) {
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    if (!shard.owns(i)) continue;  // one output row per scenario
+    const engine::ScenarioResult& r = results[i];
     auto ms = [](double s) { return util::fmt(s * 1e3, 1); };
     sink.add_row({sched::to_string(r.scenario.config), r.scenario.hw.memory.name,
                   ms(r.step.time_s), ms(r.step.time_by_type.conv),

@@ -8,14 +8,17 @@
 #include "engine/engine.h"
 #include "models/zoo.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mbs;
+  engine::Driver driver(argc, argv);
+  const engine::ShardPlan shard = driver.shard();
 
   std::printf("=== Tab. 1: im2col GEMM dimensions per training phase ===\n");
   engine::ResultSink tab1("", {"phase", "Gh", "Gw", "K"});
-  tab1.add_row({"Forward", "N x Ho x Wo", "Co", "Ci x R x S"});
-  tab1.add_row({"Data Gradient", "N x Hi x Wi", "Ci", "Co x R x S"});
-  tab1.add_row({"Weight Gradient", "Ci x R x S", "Co", "N x Ho x Wo"});
+  engine::add_rows(tab1, shard,
+                   {{"Forward", "N x Ho x Wo", "Co", "Ci x R x S"},
+                    {"Data Gradient", "N x Hi x Wi", "Ci", "Co x R x S"},
+                    {"Weight Gradient", "Ci x R x S", "Co", "N x Ho x Wo"}});
   tab1.print(std::cout);
 
   std::printf("\n=== Fig. 14: systolic array utilization (conv + FC, "
@@ -30,8 +33,9 @@ int main() {
   hw.unlimited_dram_bw = true;
   const auto grid = engine::scenario_grid(models::evaluated_network_names(),
                                           configs, {}, hw);
-  engine::Evaluator eval;
-  const auto results = engine::SweepRunner().run(grid, eval);
+  // The AVG row aggregates every network, so each shard needs the full
+  // grid regardless of which rows it owns.
+  const auto results = driver.run(grid, [](std::size_t) { return true; });
 
   engine::ResultSink sink(
       "", {"network", "Baseline", "ArchOpt", "MBS-FS", "MBS1", "MBS2"});
@@ -45,12 +49,12 @@ int main() {
       row.push_back(util::fmt(u, 3));
       sums[ci] += u;
     }
-    sink.add_row(row);
+    if (shard.owns(count)) sink.add_row(row);  // one output row per network
     ++count;
   }
   std::vector<std::string> avg{"AVG"};
   for (double s : sums) avg.push_back(util::fmt(s / static_cast<double>(count), 3));
-  sink.add_row(avg);
+  if (shard.owns(count)) sink.add_row(avg);  // the final AVG row
   sink.print(std::cout);
   sink.export_files("fig14_utilization");
 

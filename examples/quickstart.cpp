@@ -10,8 +10,12 @@
 
 #include "engine/engine.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mbs;
+
+  // 0. The shared driver parses the engine flags/env every binary supports
+  //    (--threads, --cache-dir for warm starts, --shard for grid sharding).
+  engine::Driver driver(argc, argv);
 
   // 1. Two scenarios: conventional training vs MBS with inter-branch reuse,
   //    both on ResNet50 with the default Sec. 4.2 WaveCore.
@@ -20,9 +24,10 @@ int main() {
       {sched::ExecConfig::kBaseline, sched::ExecConfig::kMbs2});
 
   // 2. One engine sweep. The evaluator builds ResNet50 once and shares it;
-  //    with more scenarios the runner fans out across a thread pool.
-  engine::Evaluator eval;
-  const auto results = engine::SweepRunner().run(scenarios, eval);
+  //    with more scenarios the runner fans out across a thread pool. This
+  //    comparative demo reads both results, so it runs them on every shard.
+  const auto results =
+      driver.run(scenarios, [](std::size_t) { return true; });
   const engine::ScenarioResult& rb = results[0];  // Baseline
   const engine::ScenarioResult& rm = results[1];  // MBS2
 

@@ -18,9 +18,12 @@
 
 int main(int argc, char** argv) {
   using namespace mbs;
+  engine::Driver driver(argc, argv);
+  const engine::ShardPlan shard = driver.shard();
 
-  const std::string net_name = argc > 1 ? argv[1] : "resnet50";
-  const double buffer_mib = argc > 2 ? std::stod(argv[2]) : 10.0;
+  const auto& args = driver.args();
+  const std::string net_name = !args.empty() ? args[0] : "resnet50";
+  const double buffer_mib = args.size() > 1 ? std::stod(args[1]) : 10.0;
 
   sched::ScheduleParams params;
   params.buffer_bytes =
@@ -29,8 +32,9 @@ int main(int argc, char** argv) {
   const auto grid = engine::scenario_grid(
       {net_name}, sched::paper_tab3_configs(), params, {},
       engine::Stage::kTraffic);
-  engine::Evaluator eval;
-  const auto results = engine::SweepRunner().run(grid, eval);
+  // One summary row (and printed group listing) per configuration, which
+  // is the scenario index — the default sharding unit.
+  const auto results = driver.run(grid);
   const core::Network& net = *results[0].network;
 
   std::printf("%s: %d blocks, %d layers, %s params, %.2f GFLOPs/sample\n",
@@ -43,7 +47,9 @@ int main(int argc, char** argv) {
   engine::ResultSink summary(
       "", {"config", "groups", "iterations", "DRAM/step", "weights", "wgrad",
            "features", "gradients", "stash"});
-  for (const engine::ScenarioResult& r : results) {
+  for (std::size_t ri = 0; ri < results.size(); ++ri) {
+    if (!shard.owns(ri)) continue;  // one output row per configuration
+    const engine::ScenarioResult& r = results[ri];
     const sched::Schedule& s = *r.schedule;
     const std::string err = s.validate(net);
     if (!err.empty()) {

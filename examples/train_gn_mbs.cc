@@ -12,9 +12,10 @@
 #include "train/data.h"
 #include "train/trainer.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mbs;
   using namespace mbs::train;
+  engine::Driver driver(argc, argv);
 
   const Dataset train_set = make_synthetic_dataset(256, 4, 1, 12, /*seed=*/51);
   const Dataset val_set = make_synthetic_dataset(128, 4, 1, 12, /*seed=*/52);
@@ -37,7 +38,7 @@ int main() {
     };
   };
 
-  const auto runs = engine::SweepRunner().map<std::vector<EpochLog>>(
+  const auto runs = driver.runner().map<std::vector<EpochLog>>(
       {run({}),              // conventional full-mini-batch training
        run({8, 8, 8, 8})});  // MBS: four sub-batch iterations per step
   const auto& full = runs[0];

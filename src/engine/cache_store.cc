@@ -1,0 +1,438 @@
+#include "engine/cache_store.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "util/serde.h"
+
+namespace mbs::engine {
+
+namespace {
+
+using util::serde::Reader;
+using util::serde::Writer;
+
+// ---- Per-struct serialization. Field order is part of kSchemaStamp: any
+// ---- change here must bump the corresponding stage tag.
+
+void write_shape(Writer& w, const core::FeatureShape& s) {
+  w.put_int(s.c);
+  w.put_int(s.h);
+  w.put_int(s.w);
+}
+
+core::FeatureShape read_shape(Reader& r) {
+  core::FeatureShape s;
+  s.c = static_cast<int>(r.read_int());
+  s.h = static_cast<int>(r.read_int());
+  s.w = static_cast<int>(r.read_int());
+  return s;
+}
+
+void write_layer(Writer& w, const core::Layer& l) {
+  w.put_int(static_cast<int>(l.kind));
+  w.put_string(l.name);
+  write_shape(w, l.in);
+  write_shape(w, l.out);
+  w.put_int(l.kernel_h);
+  w.put_int(l.kernel_w);
+  w.put_int(l.stride);
+  w.put_int(l.pad_h);
+  w.put_int(l.pad_w);
+  w.put_int(static_cast<int>(l.pool_kind));
+  w.put_int(static_cast<int>(l.norm_kind));
+  w.put_int(l.has_bias ? 1 : 0);
+}
+
+core::Layer read_layer(Reader& r) {
+  core::Layer l;
+  l.kind = static_cast<core::LayerKind>(r.read_int());
+  l.name = r.read_string();
+  l.in = read_shape(r);
+  l.out = read_shape(r);
+  l.kernel_h = static_cast<int>(r.read_int());
+  l.kernel_w = static_cast<int>(r.read_int());
+  l.stride = static_cast<int>(r.read_int());
+  l.pad_h = static_cast<int>(r.read_int());
+  l.pad_w = static_cast<int>(r.read_int());
+  l.pool_kind = static_cast<core::PoolKind>(r.read_int());
+  l.norm_kind = static_cast<core::NormKind>(r.read_int());
+  l.has_bias = r.read_int() != 0;
+  return l;
+}
+
+void write_layers(Writer& w, const std::vector<core::Layer>& layers) {
+  w.put_int(static_cast<std::int64_t>(layers.size()));
+  for (const core::Layer& l : layers) write_layer(w, l);
+}
+
+std::vector<core::Layer> read_layers(Reader& r) {
+  const std::int64_t n = r.read_int();
+  std::vector<core::Layer> out;
+  if (r.fail() || n < 0) return out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n && !r.fail(); ++i)
+    out.push_back(read_layer(r));
+  return out;
+}
+
+void write_network(Writer& w, const core::Network& net) {
+  w.put_string(net.name);
+  write_shape(w, net.input);
+  w.put_int(net.mini_batch_per_core);
+  w.put_int(static_cast<std::int64_t>(net.blocks.size()));
+  for (const core::Block& b : net.blocks) {
+    w.put_int(static_cast<int>(b.kind));
+    w.put_string(b.name);
+    write_shape(w, b.in);
+    write_shape(w, b.out);
+    w.put_int(static_cast<std::int64_t>(b.branches.size()));
+    for (const core::Branch& br : b.branches) write_layers(w, br.layers);
+    write_layers(w, b.merge);
+  }
+}
+
+core::Network read_network(Reader& r) {
+  core::Network net;
+  net.name = r.read_string();
+  net.input = read_shape(r);
+  net.mini_batch_per_core = static_cast<int>(r.read_int());
+  const std::int64_t nblocks = r.read_int();
+  for (std::int64_t i = 0; i < nblocks && !r.fail(); ++i) {
+    core::Block b;
+    b.kind = static_cast<core::BlockKind>(r.read_int());
+    b.name = r.read_string();
+    b.in = read_shape(r);
+    b.out = read_shape(r);
+    const std::int64_t nbranches = r.read_int();
+    for (std::int64_t j = 0; j < nbranches && !r.fail(); ++j) {
+      core::Branch br;
+      br.layers = read_layers(r);
+      b.branches.push_back(std::move(br));
+    }
+    b.merge = read_layers(r);
+    net.blocks.push_back(std::move(b));
+  }
+  return net;
+}
+
+void write_schedule(Writer& w, const sched::Schedule& s) {
+  w.put_int(static_cast<int>(s.config));
+  w.put_int(s.mini_batch);
+  w.put_int(s.buffer_bytes);
+  w.put_int(static_cast<std::int64_t>(s.groups.size()));
+  for (const sched::Group& g : s.groups) {
+    w.put_int(g.first);
+    w.put_int(g.last);
+    w.put_int(g.sub_batch);
+    w.put_int(g.iterations);
+  }
+  w.put_int(static_cast<std::int64_t>(s.block_footprint.size()));
+  for (std::int64_t v : s.block_footprint) w.put_int(v);
+  w.put_int(static_cast<std::int64_t>(s.block_max_sub.size()));
+  for (int v : s.block_max_sub) w.put_int(v);
+}
+
+sched::Schedule read_schedule(Reader& r) {
+  sched::Schedule s;
+  s.config = static_cast<sched::ExecConfig>(r.read_int());
+  s.mini_batch = static_cast<int>(r.read_int());
+  s.buffer_bytes = r.read_int();
+  const std::int64_t ngroups = r.read_int();
+  for (std::int64_t i = 0; i < ngroups && !r.fail(); ++i) {
+    sched::Group g;
+    g.first = static_cast<int>(r.read_int());
+    g.last = static_cast<int>(r.read_int());
+    g.sub_batch = static_cast<int>(r.read_int());
+    g.iterations = static_cast<int>(r.read_int());
+    s.groups.push_back(g);
+  }
+  const std::int64_t nfoot = r.read_int();
+  for (std::int64_t i = 0; i < nfoot && !r.fail(); ++i)
+    s.block_footprint.push_back(r.read_int());
+  const std::int64_t nsub = r.read_int();
+  for (std::int64_t i = 0; i < nsub && !r.fail(); ++i)
+    s.block_max_sub.push_back(static_cast<int>(r.read_int()));
+  return s;
+}
+
+void write_traffic(Writer& w, const sched::Traffic& t) {
+  w.put_int(static_cast<std::int64_t>(t.records.size()));
+  for (const sched::TrafficRecord& rec : t.records) {
+    w.put_int(rec.block);
+    w.put_int(rec.layer);
+    w.put_int(static_cast<int>(rec.kind));
+    w.put_int(rec.is_gemm ? 1 : 0);
+    w.put_int(static_cast<int>(rec.phase));
+    w.put_int(static_cast<int>(rec.cls));
+    w.put_double(rec.dram_read);
+    w.put_double(rec.dram_write);
+    w.put_double(rec.buf_read);
+    w.put_double(rec.buf_write);
+  }
+}
+
+sched::Traffic read_traffic(Reader& r) {
+  sched::Traffic t;
+  const std::int64_t n = r.read_int();
+  for (std::int64_t i = 0; i < n && !r.fail(); ++i) {
+    sched::TrafficRecord rec;
+    rec.block = static_cast<int>(r.read_int());
+    rec.layer = static_cast<int>(r.read_int());
+    rec.kind = static_cast<core::LayerKind>(r.read_int());
+    rec.is_gemm = r.read_int() != 0;
+    rec.phase = static_cast<sched::Phase>(r.read_int());
+    rec.cls = static_cast<sched::TrafficClass>(r.read_int());
+    rec.dram_read = r.read_double();
+    rec.dram_write = r.read_double();
+    rec.buf_read = r.read_double();
+    rec.buf_write = r.read_double();
+    t.records.push_back(rec);
+  }
+  return t;
+}
+
+void write_step(Writer& w, const sim::StepResult& s) {
+  w.put_double(s.time_s);
+  w.put_double(s.dram_bytes);
+  w.put_double(s.buffer_bytes);
+  w.put_double(s.total_macs);
+  w.put_double(s.systolic_utilization);
+  w.put_double(s.compute_time_s);
+  w.put_double(s.memory_time_s);
+  w.put_double(s.time_by_type.conv);
+  w.put_double(s.time_by_type.fc);
+  w.put_double(s.time_by_type.norm);
+  w.put_double(s.time_by_type.pool);
+  w.put_double(s.time_by_type.sum);
+  w.put_double(s.energy.dram_j);
+  w.put_double(s.energy.buffer_j);
+  w.put_double(s.energy.mac_j);
+  w.put_double(s.energy.vector_j);
+  w.put_double(s.energy.static_j);
+}
+
+sim::StepResult read_step(Reader& r) {
+  sim::StepResult s;
+  s.time_s = r.read_double();
+  s.dram_bytes = r.read_double();
+  s.buffer_bytes = r.read_double();
+  s.total_macs = r.read_double();
+  s.systolic_utilization = r.read_double();
+  s.compute_time_s = r.read_double();
+  s.memory_time_s = r.read_double();
+  s.time_by_type.conv = r.read_double();
+  s.time_by_type.fc = r.read_double();
+  s.time_by_type.norm = r.read_double();
+  s.time_by_type.pool = r.read_double();
+  s.time_by_type.sum = r.read_double();
+  s.energy.dram_j = r.read_double();
+  s.energy.buffer_j = r.read_double();
+  s.energy.mac_j = r.read_double();
+  s.energy.vector_j = r.read_double();
+  s.energy.static_j = r.read_double();
+  return s;
+}
+
+void write_gpu_step(Writer& w, const arch::GpuStepResult& s) {
+  w.put_double(s.time_s);
+  w.put_double(s.dram_bytes);
+  w.put_double(s.compute_time_s);
+  w.put_double(s.memory_time_s);
+  w.put_double(s.overhead_s);
+}
+
+arch::GpuStepResult read_gpu_step(Reader& r) {
+  arch::GpuStepResult s;
+  s.time_s = r.read_double();
+  s.dram_bytes = r.read_double();
+  s.compute_time_s = r.read_double();
+  s.memory_time_s = r.read_double();
+  s.overhead_s = r.read_double();
+  return s;
+}
+
+}  // namespace
+
+CacheStore::CacheStore(std::string path) : path_(std::move(path)) {}
+
+std::unique_ptr<CacheStore> CacheStore::from_env() {
+  const char* dir = std::getenv("MBS_CACHE_DIR");
+  if (!dir || !*dir) return nullptr;
+  return std::make_unique<CacheStore>(std::string(dir) +
+                                      "/evaluator.mbscache");
+}
+
+void CacheStore::ensure_loaded() {
+  std::call_once(load_once_, [&] {
+    std::ifstream in(path_, std::ios::binary);
+    if (!in) return;  // no file yet: cold start
+    std::ostringstream text;
+    text << in.rdbuf();
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!parse_file(text.str())) {
+      networks_.clear();
+      schedules_.clear();
+      traffics_.clear();
+      steps_.clear();
+      gpu_steps_.clear();
+      loaded_ = 0;
+      std::fprintf(stderr,
+                   "CacheStore: %s is stale or malformed; starting cold\n",
+                   path_.c_str());
+    }
+  });
+}
+
+bool CacheStore::parse_file(const std::string& text) {
+  Reader r(text);
+  if (r.read_string() != "mbs-cache") return false;
+  if (r.read_int() != kFormatVersion) return false;
+  if (r.read_string() != kSchemaStamp) return false;
+  while (!r.at_end() && !r.fail()) {
+    const std::string stage = r.read_string();
+    const std::string key = r.read_string();
+    if (stage == "net")
+      networks_[key] = read_network(r);
+    else if (stage == "sched")
+      schedules_[key] = read_schedule(r);
+    else if (stage == "traffic")
+      traffics_[key] = read_traffic(r);
+    else if (stage == "step")
+      steps_[key] = read_step(r);
+    else if (stage == "gpu")
+      gpu_steps_[key] = read_gpu_step(r);
+    else
+      return false;
+  }
+  if (r.fail()) return false;
+  loaded_ = networks_.size() + schedules_.size() + traffics_.size() +
+            steps_.size() + gpu_steps_.size();
+  return true;
+}
+
+std::string CacheStore::serialize() const {
+  Writer w;
+  w.put_string("mbs-cache");
+  w.put_int(kFormatVersion);
+  w.put_string(kSchemaStamp);
+  for (const auto& [key, v] : networks_) {
+    w.put_string("net");
+    w.put_string(key);
+    write_network(w, v);
+  }
+  for (const auto& [key, v] : schedules_) {
+    w.put_string("sched");
+    w.put_string(key);
+    write_schedule(w, v);
+  }
+  for (const auto& [key, v] : traffics_) {
+    w.put_string("traffic");
+    w.put_string(key);
+    write_traffic(w, v);
+  }
+  for (const auto& [key, v] : steps_) {
+    w.put_string("step");
+    w.put_string(key);
+    write_step(w, v);
+  }
+  for (const auto& [key, v] : gpu_steps_) {
+    w.put_string("gpu");
+    w.put_string(key);
+    write_gpu_step(w, v);
+  }
+  return w.str();
+}
+
+// One lookup/insert pair per stage; all share the lazy load and the lock.
+#define MBS_CACHE_STORE_STAGE(Fn, PutFn, Map, Type)                     \
+  bool CacheStore::Fn(const std::string& key, Type* out) {              \
+    ensure_loaded();                                                    \
+    std::lock_guard<std::mutex> lock(mu_);                              \
+    const auto it = Map.find(key);                                      \
+    if (it == Map.end()) return false;                                  \
+    *out = it->second;                                                  \
+    return true;                                                        \
+  }                                                                     \
+  void CacheStore::PutFn(const std::string& key, const Type& v) {       \
+    ensure_loaded();                                                    \
+    std::lock_guard<std::mutex> lock(mu_);                              \
+    if (Map.emplace(key, v).second) dirty_ = true;                      \
+  }
+
+MBS_CACHE_STORE_STAGE(load_network, put_network, networks_, core::Network)
+MBS_CACHE_STORE_STAGE(load_schedule, put_schedule, schedules_, sched::Schedule)
+MBS_CACHE_STORE_STAGE(load_traffic, put_traffic, traffics_, sched::Traffic)
+MBS_CACHE_STORE_STAGE(load_step, put_step, steps_, sim::StepResult)
+MBS_CACHE_STORE_STAGE(load_gpu_step, put_gpu_step, gpu_steps_,
+                      arch::GpuStepResult)
+
+#undef MBS_CACHE_STORE_STAGE
+
+bool CacheStore::save() {
+  ensure_loaded();
+  std::string text;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!dirty_) return true;
+    text = serialize();
+  }
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  const fs::path target(path_);
+  if (target.has_parent_path()) fs::create_directories(target.parent_path(), ec);
+  // Per-process temp name: concurrent shard processes sharing a cache
+  // directory each stage their own file; the rename is atomic, last wins.
+  const std::string tmp =
+      path_ + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "CacheStore: cannot write %s\n", tmp.c_str());
+      return false;
+    }
+    out << text << '\n';
+    out.flush();
+    if (!out.good()) {
+      // A truncated write (e.g. disk full) must not replace a valid store.
+      std::fprintf(stderr, "CacheStore: short write to %s; keeping %s\n",
+                   tmp.c_str(), path_.c_str());
+      out.close();
+      std::remove(tmp.c_str());
+      return false;
+    }
+  }
+  if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
+    std::fprintf(stderr, "CacheStore: cannot rename %s -> %s\n", tmp.c_str(),
+                 path_.c_str());
+    std::remove(tmp.c_str());
+    return false;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  dirty_ = false;
+  return true;
+}
+
+std::size_t CacheStore::loaded_entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return loaded_;
+}
+
+std::size_t CacheStore::entry_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return networks_.size() + schedules_.size() + traffics_.size() +
+         steps_.size() + gpu_steps_.size();
+}
+
+bool CacheStore::dirty() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dirty_;
+}
+
+}  // namespace mbs::engine

@@ -1,0 +1,93 @@
+// CacheStore: disk persistence for the Evaluator's memoized results.
+//
+// The in-memory Evaluator caches die with the process, so every bench run
+// and every CI trajectory invocation starts cold. A CacheStore serializes
+// the memoized network / schedule / traffic / step / GPU-step values to one
+// versioned file, keyed by the same stable Scenario cache keys the
+// in-memory caches use. The Evaluator consults the store on an in-memory
+// miss and records fresh computations for the next save(), so a repeated
+// sweep starts warm and produces bit-identical output (values round-trip
+// exactly via util::serde's hex-float encoding).
+//
+// The backing file is loaded lazily on the first lookup. A header carries a
+// format version and a schema stamp covering every serialized struct; any
+// mismatch — or any malformed byte — discards the file and starts cold
+// (the store is a cache, never a source of truth). save() writes through a
+// temp file + rename, so concurrent shard processes sharing a cache
+// directory cannot corrupt it (last writer wins).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "arch/gpu.h"
+#include "core/network.h"
+#include "sched/schedule.h"
+#include "sched/traffic.h"
+#include "sim/simulator.h"
+
+namespace mbs::engine {
+
+class CacheStore {
+ public:
+  /// Bumped when the token framing of the file itself changes.
+  static constexpr int kFormatVersion = 1;
+  /// Bumped (per stage) when a serialized struct gains/loses fields.
+  static constexpr const char* kSchemaStamp =
+      "net1;sched1;traffic1;step1;gpu1";
+
+  explicit CacheStore(std::string path);
+
+  /// Store at $MBS_CACHE_DIR/evaluator.mbscache, or nullptr when the
+  /// variable is unset or empty.
+  static std::unique_ptr<CacheStore> from_env();
+
+  // Lookups copy the stored value into `out` and return true on a hit.
+  // The first lookup loads the backing file. All methods are thread-safe.
+  bool load_network(const std::string& key, core::Network* out);
+  bool load_schedule(const std::string& key, sched::Schedule* out);
+  bool load_traffic(const std::string& key, sched::Traffic* out);
+  bool load_step(const std::string& key, sim::StepResult* out);
+  bool load_gpu_step(const std::string& key, arch::GpuStepResult* out);
+
+  void put_network(const std::string& key, const core::Network& v);
+  void put_schedule(const std::string& key, const sched::Schedule& v);
+  void put_traffic(const std::string& key, const sched::Traffic& v);
+  void put_step(const std::string& key, const sim::StepResult& v);
+  void put_gpu_step(const std::string& key, const arch::GpuStepResult& v);
+
+  /// Writes every entry back when new ones were added since load (temp file
+  /// + rename; creates the parent directory). Returns false on IO failure,
+  /// true otherwise (including the nothing-to-do case).
+  bool save();
+
+  const std::string& path() const { return path_; }
+  /// Entries read from the backing file (0 before the lazy load).
+  std::size_t loaded_entries() const;
+  /// Current total entries across all stages.
+  std::size_t entry_count() const;
+  /// True when save() has something new to write.
+  bool dirty() const;
+
+ private:
+  void ensure_loaded();
+  bool parse_file(const std::string& text);
+  std::string serialize() const;  // callers hold mu_
+
+  std::string path_;
+  std::once_flag load_once_;
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, core::Network> networks_;
+  std::unordered_map<std::string, sched::Schedule> schedules_;
+  std::unordered_map<std::string, sched::Traffic> traffics_;
+  std::unordered_map<std::string, sim::StepResult> steps_;
+  std::unordered_map<std::string, arch::GpuStepResult> gpu_steps_;
+  std::size_t loaded_ = 0;
+  bool dirty_ = false;
+};
+
+}  // namespace mbs::engine

@@ -1,0 +1,124 @@
+#include "engine/driver.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string_view>
+
+namespace mbs::engine {
+
+namespace {
+
+/// Value of `--<name>=...` when `arg` is that flag, nullptr otherwise.
+const char* flag_value(const char* arg, const char* name) {
+  std::string_view view(arg);
+  const std::string prefix = std::string("--") + name + "=";
+  if (view.substr(0, prefix.size()) != prefix) return nullptr;
+  return arg + prefix.size();
+}
+
+int parse_int_flag(const char* value, const char* name) {
+  char* end = nullptr;
+  const long v = std::strtol(value, &end, 10);
+  if (end == value || *end != '\0') {
+    std::fprintf(stderr, "bad --%s value '%s': expected an integer\n", name,
+                 value);
+    std::abort();
+  }
+  return static_cast<int>(v);
+}
+
+void print_stage(const char* name, std::int64_t misses, std::int64_t disk) {
+  std::fprintf(stderr, " %s %lld/%lld", name,
+               static_cast<long long>(misses - disk),
+               static_cast<long long>(disk));
+}
+
+}  // namespace
+
+Driver::Driver(int argc, char** argv) {
+  int shard_index = -1, shard_count = -1;
+  SweepOptions sweep;
+  std::string cache_dir;
+  bool have_shard_flag = false;
+
+  if (const char* env = std::getenv("MBS_THREADS"); env && *env)
+    sweep.threads = parse_int_flag(env, "threads (MBS_THREADS)");
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (const char* v = flag_value(arg, "shard")) {
+      shard_ = ShardPlan::parse(v);
+      have_shard_flag = true;
+    } else if (const char* v2 = flag_value(arg, "shard-index")) {
+      shard_index = parse_int_flag(v2, "shard-index");
+    } else if (const char* v3 = flag_value(arg, "shard-count")) {
+      shard_count = parse_int_flag(v3, "shard-count");
+    } else if (const char* v4 = flag_value(arg, "threads")) {
+      sweep.threads = parse_int_flag(v4, "threads");
+    } else if (const char* v5 = flag_value(arg, "cache-dir")) {
+      cache_dir = v5;
+    } else if (arg[0] == '-' && arg[1] == '-') {
+      // A typo'd engine flag silently falling through to args() would make
+      // the run quietly ignore what the user asked for.
+      std::fprintf(stderr,
+                   "unknown flag '%s' (expected --shard=I/N, --shard-index=I, "
+                   "--shard-count=N, --threads=T, or --cache-dir=DIR)\n",
+                   arg);
+      std::abort();
+    } else {
+      args_.emplace_back(arg);
+    }
+  }
+
+  if (shard_index >= 0 || shard_count >= 0) {
+    if (shard_index < 0 || shard_count < 1 || shard_index >= shard_count) {
+      std::fprintf(stderr,
+                   "--shard-index=%d --shard-count=%d: need both, with "
+                   "0 <= index < count\n",
+                   shard_index, shard_count);
+      std::abort();
+    }
+    shard_ = ShardPlan{shard_index, shard_count};
+    have_shard_flag = true;
+  }
+  if (!have_shard_flag) shard_ = ShardPlan::from_env();
+
+  if (!cache_dir.empty())
+    store_ = std::make_unique<CacheStore>(cache_dir + "/evaluator.mbscache");
+  else
+    store_ = CacheStore::from_env();
+
+  eval_ = std::make_unique<Evaluator>(store_.get());
+  runner_ = SweepRunner(sweep);
+  ResultSink::set_export_suffix(shard_.suffix());
+}
+
+Driver::~Driver() {
+  if (store_) store_->save();
+  const char* stats_env = std::getenv("MBS_ENGINE_STATS");
+  if (!stats_env || std::strcmp(stats_env, "1") != 0) return;
+  const EvaluatorStats s = eval_->stats();
+  std::fprintf(stderr, "[mbs-engine] computed/disk:");
+  print_stage("net", s.network_misses, s.network_disk_hits);
+  print_stage("sched", s.schedule_misses, s.schedule_disk_hits);
+  print_stage("traffic", s.traffic_misses, s.traffic_disk_hits);
+  print_stage("step", s.step_misses, s.step_disk_hits);
+  print_stage("gpu", s.gpu_misses, s.gpu_disk_hits);
+  std::fprintf(stderr, "\n");
+  if (store_)
+    std::fprintf(stderr, "[mbs-engine] cache-store %s: %zu loaded, %zu entries\n",
+                 store_->path().c_str(), store_->loaded_entries(),
+                 store_->entry_count());
+}
+
+SweepResults Driver::run(const std::vector<Scenario>& grid) {
+  return runner_.run_sharded(grid, *eval_, shard_);
+}
+
+SweepResults Driver::run(const std::vector<Scenario>& grid,
+                         const std::function<bool(std::size_t)>& needed) {
+  return runner_.run_sharded(grid, *eval_, needed);
+}
+
+}  // namespace mbs::engine

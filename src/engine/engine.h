@@ -1,8 +1,12 @@
 // Umbrella header for the parallel experiment engine: Scenario descriptors,
-// the memoizing Evaluator, the threaded SweepRunner, and the ResultSink.
-// Every bench/ and examples/ binary drives its sweep through these four.
+// the memoizing Evaluator with its disk-persistent CacheStore, the threaded
+// (and process-shardable) SweepRunner, the ResultSink, and the shared
+// command-line Driver. Every bench/ and examples/ binary drives its sweep
+// through these.
 #pragma once
 
+#include "engine/cache_store.h"
+#include "engine/driver.h"
 #include "engine/evaluator.h"
 #include "engine/result_sink.h"
 #include "engine/scenario.h"

@@ -2,71 +2,93 @@
 
 #include <cassert>
 
+#include "engine/cache_store.h"
 #include "models/zoo.h"
 #include "sched/scheduler.h"
 
 namespace mbs::engine {
 
 void Evaluator::count(std::int64_t EvaluatorStats::*hits,
-                      std::int64_t EvaluatorStats::*misses, bool was_hit) {
+                      std::int64_t EvaluatorStats::*misses,
+                      std::int64_t EvaluatorStats::*disk_hits, bool was_hit,
+                      bool from_disk) {
   std::lock_guard<std::mutex> lock(stats_mu_);
   if (was_hit)
     ++(stats_.*hits);
   else
     ++(stats_.*misses);
+  if (from_disk) ++(stats_.*disk_hits);
+}
+
+template <typename T, typename Load, typename Put, typename Compute>
+const T& Evaluator::stage(detail::KeyedCache<T>& cache, const std::string& key,
+                          Load load, Put put, Compute compute,
+                          std::int64_t EvaluatorStats::*hits,
+                          std::int64_t EvaluatorStats::*misses,
+                          std::int64_t EvaluatorStats::*disk_hits) {
+  bool hit = false, disk = false;
+  const T& value = cache.get_or_compute(
+      key,
+      [&] {
+        T v{};
+        if (store_ && (store_->*load)(key, &v)) {
+          disk = true;
+          return v;
+        }
+        v = compute();
+        if (store_) (store_->*put)(key, v);
+        return v;
+      },
+      &hit);
+  count(hits, misses, disk_hits, hit, disk);
+  return value;
 }
 
 const core::Network& Evaluator::network(const std::string& name) {
-  bool hit = false;
-  const core::Network& net = networks_.get_or_compute(
-      name, [&] { return models::make_network(name); }, &hit);
-  count(&EvaluatorStats::network_hits, &EvaluatorStats::network_misses, hit);
-  return net;
+  return stage(
+      networks_, name, &CacheStore::load_network, &CacheStore::put_network,
+      [&] { return models::make_network(name); }, &EvaluatorStats::network_hits,
+      &EvaluatorStats::network_misses, &EvaluatorStats::network_disk_hits);
 }
 
 const sched::Schedule& Evaluator::schedule(const Scenario& s) {
-  bool hit = false;
-  const sched::Schedule& sch = schedules_.get_or_compute(
-      s.schedule_key(),
+  return stage(
+      schedules_, s.schedule_key(), &CacheStore::load_schedule,
+      &CacheStore::put_schedule,
       [&] { return sched::build_schedule(network(s.network), s.config, s.params); },
-      &hit);
-  count(&EvaluatorStats::schedule_hits, &EvaluatorStats::schedule_misses, hit);
-  return sch;
+      &EvaluatorStats::schedule_hits, &EvaluatorStats::schedule_misses,
+      &EvaluatorStats::schedule_disk_hits);
 }
 
 const sched::Traffic& Evaluator::traffic(const Scenario& s) {
-  bool hit = false;
-  const sched::Traffic& t = traffics_.get_or_compute(
-      s.schedule_key(),
+  return stage(
+      traffics_, s.schedule_key(), &CacheStore::load_traffic,
+      &CacheStore::put_traffic,
       [&] { return sched::compute_traffic(network(s.network), schedule(s)); },
-      &hit);
-  count(&EvaluatorStats::traffic_hits, &EvaluatorStats::traffic_misses, hit);
-  return t;
+      &EvaluatorStats::traffic_hits, &EvaluatorStats::traffic_misses,
+      &EvaluatorStats::traffic_disk_hits);
 }
 
 const sim::StepResult& Evaluator::step(const Scenario& s) {
   assert(s.device == Device::kWaveCore);
-  bool hit = false;
-  const sim::StepResult& r = steps_.get_or_compute(
-      s.cache_key(),
+  return stage(
+      steps_, s.cache_key(), &CacheStore::load_step, &CacheStore::put_step,
       [&] { return sim::simulate_step(network(s.network), schedule(s), s.hw); },
-      &hit);
-  count(&EvaluatorStats::step_hits, &EvaluatorStats::step_misses, hit);
-  return r;
+      &EvaluatorStats::step_hits, &EvaluatorStats::step_misses,
+      &EvaluatorStats::step_disk_hits);
 }
 
 const arch::GpuStepResult& Evaluator::gpu_step(const Scenario& s) {
   assert(s.device == Device::kGpu);
-  bool hit = false;
-  const arch::GpuStepResult& r = gpu_steps_.get_or_compute(
-      s.cache_key(),
+  return stage(
+      gpu_steps_, s.cache_key(), &CacheStore::load_gpu_step,
+      &CacheStore::put_gpu_step,
       [&] {
         return arch::simulate_gpu_step(s.gpu, network(s.network),
                                        s.gpu_mini_batch);
       },
-      &hit);
-  count(&EvaluatorStats::gpu_hits, &EvaluatorStats::gpu_misses, hit);
-  return r;
+      &EvaluatorStats::gpu_hits, &EvaluatorStats::gpu_misses,
+      &EvaluatorStats::gpu_disk_hits);
 }
 
 EvaluatorStats Evaluator::stats() const {

@@ -29,13 +29,18 @@
 
 namespace mbs::engine {
 
-/// Cache hit/miss counters, one pair per pipeline stage.
+class CacheStore;
+
+/// Cache hit/miss counters, one set per pipeline stage. A miss consults the
+/// disk store (when one is attached) before computing: `*_disk_hits` counts
+/// misses satisfied from disk, so `misses - disk_hits` is the number of
+/// actual computations.
 struct EvaluatorStats {
-  std::int64_t network_hits = 0, network_misses = 0;
-  std::int64_t schedule_hits = 0, schedule_misses = 0;
-  std::int64_t traffic_hits = 0, traffic_misses = 0;
-  std::int64_t step_hits = 0, step_misses = 0;
-  std::int64_t gpu_hits = 0, gpu_misses = 0;
+  std::int64_t network_hits = 0, network_misses = 0, network_disk_hits = 0;
+  std::int64_t schedule_hits = 0, schedule_misses = 0, schedule_disk_hits = 0;
+  std::int64_t traffic_hits = 0, traffic_misses = 0, traffic_disk_hits = 0;
+  std::int64_t step_hits = 0, step_misses = 0, step_disk_hits = 0;
+  std::int64_t gpu_hits = 0, gpu_misses = 0, gpu_disk_hits = 0;
 };
 
 namespace detail {
@@ -86,6 +91,12 @@ class KeyedCache {
 
 class Evaluator {
  public:
+  /// With a store, in-memory misses are first looked up on disk, and fresh
+  /// computations are recorded for the store's next save(). The store (when
+  /// non-null) must outlive the Evaluator; passing nullptr keeps the
+  /// evaluator purely in-memory.
+  explicit Evaluator(CacheStore* store = nullptr) : store_(store) {}
+
   /// models::make_network, memoized by name.
   const core::Network& network(const std::string& name);
 
@@ -109,6 +120,8 @@ class Evaluator {
   EvaluatorStats stats() const;
 
  private:
+  CacheStore* store_ = nullptr;
+
   detail::KeyedCache<core::Network> networks_;
   detail::KeyedCache<sched::Schedule> schedules_;
   detail::KeyedCache<sched::Traffic> traffics_;
@@ -119,7 +132,20 @@ class Evaluator {
   EvaluatorStats stats_;
 
   void count(std::int64_t EvaluatorStats::*hits,
-             std::int64_t EvaluatorStats::*misses, bool was_hit);
+             std::int64_t EvaluatorStats::*misses,
+             std::int64_t EvaluatorStats::*disk_hits, bool was_hit,
+             bool from_disk);
+
+  /// The shared per-stage path: in-memory lookup, then (on a miss) the
+  /// disk store, then `compute` — recording fresh values to the store and
+  /// counting hit/miss/disk stats. `load`/`put` are CacheStore member
+  /// pointers for this stage.
+  template <typename T, typename Load, typename Put, typename Compute>
+  const T& stage(detail::KeyedCache<T>& cache, const std::string& key,
+                 Load load, Put put, Compute compute,
+                 std::int64_t EvaluatorStats::*hits,
+                 std::int64_t EvaluatorStats::*misses,
+                 std::int64_t EvaluatorStats::*disk_hits);
 };
 
 }  // namespace mbs::engine

@@ -195,10 +195,21 @@ void ResultSink::write_json(std::ostream& os) const {
   os << "]}\n";
 }
 
+namespace {
+std::string& export_suffix() {
+  static std::string suffix;
+  return suffix;
+}
+}  // namespace
+
+void ResultSink::set_export_suffix(std::string suffix) {
+  export_suffix() = std::move(suffix);
+}
+
 bool ResultSink::export_files(const std::string& stem) const {
   const char* dir = std::getenv("MBS_RESULT_DIR");
   if (!dir || !*dir) return false;
-  const std::string base = std::string(dir) + "/" + stem;
+  const std::string base = std::string(dir) + "/" + stem + export_suffix();
   {
     std::ofstream csv(base + ".csv");
     if (!csv) {
@@ -228,6 +239,37 @@ ResultSink::Parsed ResultSink::parse_csv(const std::string& text) {
   if (!next_csv_row(text, pos, row)) parse_fail("empty CSV document");
   out.headers = row;
   while (next_csv_row(text, pos, row)) out.rows.push_back(row);
+  return out;
+}
+
+ResultSink::Parsed ResultSink::merge_shards(const std::vector<Parsed>& shards) {
+  if (shards.empty()) parse_fail("merge_shards: no shard documents");
+  Parsed out;
+  out.headers = shards[0].headers;
+  std::size_t total = 0;
+  for (const Parsed& shard : shards) {
+    if (shard.headers != out.headers)
+      parse_fail("merge_shards: shard headers disagree");
+    // CSV carries no title; take the first non-empty one and require the
+    // rest to match it.
+    if (!shard.title.empty()) {
+      if (out.title.empty())
+        out.title = shard.title;
+      else if (shard.title != out.title)
+        parse_fail("merge_shards: shard titles disagree");
+    }
+    total += shard.rows.size();
+  }
+  const std::size_t n = shards.size();
+  out.rows.reserve(total);
+  for (std::size_t j = 0; j < total; ++j) {
+    const Parsed& shard = shards[j % n];
+    const std::size_t r = j / n;
+    if (r >= shard.rows.size())
+      parse_fail("merge_shards: shard row counts are not round-robin "
+                 "consistent (were all shards run with the same grid?)");
+    out.rows.push_back(shard.rows[r]);
+  }
   return out;
 }
 

@@ -1,12 +1,53 @@
 #include "engine/sweep_runner.h"
 
 #include <atomic>
+#include <cstdio>
+#include <cstdlib>
 #include <exception>
 #include <mutex>
 #include <thread>
 #include <vector>
 
 namespace mbs::engine {
+
+std::string ShardPlan::suffix() const {
+  if (!active()) return "";
+  return ".shard" + std::to_string(index) + "of" + std::to_string(count);
+}
+
+ShardPlan ShardPlan::parse(const std::string& spec) {
+  ShardPlan plan;
+  char extra = 0;
+  if (std::sscanf(spec.c_str(), "%d/%d%c", &plan.index, &plan.count, &extra) !=
+          2 ||
+      plan.count < 1 || plan.index < 0 || plan.index >= plan.count) {
+    std::fprintf(stderr,
+                 "bad shard spec '%s': expected i/N with 0 <= i < N\n",
+                 spec.c_str());
+    std::abort();
+  }
+  return plan;
+}
+
+ShardPlan ShardPlan::from_env() {
+  const char* spec = std::getenv("MBS_SHARD");
+  if (!spec || !*spec) return {};
+  return parse(spec);
+}
+
+SweepResults::SweepResults(std::vector<Scenario> grid, Evaluator& eval)
+    : grid_(std::move(grid)),
+      eval_(&eval),
+      slots_(grid_.size()),
+      mu_(std::make_unique<std::mutex>()) {}
+
+const ScenarioResult& SweepResults::operator[](std::size_t i) const {
+  std::lock_guard<std::mutex> lock(*mu_);
+  std::unique_ptr<ScenarioResult>& slot = slots_[i];
+  if (!slot)
+    slot = std::make_unique<ScenarioResult>(evaluate_scenario(grid_[i], *eval_));
+  return *slot;
+}
 
 ScenarioResult evaluate_scenario(const Scenario& s, Evaluator& eval) {
   ScenarioResult r;
@@ -79,6 +120,30 @@ std::vector<ScenarioResult> SweepRunner::run(
     out[idx] = evaluate_scenario(scenarios[idx], eval);
   });
   return out;
+}
+
+SweepResults SweepRunner::run_sharded(
+    const std::vector<Scenario>& scenarios, Evaluator& eval,
+    const std::function<bool(std::size_t)>& needed) const {
+  SweepResults results(scenarios, eval);
+  std::vector<std::size_t> owned;
+  owned.reserve(scenarios.size());
+  for (std::size_t i = 0; i < scenarios.size(); ++i)
+    if (needed(i)) owned.push_back(i);
+  // Distinct slots per index: the pool fills them without the access lock.
+  for_each_index(static_cast<int>(owned.size()), [&](int k) {
+    const std::size_t idx = owned[static_cast<std::size_t>(k)];
+    results.slots_[idx] = std::make_unique<ScenarioResult>(
+        evaluate_scenario(scenarios[idx], eval));
+  });
+  return results;
+}
+
+SweepResults SweepRunner::run_sharded(const std::vector<Scenario>& scenarios,
+                                      Evaluator& eval,
+                                      const ShardPlan& plan) const {
+  return run_sharded(scenarios, eval,
+                     [&plan](std::size_t i) { return plan.owns(i); });
 }
 
 }  // namespace mbs::engine

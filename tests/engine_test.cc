@@ -1,8 +1,13 @@
 // Tests for the parallel experiment engine: scenario cache keys, evaluator
-// memoization, parallel-vs-serial determinism of SweepRunner, and the
-// ResultSink CSV/JSON round trip.
+// memoization, parallel-vs-serial determinism of SweepRunner, the ResultSink
+// CSV/JSON round trip, disk persistence (CacheStore warm starts and version
+// invalidation), and shard-then-merge determinism.
 #include <gtest/gtest.h>
+#include <unistd.h>
 
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
 #include <functional>
 #include <sstream>
 #include <stdexcept>
@@ -10,6 +15,7 @@
 #include "engine/engine.h"
 #include "models/zoo.h"
 #include "sched/config.h"
+#include "util/serde.h"
 
 namespace mbs::engine {
 namespace {
@@ -265,6 +271,289 @@ TEST(ResultSink, ShortRowsRoundTripPadded) {
             (std::vector<std::string>{"only", "", ""}));
   EXPECT_EQ(ResultSink::parse_json(json.str()).rows[0],
             (std::vector<std::string>{"only", "", ""}));
+}
+
+// ---- ShardPlan --------------------------------------------------------------
+
+TEST(ShardPlan, IdentityPlanOwnsEverything) {
+  const ShardPlan plan;
+  EXPECT_FALSE(plan.active());
+  EXPECT_EQ(plan.suffix(), "");
+  for (std::size_t i = 0; i < 10; ++i) EXPECT_TRUE(plan.owns(i));
+}
+
+TEST(ShardPlan, RoundRobinPartitionIsExactAndDisjoint) {
+  const int n = 3;
+  for (std::size_t i = 0; i < 20; ++i) {
+    int owners = 0;
+    for (int s = 0; s < n; ++s)
+      if ((ShardPlan{s, n}).owns(i)) ++owners;
+    EXPECT_EQ(owners, 1) << "index " << i;
+    EXPECT_TRUE((ShardPlan{static_cast<int>(i % n), n}).owns(i));
+  }
+}
+
+TEST(ShardPlan, ParsesSpecAndFormatsSuffix) {
+  const ShardPlan plan = ShardPlan::parse("1/4");
+  EXPECT_EQ(plan.index, 1);
+  EXPECT_EQ(plan.count, 4);
+  EXPECT_TRUE(plan.active());
+  EXPECT_EQ(plan.suffix(), ".shard1of4");
+}
+
+TEST(ShardPlanDeathTest, RejectsMalformedSpecs) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(ShardPlan::parse("4/4"), "bad shard spec");
+  EXPECT_DEATH(ShardPlan::parse("-1/4"), "bad shard spec");
+  EXPECT_DEATH(ShardPlan::parse("banana"), "bad shard spec");
+  EXPECT_DEATH(ShardPlan::parse("1/4/2"), "bad shard spec");
+}
+
+// ---- SweepResults laziness --------------------------------------------------
+
+TEST(SweepResults, ShardedRunMaterializesUnownedEntriesLazily) {
+  const auto grid = scenario_grid(
+      {"alexnet"}, {sched::ExecConfig::kBaseline, sched::ExecConfig::kMbs1,
+                    sched::ExecConfig::kMbs2});
+  Evaluator eager_eval;
+  const auto reference = SweepRunner().run(grid, eager_eval);
+
+  Evaluator eval;
+  const ShardPlan plan{0, 2};  // owns scenarios 0 and 2
+  const SweepResults results = SweepRunner().run_sharded(grid, eval, plan);
+  // The eager pass evaluated only the owned scenarios.
+  EXPECT_EQ(eval.stats().step_misses, 2);
+  // Accessing the un-owned entry materializes it on demand, bit-identical
+  // to the full run.
+  EXPECT_TRUE(step_equal(results[1].step, reference[1].step));
+  EXPECT_EQ(eval.stats().step_misses, 3);
+  EXPECT_TRUE(step_equal(results[0].step, reference[0].step));
+  EXPECT_TRUE(step_equal(results[2].step, reference[2].step));
+}
+
+// ---- serde ------------------------------------------------------------------
+
+TEST(Serde, RoundTripsEveryTokenKindExactly) {
+  util::serde::Writer w;
+  w.put_int(-42);
+  w.put_double(0.1);               // not representable: exercises %a exactness
+  w.put_double(-1.5e300);
+  w.put_string("with spaces\nand newline");
+  w.put_string("");
+  util::serde::Reader r(w.str());
+  EXPECT_EQ(r.read_int(), -42);
+  EXPECT_EQ(r.read_double(), 0.1);
+  EXPECT_EQ(r.read_double(), -1.5e300);
+  EXPECT_EQ(r.read_string(), "with spaces\nand newline");
+  EXPECT_EQ(r.read_string(), "");
+  EXPECT_FALSE(r.fail());
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(Serde, HugeStringLengthFailsInsteadOfOverflowing) {
+  // 2^64-1 would wrap the bounds arithmetic if accumulated unchecked.
+  util::serde::Reader r("18446744073709551615:abc");
+  EXPECT_EQ(r.read_string(), "");
+  EXPECT_TRUE(r.fail());
+  util::serde::Reader r2("999:abc");  // in-range length, out-of-bounds
+  EXPECT_EQ(r2.read_string(), "");
+  EXPECT_TRUE(r2.fail());
+}
+
+// ---- CacheStore -------------------------------------------------------------
+
+std::string test_cache_dir(const char* name) {
+  return testing::TempDir() + "mbs_" + name + "_" +
+         std::to_string(static_cast<long>(::getpid()));
+}
+
+TEST(CacheStore, WarmRunMatchesColdRunAndSkipsAllComputation) {
+  const std::string dir = test_cache_dir("warm");
+  const std::string path = dir + "/evaluator.mbscache";
+  std::remove(path.c_str());
+
+  auto grid = scenario_grid(
+      {"alexnet"}, {sched::ExecConfig::kBaseline, sched::ExecConfig::kMbs2});
+  Scenario gpu;
+  gpu.network = "alexnet";
+  gpu.device = Device::kGpu;
+  grid.push_back(gpu);
+
+  // Cold run: every stage is computed and recorded.
+  CacheStore cold_store(path);
+  Evaluator cold_eval(&cold_store);
+  const auto cold = SweepRunner().run(grid, cold_eval);
+  const EvaluatorStats cold_stats = cold_eval.stats();
+  EXPECT_EQ(cold_stats.step_disk_hits, 0);
+  EXPECT_EQ(cold_stats.step_misses, 2);
+  EXPECT_EQ(cold_stats.gpu_misses, 1);
+  EXPECT_TRUE(cold_store.dirty());
+  ASSERT_TRUE(cold_store.save());
+  EXPECT_FALSE(cold_store.dirty());
+
+  // Warm run: a fresh process-equivalent (new store, new evaluator) serves
+  // every miss from disk — bit-identical results, zero recomputation.
+  CacheStore warm_store(path);
+  Evaluator warm_eval(&warm_store);
+  const auto warm = SweepRunner().run(grid, warm_eval);
+  ASSERT_EQ(warm.size(), cold.size());
+  for (std::size_t i = 0; i < warm.size(); ++i) {
+    EXPECT_TRUE(step_equal(warm[i].step, cold[i].step)) << "scenario " << i;
+    if (warm[i].traffic) {
+      EXPECT_EQ(warm[i].traffic->dram_bytes(), cold[i].traffic->dram_bytes());
+    }
+    if (warm[i].schedule) {
+      ASSERT_NE(cold[i].schedule, nullptr);
+      EXPECT_EQ(warm[i].schedule->groups.size(),
+                cold[i].schedule->groups.size());
+    }
+    EXPECT_EQ(warm[i].network->param_count(), cold[i].network->param_count());
+    EXPECT_EQ(warm[i].network->layer_count(), cold[i].network->layer_count());
+  }
+  const EvaluatorStats warm_stats = warm_eval.stats();
+  EXPECT_EQ(warm_stats.network_disk_hits, warm_stats.network_misses);
+  EXPECT_EQ(warm_stats.schedule_disk_hits, warm_stats.schedule_misses);
+  EXPECT_EQ(warm_stats.traffic_disk_hits, warm_stats.traffic_misses);
+  EXPECT_EQ(warm_stats.step_disk_hits, warm_stats.step_misses);
+  EXPECT_EQ(warm_stats.gpu_disk_hits, warm_stats.gpu_misses);
+  EXPECT_GT(warm_stats.step_disk_hits, 0);
+  EXPECT_EQ(warm_store.loaded_entries(), cold_store.entry_count());
+  // Nothing new was computed, so there is nothing to save.
+  EXPECT_FALSE(warm_store.dirty());
+  std::remove(path.c_str());
+}
+
+TEST(CacheStore, VersionStampMismatchStartsCold) {
+  const std::string dir = test_cache_dir("stale");
+  const std::string path = dir + "/evaluator.mbscache";
+  std::remove(path.c_str());
+
+  const Scenario s = mbs2_scenario("alexnet");
+  {
+    CacheStore store(path);
+    Evaluator eval(&store);
+    eval.step(s);
+    ASSERT_TRUE(store.save());
+  }
+  // Corrupt the schema stamp: same framing, different schema version.
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream text;
+    text << in.rdbuf();
+    std::string doc = text.str();
+    const std::size_t pos = doc.find("net1");
+    ASSERT_NE(pos, std::string::npos);
+    doc.replace(pos, 4, "net0");
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << doc;
+  }
+  CacheStore stale(path);
+  Evaluator eval(&stale);
+  eval.step(s);
+  EXPECT_EQ(stale.loaded_entries(), 0u);  // the stale file was discarded
+  const EvaluatorStats stats = eval.stats();
+  EXPECT_EQ(stats.step_disk_hits, 0);
+  EXPECT_EQ(stats.step_misses, 1);
+  // The recomputed entries replace the stale file on save.
+  EXPECT_TRUE(stale.dirty());
+  ASSERT_TRUE(stale.save());
+  CacheStore reloaded(path);
+  sim::StepResult out;
+  EXPECT_TRUE(reloaded.load_step(s.cache_key(), &out));
+  std::remove(path.c_str());
+}
+
+TEST(CacheStore, MalformedFileStartsCold) {
+  const std::string dir = test_cache_dir("malformed");
+  const std::string path = dir + "/evaluator.mbscache";
+  std::filesystem::create_directories(dir);
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << "9:mbs-cache 1 not a valid cache document";
+  }
+  CacheStore store(path);
+  sim::StepResult unused;
+  EXPECT_FALSE(store.load_step("anykey", &unused));
+  EXPECT_EQ(store.loaded_entries(), 0u);
+  std::remove(path.c_str());
+}
+
+// ---- Shard-then-merge determinism -------------------------------------------
+
+TEST(Sharding, MergedShardDocumentsAreByteIdenticalToUnsharded) {
+  const auto grid = scenario_grid(
+      {"alexnet", "resnet50"},
+      {sched::ExecConfig::kBaseline, sched::ExecConfig::kMbs1,
+       sched::ExecConfig::kMbs2});
+  Evaluator eval;
+  const auto full = SweepRunner().run(grid, eval);
+
+  const auto row_cells = [&](std::size_t i) {
+    return std::vector<std::string>{
+        full[i].network->name, sched::to_string(full[i].scenario.config),
+        std::to_string(full[i].step.time_s),
+        std::to_string(full[i].step.dram_bytes)};
+  };
+
+  // Unsharded reference documents.
+  ResultSink reference("Fig. X: sharding test",
+                       {"network", "config", "time", "dram"});
+  for (std::size_t i = 0; i < full.size(); ++i)
+    reference.add_row(row_cells(i));
+  std::ostringstream ref_csv, ref_json;
+  reference.write_csv(ref_csv);
+  reference.write_json(ref_json);
+
+  // Shard the same row emission three ways (the bench row-gating idiom),
+  // then merge the per-shard documents.
+  for (int count : {2, 3, 5}) {
+    std::vector<ResultSink::Parsed> csv_shards, json_shards;
+    for (int index = 0; index < count; ++index) {
+      const ShardPlan plan{index, count};
+      Evaluator shard_eval;
+      const SweepResults results =
+          SweepRunner().run_sharded(grid, shard_eval, plan);
+      ResultSink sink("Fig. X: sharding test",
+                      {"network", "config", "time", "dram"});
+      for (std::size_t i = 0; i < results.size(); ++i) {
+        if (!plan.owns(i)) continue;
+        sink.add_row({results[i].network->name,
+                      sched::to_string(results[i].scenario.config),
+                      std::to_string(results[i].step.time_s),
+                      std::to_string(results[i].step.dram_bytes)});
+      }
+      std::ostringstream csv, json;
+      sink.write_csv(csv);
+      sink.write_json(json);
+      csv_shards.push_back(ResultSink::parse_csv(csv.str()));
+      json_shards.push_back(ResultSink::parse_json(json.str()));
+    }
+    const ResultSink::Parsed merged_csv = ResultSink::merge_shards(csv_shards);
+    const ResultSink::Parsed merged_json =
+        ResultSink::merge_shards(json_shards);
+
+    ResultSink csv_sink("", merged_csv.headers);
+    for (const auto& row : merged_csv.rows) csv_sink.add_row(row);
+    ResultSink json_sink(merged_json.title, merged_json.headers);
+    for (const auto& row : merged_json.rows) json_sink.add_row(row);
+    std::ostringstream csv, json;
+    csv_sink.write_csv(csv);
+    json_sink.write_json(json);
+    EXPECT_EQ(csv.str(), ref_csv.str()) << count << " shards";
+    EXPECT_EQ(json.str(), ref_json.str()) << count << " shards";
+  }
+}
+
+TEST(Sharding, MergeRejectsInconsistentShardSets) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  ResultSink::Parsed a, b;
+  a.headers = b.headers = {"x"};
+  a.rows = {{"0"}, {"2"}, {"4"}};  // three rows: shard 0 of 2
+  b.rows = {{"1"}};                // too few for round-robin consistency
+  EXPECT_DEATH(ResultSink::merge_shards({a, b}), "round-robin");
+  ResultSink::Parsed c = a;
+  c.headers = {"y"};
+  EXPECT_DEATH(ResultSink::merge_shards({a, c}), "headers disagree");
 }
 
 }  // namespace

@@ -1,0 +1,161 @@
+// merge_results: combines the per-shard CSV/JSON exports of a sharded sweep
+// into the documents an unsharded run would have written, byte for byte.
+//
+// A sweep sharded with MBS_SHARD=i/N (or --shard=i/N) exports
+// <stem>.shard<i>of<N>.csv/.json per ResultSink; the rows of unsharded row
+// index j live in shard j%N at position j/N. This tool scans a result
+// directory (default: $MBS_RESULT_DIR), groups shard files by (stem,
+// extension), verifies every shard 0..N-1 is present, interleaves the rows
+// back (ResultSink::merge_shards) and writes <stem>.csv/.json next to the
+// shard files.
+//
+//   usage: merge_results [result-dir]
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "engine/result_sink.h"
+
+namespace fs = std::filesystem;
+using mbs::engine::ResultSink;
+
+namespace {
+
+struct ShardFile {
+  int index = 0;
+  fs::path path;
+};
+
+struct Group {
+  int count = 0;
+  std::vector<ShardFile> files;
+};
+
+/// Splits "name.shard<i>of<N>.<ext>" into (stem, i, N, ext); false when the
+/// file name does not follow the shard export pattern.
+bool parse_shard_name(const std::string& name, std::string* stem, int* index,
+                      int* count, std::string* ext) {
+  const std::size_t dot = name.rfind('.');
+  if (dot == std::string::npos) return false;
+  *ext = name.substr(dot + 1);
+  if (*ext != "csv" && *ext != "json") return false;
+  const std::string base = name.substr(0, dot);
+  const std::size_t marker = base.rfind(".shard");
+  if (marker == std::string::npos) return false;
+  int i = 0, n = 0;
+  char extra = 0;
+  if (std::sscanf(base.c_str() + marker, ".shard%dof%d%c", &i, &n, &extra) !=
+          2 ||
+      n < 1 || i < 0 || i >= n)
+    return false;
+  *stem = base.substr(0, marker);
+  *index = i;
+  *count = n;
+  return true;
+}
+
+std::string read_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "merge_results: cannot read %s\n",
+                 path.string().c_str());
+    std::exit(1);
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  return text.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string dir;
+  if (argc > 1) {
+    dir = argv[1];
+  } else if (const char* env = std::getenv("MBS_RESULT_DIR"); env && *env) {
+    dir = env;
+  } else {
+    std::fprintf(stderr,
+                 "usage: merge_results [result-dir]   (or set MBS_RESULT_DIR)\n");
+    return 1;
+  }
+
+  // Group shard files by (stem, extension).
+  std::map<std::pair<std::string, std::string>, Group> groups;
+  std::error_code ec;
+  for (const fs::directory_entry& entry : fs::directory_iterator(dir, ec)) {
+    if (!entry.is_regular_file()) continue;
+    std::string stem, ext;
+    int index = 0, count = 0;
+    if (!parse_shard_name(entry.path().filename().string(), &stem, &index,
+                          &count, &ext))
+      continue;
+    Group& g = groups[{stem, ext}];
+    if (g.count != 0 && g.count != count) {
+      std::fprintf(stderr,
+                   "merge_results: %s has shard files from different shard "
+                   "counts (%d and %d)\n",
+                   stem.c_str(), g.count, count);
+      return 1;
+    }
+    g.count = count;
+    g.files.push_back({index, entry.path()});
+  }
+  if (ec) {
+    std::fprintf(stderr, "merge_results: cannot scan %s: %s\n", dir.c_str(),
+                 ec.message().c_str());
+    return 1;
+  }
+  if (groups.empty()) {
+    std::fprintf(stderr, "merge_results: no *.shard<i>of<N>.{csv,json} files "
+                         "in %s\n",
+                 dir.c_str());
+    return 1;
+  }
+
+  for (auto& [key, group] : groups) {
+    const auto& [stem, ext] = key;
+    std::sort(group.files.begin(), group.files.end(),
+              [](const ShardFile& a, const ShardFile& b) {
+                return a.index < b.index;
+              });
+    if (static_cast<int>(group.files.size()) != group.count) {
+      std::fprintf(stderr,
+                   "merge_results: %s.%s has %zu of %d shard files\n",
+                   stem.c_str(), ext.c_str(), group.files.size(), group.count);
+      return 1;
+    }
+    std::vector<ResultSink::Parsed> shards;
+    shards.reserve(group.files.size());
+    for (const ShardFile& f : group.files) {
+      const std::string text = read_file(f.path);
+      shards.push_back(ext == "csv" ? ResultSink::parse_csv(text)
+                                    : ResultSink::parse_json(text));
+    }
+    const ResultSink::Parsed merged = ResultSink::merge_shards(shards);
+
+    // Re-serialize through a ResultSink: same writers as the unsharded run.
+    ResultSink sink(merged.title, merged.headers);
+    for (const auto& row : merged.rows) sink.add_row(row);
+    const fs::path out_path = fs::path(dir) / (stem + "." + ext);
+    std::ofstream out(out_path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "merge_results: cannot write %s\n",
+                   out_path.string().c_str());
+      return 1;
+    }
+    if (ext == "csv")
+      sink.write_csv(out);
+    else
+      sink.write_json(out);
+    std::printf("merged %d shards x %zu rows -> %s\n", group.count,
+                merged.rows.size(), out_path.string().c_str());
+  }
+  return 0;
+}
