@@ -1,13 +1,22 @@
 // google-benchmark microbenchmarks of the library's hot paths — the
 // systolic GEMM timing model, the scheduler and the network builders — plus
 // the engine layer on top of them: single-scenario evaluation (cold vs
-// memoized) and full Fig. 10-style sweeps (serial vs threaded). These bound
-// the cost of design-space studies, which run thousands of scenarios.
+// memoized) and full Fig. 10-style sweeps (serial vs threaded), and the
+// training kernel layer (blocked GEMM, im2col convolution, whole training
+// steps; serial vs pooled via util::set_thread_budget). These bound the
+// cost of design-space studies and of the Fig. 6 training reproduction.
 #include <benchmark/benchmark.h>
 
 #include "engine/engine.h"
 #include "models/zoo.h"
 #include "sched/scheduler.h"
+#include "train/data.h"
+#include "train/im2col.h"
+#include "train/model.h"
+#include "train/ops.h"
+#include "train/trainer.h"
+#include "util/parallel.h"
+#include "util/rng.h"
 
 namespace {
 
@@ -101,6 +110,74 @@ void BM_SweepFig10Threaded(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SweepFig10Threaded);
+
+// ---- Training kernel layer (serial = budget 1, pooled = hardware) -----------
+
+// state.range(0) is the thread budget (0 = hardware concurrency).
+void BM_GemmSmall(benchmark::State& state) {
+  // M/N/K deliberately not tile multiples.
+  util::Rng rng(1);
+  const train::Tensor a = train::Tensor::randn({129, 65}, rng);
+  const train::Tensor b = train::Tensor::randn({65, 130}, rng);
+  util::set_thread_budget(static_cast<int>(state.range(0)));
+  for (auto _ : state) benchmark::DoNotOptimize(train::matmul(a, b));
+  util::set_thread_budget(-1);
+}
+BENCHMARK(BM_GemmSmall)->Arg(1)->Arg(0);
+
+void BM_GemmResNetShaped(benchmark::State& state) {
+  // A fig06-scale im2col GEMM: A [N*Ho*Wo, Ci*Kh*Kw] x W^T [K, Co].
+  util::Rng rng(2);
+  const train::Tensor a = train::Tensor::randn({4608, 288}, rng);
+  const train::Tensor w = train::Tensor::randn({32, 288}, rng);
+  const train::Tensor bias = train::Tensor::randn({32}, rng, 0.1);
+  util::set_thread_budget(static_cast<int>(state.range(0)));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(train::matmul_bt_f32(a, w, bias));
+  util::set_thread_budget(-1);
+}
+BENCHMARK(BM_GemmResNetShaped)->Arg(1)->Arg(0);
+
+void BM_Conv2dForward(benchmark::State& state) {
+  util::Rng rng(3);
+  const train::Tensor x = train::Tensor::randn({4, 32, 28, 28}, rng);
+  const train::Tensor w = train::Tensor::randn({32, 32, 3, 3}, rng, 0.2);
+  const train::Tensor b = train::Tensor::randn({32}, rng, 0.1);
+  util::set_thread_budget(static_cast<int>(state.range(0)));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(train::conv2d_forward(x, w, b, 1, 1));
+  util::set_thread_budget(-1);
+}
+BENCHMARK(BM_Conv2dForward)->Arg(1)->Arg(0);
+
+void BM_Conv2dBackward(benchmark::State& state) {
+  util::Rng rng(4);
+  const train::Tensor x = train::Tensor::randn({4, 32, 28, 28}, rng);
+  const train::Tensor w = train::Tensor::randn({32, 32, 3, 3}, rng, 0.2);
+  const train::Tensor dy = train::Tensor::randn({4, 32, 28, 28}, rng);
+  util::set_thread_budget(static_cast<int>(state.range(0)));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(train::conv2d_backward(x, w, dy, 1, 1));
+  util::set_thread_budget(-1);
+}
+BENCHMARK(BM_Conv2dBackward)->Arg(1)->Arg(0);
+
+void BM_TrainStep(benchmark::State& state) {
+  // One fig06-style GN+MBS optimizer step (batch 32 as four sub-batches).
+  const train::Dataset data = train::make_synthetic_dataset(32, 8, 1, 12, 7);
+  train::SmallCnnConfig cfg;
+  cfg.norm = train::NormMode::kGroup;
+  cfg.classes = 8;
+  cfg.stage_channels = {16, 32};
+  train::SmallCnn model(cfg);
+  train::Sgd opt({/*lr=*/0.05, /*momentum=*/0.9, /*weight_decay=*/1e-4});
+  util::set_thread_budget(static_cast<int>(state.range(0)));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(train::train_step(model, opt, data.images,
+                                               data.labels, {8, 8, 8, 8}));
+  util::set_thread_budget(-1);
+}
+BENCHMARK(BM_TrainStep)->Arg(1)->Arg(0);
 
 }  // namespace
 

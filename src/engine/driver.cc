@@ -5,6 +5,8 @@
 #include <cstring>
 #include <string_view>
 
+#include "util/parallel.h"
+
 namespace mbs::engine {
 
 namespace {
@@ -90,6 +92,10 @@ Driver::Driver(int argc, char** argv) {
     store_ = CacheStore::from_env();
 
   eval_ = std::make_unique<Evaluator>(store_.get());
+  // One budget for both layers: the sweep pool and the kernel pool draw
+  // from the same --threads/MBS_THREADS value (nested kernel use inside
+  // sweep workers runs inline, see util/parallel.h).
+  util::set_thread_budget(sweep.threads);
   runner_ = SweepRunner(sweep);
   ResultSink::set_export_suffix(shard_.suffix());
 }
@@ -110,6 +116,26 @@ Driver::~Driver() {
     std::fprintf(stderr, "[mbs-engine] cache-store %s: %zu loaded, %zu entries\n",
                  store_->path().c_str(), store_->loaded_entries(),
                  store_->entry_count());
+
+  // Kernel-time breakdown (outermost timers only, so the kinds sum to
+  // total time spent in the training kernel layer).
+  bool any_kernel = false;
+  for (int k = 0; k < static_cast<int>(util::KernelKind::kCount); ++k)
+    if (util::kernel_stat(static_cast<util::KernelKind>(k)).calls > 0)
+      any_kernel = true;
+  if (any_kernel) {
+    std::fprintf(stderr, "[mbs-engine] kernels (threads=%d):",
+                 util::thread_budget());
+    for (int k = 0; k < static_cast<int>(util::KernelKind::kCount); ++k) {
+      const util::KernelStat s =
+          util::kernel_stat(static_cast<util::KernelKind>(k));
+      if (s.calls == 0) continue;
+      std::fprintf(stderr, " %s %.3fs/%lld",
+                   util::to_string(static_cast<util::KernelKind>(k)),
+                   s.seconds, static_cast<long long>(s.calls));
+    }
+    std::fprintf(stderr, "\n");
+  }
 }
 
 SweepResults Driver::run(const std::vector<Scenario>& grid) {

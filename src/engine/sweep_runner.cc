@@ -8,6 +8,8 @@
 #include <thread>
 #include <vector>
 
+#include "util/parallel.h"
+
 namespace mbs::engine {
 
 std::string ShardPlan::suffix() const {
@@ -70,9 +72,10 @@ ScenarioResult evaluate_scenario(const Scenario& s, Evaluator& eval) {
 SweepRunner::SweepRunner(SweepOptions opts) : opts_(opts) {}
 
 int SweepRunner::thread_count(int n) const {
+  // Unset options fall back to the process-wide budget shared with the
+  // kernel pool (MBS_THREADS / util::set_thread_budget).
   int t = opts_.threads;
-  if (t <= 0) t = static_cast<int>(std::thread::hardware_concurrency());
-  if (t <= 0) t = 1;
+  if (t <= 0) t = util::thread_budget();
   if (t > n) t = n;
   return t < 1 ? 1 : t;
 }
@@ -91,6 +94,10 @@ void SweepRunner::for_each_index(int n, const std::function<void(int)>& fn) cons
   std::mutex error_mu;
 
   auto worker = [&] {
+    // The sweep already consumes the thread budget, so kernels the jobs
+    // reach (the training substrate's parallel_for) run inline here —
+    // threaded sweeps of training scenarios never oversubscribe.
+    util::ParallelRegionGuard nested_kernels_run_inline;
     for (;;) {
       const int i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= n || failed.load(std::memory_order_relaxed)) return;

@@ -1,6 +1,29 @@
+// im2col lowering and the blocked GEMM family (the fast kernel layer).
+//
+// The GEMMs are cache-blocked over N (a packed B panel of kPanelCols
+// columns) with a register-blocked kMR x kNR micro-kernel and parallelism
+// over M row blocks on util::parallel_for. Bit-identity with the naive
+// triple loops is by construction: every output element C[i,j] is computed
+// by exactly one thread as a single pass over p = 0..K-1 in increasing
+// order with the same accumulator type as the naive loop (float for
+// matmul/matmul_at/matmul_bt_f32, double for matmul_bt), so the rounded
+// operation sequence per element is unchanged at any thread count or tile
+// size. The naive loops' `if (v == 0) continue` sparsity skips are dropped:
+// for finite operands, adding a +/-0 term never changes a float
+// accumulator that is not -0.0, and the accumulators here start at +0.0
+// (or a bias that SGD can never drive to -0.0) and can never become -0.0
+// — exact cancellation rounds to +0.0 and +/-0 terms preserve the sign —
+// so the skip was a pure optimization, not a semantic. (The one exception
+// is non-finite data: 0 * Inf is NaN where the skipping loop left the
+// output untouched. A training run whose tensors hold Inf/NaN has already
+// diverged, so the determinism contract is scoped to finite values.)
 #include "train/im2col.h"
 
 #include <cassert>
+#include <cstring>
+#include <vector>
+
+#include "util/parallel.h"
 
 namespace mbs::train {
 
@@ -10,101 +33,323 @@ int out_dim(int in, int kernel, int stride, int pad) {
   return (in + 2 * pad - kernel) / stride + 1;
 }
 
+constexpr int kPanelCols = 64;  // packed B panel width (multiple of kNR)
+constexpr int kMR = 4;          // micro-kernel rows
+constexpr int kNR = 8;          // micro-kernel columns
+
+/// Packs B columns [j0, j0+nc) of a [K,N] row-major matrix into
+/// panel[p*nc + jj].
+void pack_panel_kn(const float* b, std::int64_t n, int k, std::int64_t j0,
+                   int nc, float* panel) {
+  for (int p = 0; p < k; ++p)
+    std::memcpy(panel + static_cast<std::int64_t>(p) * nc, b + p * n + j0,
+                static_cast<std::size_t>(nc) * sizeof(float));
+}
+
+/// Packs rows [j0, j0+nc) of a [N,K] row-major matrix (columns of B^T)
+/// into panel[p*nc + jj].
+void pack_panel_nk(const float* b, int k, std::int64_t j0, int nc,
+                   float* panel) {
+  for (int jj = 0; jj < nc; ++jj) {
+    const float* src = b + (j0 + jj) * k;
+    for (int p = 0; p < k; ++p) panel[static_cast<std::int64_t>(p) * nc + jj] = src[p];
+  }
+}
+
+/// Float micro-kernel: C rows [i0, i1) x panel columns [0, nc), K-major
+/// single pass. A is addressed a[i*ars + p*acs] so the same kernel serves
+/// both A-normal (ars=K, acs=1) and A-transposed (ars=1, acs=M) layouts.
+/// init (length >= j0+nc) seeds each column's accumulator; null = 0.
+void gemm_panel_f32(const float* a, std::int64_t ars, std::int64_t acs,
+                    const float* panel, int k, int nc, const float* init,
+                    std::int64_t j0, float* c, std::int64_t ldc,
+                    std::int64_t i0, std::int64_t i1) {
+  for (std::int64_t i = i0; i < i1; i += kMR) {
+    const int mr = static_cast<int>(i1 - i < kMR ? i1 - i : kMR);
+    for (int j = 0; j < nc; j += kNR) {
+      const int nr = nc - j < kNR ? nc - j : kNR;
+      float acc[kMR][kNR];
+      for (int ii = 0; ii < mr; ++ii)
+        for (int jj = 0; jj < nr; ++jj)
+          acc[ii][jj] = init ? init[j0 + j + jj] : 0.0f;
+      const float* bp = panel + j;
+      for (int p = 0; p < k; ++p, bp += nc) {
+        float av[kMR];
+        for (int ii = 0; ii < mr; ++ii) av[ii] = a[(i + ii) * ars + p * acs];
+        for (int ii = 0; ii < mr; ++ii)
+          for (int jj = 0; jj < nr; ++jj) acc[ii][jj] += av[ii] * bp[jj];
+      }
+      for (int ii = 0; ii < mr; ++ii)
+        for (int jj = 0; jj < nr; ++jj)
+          c[(i + ii) * ldc + j0 + j + jj] = acc[ii][jj];
+    }
+  }
+}
+
+/// Double-accumulator micro-kernel (matmul_bt semantics): the product is
+/// computed in double — static_cast<double>(a) * b, as in the naive loop —
+/// and the accumulator rounds to float only on the final store.
+void gemm_panel_f64(const float* a, std::int64_t ars, std::int64_t acs,
+                    const float* panel, int k, int nc, std::int64_t j0,
+                    float* c, std::int64_t ldc, std::int64_t i0,
+                    std::int64_t i1) {
+  for (std::int64_t i = i0; i < i1; i += kMR) {
+    const int mr = static_cast<int>(i1 - i < kMR ? i1 - i : kMR);
+    for (int j = 0; j < nc; j += kNR) {
+      const int nr = nc - j < kNR ? nc - j : kNR;
+      double acc[kMR][kNR];
+      for (int ii = 0; ii < mr; ++ii)
+        for (int jj = 0; jj < nr; ++jj) acc[ii][jj] = 0.0;
+      const float* bp = panel + j;
+      for (int p = 0; p < k; ++p, bp += nc) {
+        double av[kMR];
+        for (int ii = 0; ii < mr; ++ii)
+          av[ii] = static_cast<double>(a[(i + ii) * ars + p * acs]);
+        for (int ii = 0; ii < mr; ++ii)
+          for (int jj = 0; jj < nr; ++jj) acc[ii][jj] += av[ii] * bp[jj];
+      }
+      for (int ii = 0; ii < mr; ++ii)
+        for (int jj = 0; jj < nr; ++jj)
+          c[(i + ii) * ldc + j0 + j + jj] = static_cast<float>(acc[ii][jj]);
+    }
+  }
+}
+
+/// Row-block grain sized so a range is worth a pool dispatch.
+std::int64_t row_grain(int k) {
+  const std::int64_t g = 32768 / (k < 1 ? 1 : k);
+  return g < kMR ? kMR : g;
+}
+
+enum class PanelLayout { kKN, kNK };
+
+/// Shared blocked-GEMM driver: packs one B panel per column block, then
+/// fans the M dimension across the pool.
+template <typename Kernel>
+void blocked_gemm(std::int64_t m, std::int64_t n, int k, PanelLayout layout,
+                  const float* b, const Kernel& kernel) {
+  std::vector<float> panel(static_cast<std::size_t>(k) *
+                           (n < kPanelCols ? n : kPanelCols));
+  for (std::int64_t j0 = 0; j0 < n; j0 += kPanelCols) {
+    const int nc =
+        static_cast<int>(n - j0 < kPanelCols ? n - j0 : kPanelCols);
+    if (layout == PanelLayout::kKN)
+      pack_panel_kn(b, n, k, j0, nc, panel.data());
+    else
+      pack_panel_nk(b, k, j0, nc, panel.data());
+    util::parallel_for(m, row_grain(k),
+                       [&](std::int64_t i0, std::int64_t i1) {
+                         kernel(panel.data(), nc, j0, i0, i1);
+                       });
+  }
+}
+
 }  // namespace
 
 Tensor im2col(const Tensor& x, int kernel_h, int kernel_w, int stride,
               int pad_h, int pad_w) {
   assert(x.ndim() == 4);
+  util::ScopedKernelTimer timer(util::KernelKind::kIm2col);
   const int n = x.dim(0), ci = x.dim(1), ih = x.dim(2), iw = x.dim(3);
   const int oh = out_dim(ih, kernel_h, stride, pad_h);
   const int ow = out_dim(iw, kernel_w, stride, pad_w);
   const int k = ci * kernel_h * kernel_w;
   Tensor cols({n * oh * ow, k});
-  std::int64_t row = 0;
-  for (int b = 0; b < n; ++b)
-    for (int yh = 0; yh < oh; ++yh)
-      for (int yw = 0; yw < ow; ++yw, ++row) {
-        std::int64_t col = 0;
-        for (int c = 0; c < ci; ++c)
-          for (int r = 0; r < kernel_h; ++r)
-            for (int s = 0; s < kernel_w; ++s, ++col) {
+  const float* xd = x.data();
+  float* cd = cols.data();
+  util::parallel_for(
+      static_cast<std::int64_t>(n) * oh * ow, row_grain(k),
+      [&](std::int64_t begin, std::int64_t end) {
+        for (std::int64_t row = begin; row < end; ++row) {
+          const int b = static_cast<int>(row / (static_cast<std::int64_t>(oh) * ow));
+          const int rest = static_cast<int>(row % (static_cast<std::int64_t>(oh) * ow));
+          const int yh = rest / ow, yw = rest % ow;
+          float* out = cd + row * k;
+          const int xw0 = yw * stride - pad_w;
+          const int s_lo = xw0 < 0 ? -xw0 : 0;
+          const int s_hi = iw - xw0 < kernel_w ? iw - xw0 : kernel_w;
+          for (int c = 0; c < ci; ++c)
+            for (int r = 0; r < kernel_h; ++r) {
               const int xh = yh * stride - pad_h + r;
-              const int xw = yw * stride - pad_w + s;
-              if (xh >= 0 && xh < ih && xw >= 0 && xw < iw)
-                cols[row * k + col] = x.at(b, c, xh, xw);
+              if (xh < 0 || xh >= ih) continue;  // padded row stays zero
+              const float* src =
+                  xd + ((static_cast<std::int64_t>(b) * ci + c) * ih + xh) * iw +
+                  xw0;
+              float* dst = out + (static_cast<std::int64_t>(c) * kernel_h + r) *
+                                     kernel_w;
+              for (int s = s_lo; s < s_hi; ++s) dst[s] = src[s];
             }
-      }
+        }
+      });
   return cols;
 }
 
 Tensor col2im(const Tensor& cols, const std::vector<int>& x_shape,
               int kernel_h, int kernel_w, int stride, int pad_h, int pad_w) {
+  util::ScopedKernelTimer timer(util::KernelKind::kIm2col);
   const int n = x_shape[0], ci = x_shape[1], ih = x_shape[2], iw = x_shape[3];
   const int oh = out_dim(ih, kernel_h, stride, pad_h);
   const int ow = out_dim(iw, kernel_w, stride, pad_w);
   const int k = ci * kernel_h * kernel_w;
   assert(cols.dim(0) == n * oh * ow && cols.dim(1) == k);
   Tensor x(x_shape);
-  std::int64_t row = 0;
-  for (int b = 0; b < n; ++b)
-    for (int yh = 0; yh < oh; ++yh)
-      for (int yw = 0; yw < ow; ++yw, ++row) {
-        std::int64_t col = 0;
-        for (int c = 0; c < ci; ++c)
-          for (int r = 0; r < kernel_h; ++r)
-            for (int s = 0; s < kernel_w; ++s, ++col) {
+  const float* cd = cols.data();
+  float* xd = x.data();
+  // The scatter-add stays inside one sample, so partitioning over samples
+  // keeps every x element owned by one thread in unchanged (yh,yw,r,s)
+  // accumulation order.
+  util::parallel_for(n, 1, [&](std::int64_t b0, std::int64_t b1) {
+    for (std::int64_t b = b0; b < b1; ++b) {
+      std::int64_t row = b * oh * ow;
+      for (int yh = 0; yh < oh; ++yh)
+        for (int yw = 0; yw < ow; ++yw, ++row) {
+          const float* in = cd + row * k;
+          const int xw0 = yw * stride - pad_w;
+          const int s_lo = xw0 < 0 ? -xw0 : 0;
+          const int s_hi = iw - xw0 < kernel_w ? iw - xw0 : kernel_w;
+          for (int c = 0; c < ci; ++c)
+            for (int r = 0; r < kernel_h; ++r) {
               const int xh = yh * stride - pad_h + r;
-              const int xw = yw * stride - pad_w + s;
-              if (xh >= 0 && xh < ih && xw >= 0 && xw < iw)
-                x.at(b, c, xh, xw) += cols[row * k + col];
+              if (xh < 0 || xh >= ih) continue;
+              float* dst =
+                  xd + ((b * ci + c) * ih + xh) * iw + xw0;
+              const float* src =
+                  in + (static_cast<std::int64_t>(c) * kernel_h + r) * kernel_w;
+              for (int s = s_lo; s < s_hi; ++s) dst[s] += src[s];
             }
-      }
+        }
+    }
+  });
   return x;
 }
 
 Tensor matmul(const Tensor& a, const Tensor& b) {
   assert(a.ndim() == 2 && b.ndim() == 2 && a.dim(1) == b.dim(0));
-  const int m = a.dim(0), k = a.dim(1), n = b.dim(1);
-  Tensor c({m, n});
-  for (int i = 0; i < m; ++i)
-    for (int p = 0; p < k; ++p) {
-      const float av = a[static_cast<std::int64_t>(i) * k + p];
-      if (av == 0.0f) continue;
-      for (int j = 0; j < n; ++j)
-        c[static_cast<std::int64_t>(i) * n + j] +=
-            av * b[static_cast<std::int64_t>(p) * n + j];
-    }
+  util::ScopedKernelTimer timer(util::KernelKind::kGemm);
+  const std::int64_t m = a.dim(0), n = b.dim(1);
+  const int k = a.dim(1);
+  Tensor c({static_cast<int>(m), static_cast<int>(n)});
+  const float* ad = a.data();
+  float* cd = c.data();
+  blocked_gemm(m, n, k, PanelLayout::kKN, b.data(),
+               [&](const float* panel, int nc, std::int64_t j0,
+                   std::int64_t i0, std::int64_t i1) {
+                 gemm_panel_f32(ad, k, 1, panel, k, nc, nullptr, j0, cd, n,
+                                i0, i1);
+               });
   return c;
 }
 
 Tensor matmul_bt(const Tensor& a, const Tensor& b) {
   assert(a.ndim() == 2 && b.ndim() == 2 && a.dim(1) == b.dim(1));
-  const int m = a.dim(0), k = a.dim(1), n = b.dim(0);
-  Tensor c({m, n});
-  for (int i = 0; i < m; ++i)
-    for (int j = 0; j < n; ++j) {
-      double acc = 0;
-      for (int p = 0; p < k; ++p)
-        acc += static_cast<double>(a[static_cast<std::int64_t>(i) * k + p]) *
-               b[static_cast<std::int64_t>(j) * k + p];
-      c[static_cast<std::int64_t>(i) * n + j] = static_cast<float>(acc);
-    }
+  util::ScopedKernelTimer timer(util::KernelKind::kGemm);
+  const std::int64_t m = a.dim(0), n = b.dim(0);
+  const int k = a.dim(1);
+  Tensor c({static_cast<int>(m), static_cast<int>(n)});
+  const float* ad = a.data();
+  float* cd = c.data();
+  blocked_gemm(m, n, k, PanelLayout::kNK, b.data(),
+               [&](const float* panel, int nc, std::int64_t j0,
+                   std::int64_t i0, std::int64_t i1) {
+                 gemm_panel_f64(ad, k, 1, panel, k, nc, j0, cd, n, i0, i1);
+               });
   return c;
 }
 
 Tensor matmul_at(const Tensor& a, const Tensor& b) {
   assert(a.ndim() == 2 && b.ndim() == 2 && a.dim(0) == b.dim(0));
-  const int k = a.dim(0), m = a.dim(1), n = b.dim(1);
-  Tensor c({m, n});
-  for (int p = 0; p < k; ++p)
-    for (int i = 0; i < m; ++i) {
-      const float av = a[static_cast<std::int64_t>(p) * m + i];
-      if (av == 0.0f) continue;
-      for (int j = 0; j < n; ++j)
-        c[static_cast<std::int64_t>(i) * n + j] +=
-            av * b[static_cast<std::int64_t>(p) * n + j];
-    }
+  util::ScopedKernelTimer timer(util::KernelKind::kGemm);
+  const std::int64_t m = a.dim(1), n = b.dim(1);
+  const int k = a.dim(0);
+  Tensor c({static_cast<int>(m), static_cast<int>(n)});
+  const float* ad = a.data();
+  float* cd = c.data();
+  blocked_gemm(m, n, k, PanelLayout::kKN, b.data(),
+               [&](const float* panel, int nc, std::int64_t j0,
+                   std::int64_t i0, std::int64_t i1) {
+                 gemm_panel_f32(ad, 1, m, panel, k, nc, nullptr, j0, cd, n,
+                                i0, i1);
+               });
   return c;
+}
+
+Tensor matmul_bt_f32(const Tensor& a, const Tensor& b, const Tensor& init) {
+  assert(a.ndim() == 2 && b.ndim() == 2 && a.dim(1) == b.dim(1));
+  assert(init.empty() || init.size() == b.dim(0));
+  util::ScopedKernelTimer timer(util::KernelKind::kGemm);
+  const std::int64_t m = a.dim(0), n = b.dim(0);
+  const int k = a.dim(1);
+  Tensor c({static_cast<int>(m), static_cast<int>(n)});
+  const float* ad = a.data();
+  const float* initd = init.empty() ? nullptr : init.data();
+  float* cd = c.data();
+  blocked_gemm(m, n, k, PanelLayout::kNK, b.data(),
+               [&](const float* panel, int nc, std::int64_t j0,
+                   std::int64_t i0, std::int64_t i1) {
+                 gemm_panel_f32(ad, k, 1, panel, k, nc, initd, j0, cd, n, i0,
+                                i1);
+               });
+  return c;
+}
+
+Tensor column_sums_f32(const Tensor& m) {
+  assert(m.ndim() == 2);
+  const std::int64_t rows = m.dim(0);
+  const int n = m.dim(1);
+  Tensor sums({n});
+  const float* md = m.data();
+  float* out = sums.data();
+  for (std::int64_t r = 0; r < rows; ++r)
+    for (int j = 0; j < n; ++j) out[j] += md[r * n + j];
+  return sums;
+}
+
+Tensor nchw_to_rows(const Tensor& t) {
+  assert(t.ndim() == 4);
+  const int n = t.dim(0), c = t.dim(1);
+  const std::int64_t hw = static_cast<std::int64_t>(t.dim(2)) * t.dim(3);
+  Tensor rows({static_cast<int>(n * hw), c});
+  const float* td = t.data();
+  float* rd = rows.data();
+  util::parallel_for(n * hw, row_grain(c),
+                     [&](std::int64_t begin, std::int64_t end) {
+                       for (std::int64_t row = begin; row < end; ++row) {
+                         const std::int64_t b = row / hw, pos = row % hw;
+                         for (int ch = 0; ch < c; ++ch)
+                           rd[row * c + ch] = td[(b * c + ch) * hw + pos];
+                       }
+                     });
+  return rows;
+}
+
+Tensor rows_to_nchw(const Tensor& rows, const std::vector<int>& shape4) {
+  assert(rows.ndim() == 2 && shape4.size() == 4);
+  const int n = shape4[0], c = shape4[1];
+  const std::int64_t hw = static_cast<std::int64_t>(shape4[2]) * shape4[3];
+  assert(rows.dim(0) == n * hw && rows.dim(1) == c);
+  Tensor t(shape4);
+  const float* rd = rows.data();
+  float* td = t.data();
+  util::parallel_for(static_cast<std::int64_t>(n) * hw, row_grain(c),
+                     [&](std::int64_t begin, std::int64_t end) {
+                       for (std::int64_t row = begin; row < end; ++row) {
+                         const std::int64_t b = row / hw, pos = row % hw;
+                         for (int ch = 0; ch < c; ++ch)
+                           td[(b * c + ch) * hw + pos] = rd[row * c + ch];
+                       }
+                     });
+  return t;
+}
+
+Tensor kxn_to_conv_weights(const Tensor& m, int co, int ci, int kh, int kw) {
+  const std::int64_t k = static_cast<std::int64_t>(ci) * kh * kw;
+  assert(m.ndim() == 2 && m.dim(0) == k && m.dim(1) == co);
+  Tensor w({co, ci, kh, kw});
+  const float* md = m.data();
+  float* wd = w.data();
+  for (std::int64_t i = 0; i < k; ++i)
+    for (int o = 0; o < co; ++o) wd[static_cast<std::int64_t>(o) * k + i] = md[i * co + o];
+  return w;
 }
 
 Tensor conv2d_forward_im2col(const Tensor& x, const Tensor& w,
@@ -117,56 +362,46 @@ Tensor conv2d_forward_im2col(const Tensor& x, const Tensor& w,
   // A [N*Ho*Wo, Ci*Kh*Kw]; B = W reshaped [Co, Ci*Kh*Kw], used transposed.
   const Tensor a = im2col(x, kh, kw, stride, pad, pad);
   Tensor w2({co, ci * kh * kw});
-  for (std::int64_t i = 0; i < w.size(); ++i) w2[i] = w[i];
+  std::memcpy(w2.data(), w.data(),
+              static_cast<std::size_t>(w.size()) * sizeof(float));
   const Tensor c = matmul_bt(a, w2);  // [N*Ho*Wo, Co]
 
   // Repack [N*Ho*Wo, Co] -> [N, Co, Ho, Wo] and add bias.
-  Tensor y({n, co, oh, ow});
-  std::int64_t row = 0;
-  for (int b = 0; b < n; ++b)
-    for (int yh = 0; yh < oh; ++yh)
-      for (int yw = 0; yw < ow; ++yw, ++row)
-        for (int o = 0; o < co; ++o)
-          y.at(b, o, yh, yw) = c[row * co + o] + (bias.empty() ? 0.0f : bias[o]);
+  Tensor y = rows_to_nchw(c, {n, co, oh, ow});
+  if (!bias.empty()) {
+    const std::int64_t hw = static_cast<std::int64_t>(oh) * ow;
+    float* yd = y.data();
+    for (int b = 0; b < n; ++b)
+      for (int o = 0; o < co; ++o) {
+        float* row = yd + (static_cast<std::int64_t>(b) * co + o) * hw;
+        for (std::int64_t i = 0; i < hw; ++i) row[i] += bias[o];
+      }
+  }
   return y;
 }
 
 Conv2dIm2colGrads conv2d_backward_im2col(const Tensor& x, const Tensor& w,
                                          const Tensor& dy, int stride,
                                          int pad) {
-  const int n = x.dim(0);
   const int co = w.dim(0), ci = w.dim(1), kh = w.dim(2), kw = w.dim(3);
-  const int oh = dy.dim(2), ow = dy.dim(3);
   const std::int64_t k = static_cast<std::int64_t>(ci) * kh * kw;
 
   // dY as a [N*Ho*Wo, Co] matrix.
-  Tensor dy2({n * oh * ow, co});
-  std::int64_t row = 0;
-  for (int b = 0; b < n; ++b)
-    for (int yh = 0; yh < oh; ++yh)
-      for (int yw = 0; yw < ow; ++yw, ++row)
-        for (int o = 0; o < co; ++o)
-          dy2[row * co + o] = dy.at(b, o, yh, yw);
+  const Tensor dy2 = nchw_to_rows(dy);
 
   Conv2dIm2colGrads g;
 
-  // Weight gradient (Tab. 1): [Ci*R*S, Co] = A^T [K, Gh]^T... computed as
-  // im2col(x)^T * dY, then repacked to [Co, Ci, Kh, Kw].
+  // Weight gradient (Tab. 1): im2col(x)^T * dY, repacked to [Co,Ci,Kh,Kw].
   const Tensor a = im2col(x, kh, kw, stride, pad, pad);
-  const Tensor dw2 = matmul_at(a, dy2);  // [Ci*Kh*Kw, Co]
-  g.dw = Tensor({co, ci, kh, kw});
-  for (std::int64_t i = 0; i < k; ++i)
-    for (int o = 0; o < co; ++o)
-      g.dw[static_cast<std::int64_t>(o) * k + i] = dw2[i * co + o];
+  g.dw = kxn_to_conv_weights(matmul_at(a, dy2), co, ci, kh, kw);
 
   // Bias gradient: column sums of dY.
-  g.dbias = Tensor({co});
-  for (std::int64_t r2 = 0; r2 < dy2.dim(0); ++r2)
-    for (int o = 0; o < co; ++o) g.dbias[o] += dy2[r2 * co + o];
+  g.dbias = column_sums_f32(dy2);
 
   // Data gradient (Tab. 1): dA = dY * W [Gh, K], scattered back with col2im.
   Tensor w2({co, static_cast<int>(k)});
-  for (std::int64_t i = 0; i < w.size(); ++i) w2[i] = w[i];
+  std::memcpy(w2.data(), w.data(),
+              static_cast<std::size_t>(w.size()) * sizeof(float));
   const Tensor da = matmul(dy2, w2);  // [N*Ho*Wo, Ci*Kh*Kw]
   g.dx = col2im(da, x.shape(), kh, kw, stride, pad, pad);
   return g;

@@ -32,6 +32,28 @@ Tensor matmul_bt(const Tensor& a, const Tensor& b);
 /// A transposed: C[M,N] = A[K,M]^T * B[K,N].
 Tensor matmul_at(const Tensor& a, const Tensor& b);
 
+/// B transposed with FLOAT accumulation and per-column initialization:
+/// C[i,j] starts at init[j] (0 when init is empty) and adds a[i,p]*b[j,p]
+/// for p = 0..K-1 with float rounding at every step — exactly the
+/// accumulation direct convolution performs per output element, which is
+/// what lets conv2d_forward delegate to the GEMM path bit-for-bit
+/// (matmul_bt's double accumulator would change the low bits).
+Tensor matmul_bt_f32(const Tensor& a, const Tensor& b, const Tensor& init);
+
+/// Per-column float sums of a [R, N] matrix, each column accumulated in
+/// increasing row order — the conv bias-gradient reduction.
+Tensor column_sums_f32(const Tensor& m);
+
+/// Repacks [N,C,H,W] into the GEMM row layout [N*H*W, C] (row (n,h,w),
+/// column c) and back. The adjoint pair used to move dY and GEMM outputs
+/// between tensor and matrix form.
+Tensor nchw_to_rows(const Tensor& t);
+Tensor rows_to_nchw(const Tensor& rows, const std::vector<int>& shape4);
+
+/// Repacks a [Ci*Kh*Kw, Co] weight-gradient GEMM result into conv weight
+/// layout [Co, Ci, Kh, Kw].
+Tensor kxn_to_conv_weights(const Tensor& m, int co, int ci, int kh, int kw);
+
 /// Convolution forward via im2col + GEMM (Tab. 1 "Forward"). Must equal
 /// conv2d_forward bit-for-bit up to float summation order.
 Tensor conv2d_forward_im2col(const Tensor& x, const Tensor& w,

@@ -3,6 +3,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "util/parallel.h"
+
 namespace mbs::train {
 
 const char* to_string(NormMode m) {
@@ -108,14 +110,22 @@ void SmallCnn::backward(const Tensor& dlogits) {
 }
 
 void SmallCnn::zero_grad() {
+  // One pool dispatch for all gradient buffers (they are disjoint, so the
+  // partition is bit-irrelevant) instead of one per tensor.
+  std::vector<Tensor*> gs;
   for (Stage& s : stages_) {
-    s.dw.zero();
-    s.db.zero();
-    s.dgamma.zero();
-    s.dbeta.zero();
+    gs.push_back(&s.dw);
+    gs.push_back(&s.db);
+    gs.push_back(&s.dgamma);
+    gs.push_back(&s.dbeta);
   }
-  fc_dw.zero();
-  fc_db.zero();
+  gs.push_back(&fc_dw);
+  gs.push_back(&fc_db);
+  util::parallel_for(static_cast<std::int64_t>(gs.size()), 1,
+                     [&](std::int64_t i0, std::int64_t i1) {
+                       for (std::int64_t i = i0; i < i1; ++i)
+                         gs[static_cast<std::size_t>(i)]->zero();
+                     });
 }
 
 std::vector<Tensor*> SmallCnn::parameters() {

@@ -1,13 +1,23 @@
+// Normalization layers on the kernel pool: BN statistics are per channel
+// and GN statistics per (sample, group), so the loops fan those units out
+// across util::parallel_for — each unit's reductions stay on one thread in
+// the original accumulation order, keeping results bit-identical at any
+// thread count. GN's backward additionally accumulates dgamma/dbeta across
+// samples, so it parallelizes over groups only (samples stay an inner,
+// in-order loop).
 #include "train/norm.h"
 
 #include <cassert>
 #include <cmath>
+
+#include "util/parallel.h"
 
 namespace mbs::train {
 
 Tensor batchnorm_forward(const Tensor& x, const Tensor& gamma,
                          const Tensor& beta, NormCache& cache, float eps) {
   assert(x.ndim() == 4);
+  util::ScopedKernelTimer timer(util::KernelKind::kNorm);
   const int n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
   const std::int64_t m = static_cast<std::int64_t>(n) * h * w;
   cache.x = x;
@@ -15,7 +25,8 @@ Tensor batchnorm_forward(const Tensor& x, const Tensor& gamma,
   cache.inv_std = Tensor({c});
   Tensor y(x.shape());
   cache.xhat = Tensor(x.shape());
-  for (int ch = 0; ch < c; ++ch) {
+  util::parallel_for(c, 1, [&](std::int64_t c0, std::int64_t c1) {
+  for (int ch = static_cast<int>(c0); ch < c1; ++ch) {
     double sum = 0, sq = 0;
     for (int b = 0; b < n; ++b)
       for (int i = 0; i < h; ++i)
@@ -37,11 +48,13 @@ Tensor batchnorm_forward(const Tensor& x, const Tensor& gamma,
           y.at(b, ch, i, j) = gamma[ch] * xh + beta[ch];
         }
   }
+  });
   return y;
 }
 
 NormGrads batchnorm_backward(const Tensor& dy, const Tensor& gamma,
                              const NormCache& cache) {
+  util::ScopedKernelTimer timer(util::KernelKind::kNorm);
   const Tensor& x = cache.x;
   const int n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
   const double m = static_cast<double>(n) * h * w;
@@ -49,7 +62,8 @@ NormGrads batchnorm_backward(const Tensor& dy, const Tensor& gamma,
   g.dx = Tensor(x.shape());
   g.dgamma = Tensor({c});
   g.dbeta = Tensor({c});
-  for (int ch = 0; ch < c; ++ch) {
+  util::parallel_for(c, 1, [&](std::int64_t c0, std::int64_t c1) {
+  for (int ch = static_cast<int>(c0); ch < c1; ++ch) {
     double sum_dy = 0, sum_dy_xhat = 0;
     for (int b = 0; b < n; ++b)
       for (int i = 0; i < h; ++i)
@@ -71,6 +85,7 @@ NormGrads batchnorm_backward(const Tensor& dy, const Tensor& gamma,
               gam * inv * (d - sum_dy / m - xh * sum_dy_xhat / m));
         }
   }
+  });
   return g;
 }
 
@@ -78,6 +93,7 @@ Tensor groupnorm_forward(const Tensor& x, const Tensor& gamma,
                          const Tensor& beta, int groups, NormCache& cache,
                          float eps) {
   assert(x.ndim() == 4);
+  util::ScopedKernelTimer timer(util::KernelKind::kNorm);
   const int n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
   assert(c % groups == 0);
   const int cpg = c / groups;
@@ -87,8 +103,13 @@ Tensor groupnorm_forward(const Tensor& x, const Tensor& gamma,
   cache.inv_std = Tensor({n, groups});
   cache.xhat = Tensor(x.shape());
   Tensor y(x.shape());
-  for (int b = 0; b < n; ++b)
-    for (int gr = 0; gr < groups; ++gr) {
+  util::parallel_for(
+      static_cast<std::int64_t>(n) * groups, 1,
+      [&](std::int64_t u0, std::int64_t u1) {
+  for (std::int64_t unit = u0; unit < u1; ++unit) {
+    const int b = static_cast<int>(unit / groups);
+    const int gr = static_cast<int>(unit % groups);
+    {
       double sum = 0, sq = 0;
       for (int cc = gr * cpg; cc < (gr + 1) * cpg; ++cc)
         for (int i = 0; i < h; ++i)
@@ -113,11 +134,14 @@ Tensor groupnorm_forward(const Tensor& x, const Tensor& gamma,
             y.at(b, cc, i, j) = gamma[cc] * xh + beta[cc];
           }
     }
+  }
+      });
   return y;
 }
 
 NormGrads groupnorm_backward(const Tensor& dy, const Tensor& gamma,
                              int groups, const NormCache& cache) {
+  util::ScopedKernelTimer timer(util::KernelKind::kNorm);
   const Tensor& x = cache.x;
   const int n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
   const int cpg = c / groups;
@@ -126,8 +150,11 @@ NormGrads groupnorm_backward(const Tensor& dy, const Tensor& gamma,
   g.dx = Tensor(x.shape());
   g.dgamma = Tensor({c});
   g.dbeta = Tensor({c});
-  for (int b = 0; b < n; ++b)
-    for (int gr = 0; gr < groups; ++gr) {
+  // dgamma/dbeta accumulate across samples, so the fan-out unit is the
+  // group (channels partition by group); samples stay in-order inside.
+  util::parallel_for(groups, 1, [&](std::int64_t g0, std::int64_t g1) {
+  for (int gr = static_cast<int>(g0); gr < g1; ++gr)
+    for (int b = 0; b < n; ++b) {
       // Sums over the normalization group, with dy scaled by gamma (the
       // affine transform sits between xhat and the loss).
       double sum_dyg = 0, sum_dyg_xhat = 0;
@@ -152,6 +179,7 @@ NormGrads groupnorm_backward(const Tensor& dy, const Tensor& gamma,
                 inv * (d - sum_dyg / m - xh * sum_dyg_xhat / m));
           }
     }
+  });
   return g;
 }
 

@@ -1,8 +1,25 @@
+// Training operators on the fast kernel layer.
+//
+// The convolutions delegate to the im2col+GEMM path (train/im2col.cc) —
+// the equivalence the im2col tests assert is the production path. Bit
+// identity with the original scalar loops is preserved exactly, not
+// approximately: the forward GEMM accumulates in float starting from the
+// bias with K traversed in the original (c, r, s) order
+// (matmul_bt_f32), the weight-gradient GEMM sums rows in the original
+// (b, yh, yw) order (matmul_at), and the data-gradient scatter keeps the
+// original loop nest per sample. Everything else is data-parallel over
+// disjoint output ranges via util::parallel_for, which never splits a
+// floating-point reduction — so results are bit-identical at any
+// MBS_THREADS setting.
 #include "train/ops.h"
 
 #include <algorithm>
 #include <cassert>
+#include <cstring>
 #include <limits>
+
+#include "train/im2col.h"
+#include "util/parallel.h"
 
 namespace mbs::train {
 
@@ -17,167 +34,227 @@ int out_dim(int in, int kernel, int stride, int pad) {
 Tensor conv2d_forward(const Tensor& x, const Tensor& w, const Tensor& bias,
                       int stride, int pad) {
   assert(x.ndim() == 4 && w.ndim() == 4);
-  const int n = x.dim(0), ci = x.dim(1), ih = x.dim(2), iw = x.dim(3);
+  util::ScopedKernelTimer timer(util::KernelKind::kConvFwd);
+  const int n = x.dim(0), ci = x.dim(1);
   const int co = w.dim(0), kh = w.dim(2), kw = w.dim(3);
   assert(w.dim(1) == ci);
-  const int oh = out_dim(ih, kh, stride, pad);
-  const int ow = out_dim(iw, kw, stride, pad);
-  Tensor y({n, co, oh, ow});
-  for (int b = 0; b < n; ++b)
-    for (int o = 0; o < co; ++o) {
-      const float bv = bias.empty() ? 0.0f : bias[o];
-      for (int yh = 0; yh < oh; ++yh)
-        for (int yw = 0; yw < ow; ++yw) {
-          float acc = bv;
-          for (int c = 0; c < ci; ++c)
-            for (int r = 0; r < kh; ++r) {
-              const int xh = yh * stride - pad + r;
-              if (xh < 0 || xh >= ih) continue;
-              for (int s = 0; s < kw; ++s) {
-                const int xw = yw * stride - pad + s;
-                if (xw < 0 || xw >= iw) continue;
-                acc += x.at(b, c, xh, xw) * w.at(o, c, r, s);
-              }
-            }
-          y.at(b, o, yh, yw) = acc;
-        }
-    }
-  return y;
+  const int oh = out_dim(x.dim(2), kh, stride, pad);
+  const int ow = out_dim(x.dim(3), kw, stride, pad);
+
+  const Tensor a = im2col(x, kh, kw, stride, pad, pad);
+  Tensor w2({co, ci * kh * kw});  // W viewed as the [Co, K] GEMM operand
+  std::memcpy(w2.data(), w.data(),
+              static_cast<std::size_t>(w.size()) * sizeof(float));
+  const Tensor c = matmul_bt_f32(a, w2, bias);  // [N*Ho*Wo, Co]
+  return rows_to_nchw(c, {n, co, oh, ow});
 }
 
 Conv2dGrads conv2d_backward(const Tensor& x, const Tensor& w,
                             const Tensor& dy, int stride, int pad,
                             bool need_dx) {
+  util::ScopedKernelTimer timer(util::KernelKind::kConvBwd);
   const int n = x.dim(0), ci = x.dim(1), ih = x.dim(2), iw = x.dim(3);
   const int co = w.dim(0), kh = w.dim(2), kw = w.dim(3);
   const int oh = dy.dim(2), ow = dy.dim(3);
+
   Conv2dGrads g;
-  g.dw = Tensor({co, ci, kh, kw});
-  g.dbias = Tensor({co});
-  if (need_dx) g.dx = Tensor({n, ci, ih, iw});
-  for (int b = 0; b < n; ++b)
-    for (int o = 0; o < co; ++o)
-      for (int yh = 0; yh < oh; ++yh)
-        for (int yw = 0; yw < ow; ++yw) {
-          const float d = dy.at(b, o, yh, yw);
-          if (d == 0.0f) continue;
-          g.dbias[o] += d;
-          for (int c = 0; c < ci; ++c)
-            for (int r = 0; r < kh; ++r) {
-              const int xh = yh * stride - pad + r;
-              if (xh < 0 || xh >= ih) continue;
-              for (int s = 0; s < kw; ++s) {
-                const int xw = yw * stride - pad + s;
-                if (xw < 0 || xw >= iw) continue;
-                g.dw.at(o, c, r, s) += d * x.at(b, c, xh, xw);
-                if (need_dx) g.dx.at(b, c, xh, xw) += d * w.at(o, c, r, s);
+
+  // Weight gradient: im2col(x)^T * dY sums rows in the original
+  // (b, yh, yw) order; bias gradient: dY column sums, same order.
+  const Tensor dy2 = nchw_to_rows(dy);
+  const Tensor a = im2col(x, kh, kw, stride, pad, pad);
+  g.dw = kxn_to_conv_weights(matmul_at(a, dy2), co, ci, kh, kw);
+  g.dbias = column_sums_f32(dy2);
+
+  if (!need_dx) return g;
+
+  // Data gradient. The GEMM formulation (dY * W scattered with col2im)
+  // pre-reduces over output channels and would change the per-element
+  // float summation order, so the scatter keeps the original loop nest —
+  // gradients flow only within a sample, so samples fan out across the
+  // pool, and the inner loops run on raw pointers with the padding
+  // branches hoisted into (r, s) bounds.
+  g.dx = Tensor({n, ci, ih, iw});
+  const float* dyd = dy.data();
+  const float* wd = w.data();
+  float* dxd = g.dx.data();
+  const std::int64_t x_hw = static_cast<std::int64_t>(ih) * iw;
+  const std::int64_t y_hw = static_cast<std::int64_t>(oh) * ow;
+  util::parallel_for(n, 1, [&](std::int64_t b0, std::int64_t b1) {
+    for (std::int64_t b = b0; b < b1; ++b)
+      for (int o = 0; o < co; ++o) {
+        const float* dy_plane = dyd + (b * co + o) * y_hw;
+        for (int yh = 0; yh < oh; ++yh) {
+          const int xh0 = yh * stride - pad;
+          const int r_lo = xh0 < 0 ? -xh0 : 0;
+          const int r_hi = ih - xh0 < kh ? ih - xh0 : kh;
+          for (int yw = 0; yw < ow; ++yw) {
+            const float d = dy_plane[static_cast<std::int64_t>(yh) * ow + yw];
+            if (d == 0.0f) continue;
+            const int xw0 = yw * stride - pad;
+            const int s_lo = xw0 < 0 ? -xw0 : 0;
+            const int s_hi = iw - xw0 < kw ? iw - xw0 : kw;
+            for (int c = 0; c < ci; ++c)
+              for (int r = r_lo; r < r_hi; ++r) {
+                const float* w_row =
+                    wd + ((static_cast<std::int64_t>(o) * ci + c) * kh + r) *
+                             kw;
+                float* dx_row =
+                    dxd + (b * ci + c) * x_hw +
+                    static_cast<std::int64_t>(xh0 + r) * iw + xw0;
+                for (int s = s_lo; s < s_hi; ++s)
+                  dx_row[s] += d * w_row[s];
               }
-            }
+          }
         }
+      }
+  });
   return g;
 }
 
 MaxPoolResult maxpool_forward(const Tensor& x, int kernel, int stride) {
+  util::ScopedKernelTimer timer(util::KernelKind::kPool);
   const int n = x.dim(0), c = x.dim(1), ih = x.dim(2), iw = x.dim(3);
   const int oh = out_dim(ih, kernel, stride, 0);
   const int ow = out_dim(iw, kernel, stride, 0);
   MaxPoolResult r;
   r.y = Tensor({n, c, oh, ow});
   r.argmax.assign(static_cast<std::size_t>(r.y.size()), 0);
-  std::int64_t oi = 0;
-  for (int b = 0; b < n; ++b)
-    for (int ch = 0; ch < c; ++ch)
-      for (int yh = 0; yh < oh; ++yh)
-        for (int yw = 0; yw < ow; ++yw, ++oi) {
-          float best = -std::numeric_limits<float>::infinity();
-          std::int64_t best_idx = 0;
-          for (int r2 = 0; r2 < kernel; ++r2)
-            for (int s2 = 0; s2 < kernel; ++s2) {
-              const int xh = yh * stride + r2;
-              const int xw = yw * stride + s2;
-              if (xh >= ih || xw >= iw) continue;
-              const float v = x.at(b, ch, xh, xw);
-              if (v > best) {
-                best = v;
-                best_idx = x.idx4(b, ch, xh, xw);
-              }
+  const std::int64_t per = static_cast<std::int64_t>(oh) * ow;
+  util::parallel_for(
+      static_cast<std::int64_t>(n) * c, 1,
+      [&](std::int64_t p0, std::int64_t p1) {
+        for (std::int64_t plane = p0; plane < p1; ++plane) {
+          const int b = static_cast<int>(plane / c);
+          const int ch = static_cast<int>(plane % c);
+          std::int64_t oi = plane * per;
+          for (int yh = 0; yh < oh; ++yh)
+            for (int yw = 0; yw < ow; ++yw, ++oi) {
+              float best = -std::numeric_limits<float>::infinity();
+              std::int64_t best_idx = 0;
+              for (int r2 = 0; r2 < kernel; ++r2)
+                for (int s2 = 0; s2 < kernel; ++s2) {
+                  const int xh = yh * stride + r2;
+                  const int xw = yw * stride + s2;
+                  if (xh >= ih || xw >= iw) continue;
+                  const float v = x.at(b, ch, xh, xw);
+                  if (v > best) {
+                    best = v;
+                    best_idx = x.idx4(b, ch, xh, xw);
+                  }
+                }
+              r.y[oi] = best;
+              r.argmax[static_cast<std::size_t>(oi)] = best_idx;
             }
-          r.y[oi] = best;
-          r.argmax[static_cast<std::size_t>(oi)] = best_idx;
         }
+      });
   return r;
 }
 
 Tensor maxpool_backward(const Tensor& dy, const MaxPoolResult& cache,
                         const std::vector<int>& x_shape) {
+  util::ScopedKernelTimer timer(util::KernelKind::kPool);
   Tensor dx(x_shape);
-  for (std::int64_t i = 0; i < dy.size(); ++i)
-    dx[cache.argmax[static_cast<std::size_t>(i)]] += dy[i];
+  // argmax targets stay inside their own (sample, channel) plane, so the
+  // scatter-add partitions cleanly over planes.
+  const std::int64_t planes =
+      static_cast<std::int64_t>(dy.dim(0)) * dy.dim(1);
+  const std::int64_t per = dy.size() / (planes < 1 ? 1 : planes);
+  util::parallel_for(planes, 1, [&](std::int64_t p0, std::int64_t p1) {
+    for (std::int64_t i = p0 * per; i < p1 * per; ++i)
+      dx[cache.argmax[static_cast<std::size_t>(i)]] += dy[i];
+  });
   return dx;
 }
 
 Tensor global_avg_pool_forward(const Tensor& x) {
+  util::ScopedKernelTimer timer(util::KernelKind::kPool);
   const int n = x.dim(0), c = x.dim(1);
   const int hw = x.dim(2) * x.dim(3);
   Tensor y({n, c});
-  for (int b = 0; b < n; ++b)
-    for (int ch = 0; ch < c; ++ch) {
-      double s = 0;
-      for (int h = 0; h < x.dim(2); ++h)
-        for (int w = 0; w < x.dim(3); ++w) s += x.at(b, ch, h, w);
-      y[static_cast<std::int64_t>(b) * c + ch] =
-          static_cast<float>(s / hw);
-    }
+  const float* xd = x.data();
+  float* yd = y.data();
+  util::parallel_for(
+      static_cast<std::int64_t>(n) * c, 4,
+      [&](std::int64_t p0, std::int64_t p1) {
+        for (std::int64_t plane = p0; plane < p1; ++plane) {
+          const float* row = xd + plane * hw;
+          double s = 0;
+          for (int i = 0; i < hw; ++i) s += row[i];
+          yd[plane] = static_cast<float>(s / hw);
+        }
+      });
   return y;
 }
 
 Tensor global_avg_pool_backward(const Tensor& dy,
                                 const std::vector<int>& x_shape) {
+  util::ScopedKernelTimer timer(util::KernelKind::kPool);
   Tensor dx(x_shape);
-  const int n = x_shape[0], c = x_shape[1], h = x_shape[2], w = x_shape[3];
-  const float inv = 1.0f / static_cast<float>(h * w);
-  for (int b = 0; b < n; ++b)
-    for (int ch = 0; ch < c; ++ch) {
-      const float d = dy[static_cast<std::int64_t>(b) * c + ch] * inv;
-      for (int y2 = 0; y2 < h; ++y2)
-        for (int x2 = 0; x2 < w; ++x2) dx.at(b, ch, y2, x2) = d;
-    }
+  const int c = x_shape[1];
+  const std::int64_t hw = static_cast<std::int64_t>(x_shape[2]) * x_shape[3];
+  const float inv = 1.0f / static_cast<float>(hw);
+  float* dxd = dx.data();
+  util::parallel_for(
+      static_cast<std::int64_t>(x_shape[0]) * c, 4,
+      [&](std::int64_t p0, std::int64_t p1) {
+        for (std::int64_t plane = p0; plane < p1; ++plane) {
+          const float d = dy[plane] * inv;
+          float* row = dxd + plane * hw;
+          for (std::int64_t i = 0; i < hw; ++i) row[i] = d;
+        }
+      });
   return dx;
 }
 
 Tensor relu_forward(const Tensor& x) {
+  util::ScopedKernelTimer timer(util::KernelKind::kRelu);
   Tensor y = x;
-  for (std::int64_t i = 0; i < y.size(); ++i)
-    if (y[i] < 0) y[i] = 0;
+  float* yd = y.data();
+  util::parallel_for(y.size(), 1 << 15,
+                     [&](std::int64_t i0, std::int64_t i1) {
+                       for (std::int64_t i = i0; i < i1; ++i)
+                         if (yd[i] < 0) yd[i] = 0;
+                     });
   return y;
 }
 
 Tensor relu_backward(const Tensor& dy, const Tensor& y) {
   assert(dy.size() == y.size());
+  util::ScopedKernelTimer timer(util::KernelKind::kRelu);
   Tensor dx = dy;
-  for (std::int64_t i = 0; i < dx.size(); ++i)
-    if (y[i] <= 0) dx[i] = 0;
+  const float* yd = y.data();
+  float* dxd = dx.data();
+  util::parallel_for(dx.size(), 1 << 15,
+                     [&](std::int64_t i0, std::int64_t i1) {
+                       for (std::int64_t i = i0; i < i1; ++i)
+                         if (yd[i] <= 0) dxd[i] = 0;
+                     });
   return dx;
 }
 
 Tensor linear_forward(const Tensor& x, const Tensor& w, const Tensor& bias) {
+  util::ScopedKernelTimer timer(util::KernelKind::kLinear);
   const int n = x.dim(0);
   const std::int64_t in = x.size() / n;
   const int out = w.dim(0);
   assert(w.dim(1) == in);
   Tensor y({n, out});
-  for (int b = 0; b < n; ++b)
-    for (int o = 0; o < out; ++o) {
-      double acc = bias.empty() ? 0.0 : bias[o];
-      for (std::int64_t i = 0; i < in; ++i)
-        acc += x[b * in + i] * w[o * in + i];
-      y[static_cast<std::int64_t>(b) * out + o] = static_cast<float>(acc);
-    }
+  util::parallel_for(n, 1, [&](std::int64_t b0, std::int64_t b1) {
+    for (std::int64_t b = b0; b < b1; ++b)
+      for (int o = 0; o < out; ++o) {
+        double acc = bias.empty() ? 0.0 : bias[o];
+        for (std::int64_t i = 0; i < in; ++i)
+          acc += x[b * in + i] * w[o * in + i];
+        y[b * out + o] = static_cast<float>(acc);
+      }
+  });
   return y;
 }
 
 LinearGrads linear_backward(const Tensor& x, const Tensor& w,
                             const Tensor& dy) {
+  util::ScopedKernelTimer timer(util::KernelKind::kLinear);
   const int n = x.dim(0);
   const std::int64_t in = x.size() / n;
   const int out = w.dim(0);
@@ -185,15 +262,25 @@ LinearGrads linear_backward(const Tensor& x, const Tensor& w,
   g.dx = Tensor(x.shape());
   g.dw = Tensor({out, static_cast<int>(in)});
   g.dbias = Tensor({out});
-  for (int b = 0; b < n; ++b)
-    for (int o = 0; o < out; ++o) {
-      const float d = dy[static_cast<std::int64_t>(b) * out + o];
-      g.dbias[o] += d;
-      for (std::int64_t i = 0; i < in; ++i) {
-        g.dw[o * in + i] += d * x[b * in + i];
-        g.dx[b * in + i] += d * w[o * in + i];
+  // dw/dbias reduce over the batch (owned per output unit), dx over the
+  // output units (owned per sample); each keeps the original term order.
+  util::parallel_for(out, 4, [&](std::int64_t o0, std::int64_t o1) {
+    for (std::int64_t o = o0; o < o1; ++o)
+      for (int b = 0; b < n; ++b) {
+        const float d = dy[static_cast<std::int64_t>(b) * out + o];
+        g.dbias[o] += d;
+        for (std::int64_t i = 0; i < in; ++i)
+          g.dw[o * in + i] += d * x[b * in + i];
       }
-    }
+  });
+  util::parallel_for(n, 1, [&](std::int64_t b0, std::int64_t b1) {
+    for (std::int64_t b = b0; b < b1; ++b)
+      for (int o = 0; o < out; ++o) {
+        const float d = dy[b * out + o];
+        for (std::int64_t i = 0; i < in; ++i)
+          g.dx[b * in + i] += d * w[o * in + i];
+      }
+  });
   return g;
 }
 

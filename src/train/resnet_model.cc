@@ -3,6 +3,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "util/parallel.h"
+
 namespace mbs::train {
 
 namespace {
@@ -169,22 +171,30 @@ void SmallResNet::backward(const Tensor& dlogits) {
 }
 
 void SmallResNet::zero_grad() {
-  auto zero_norm = [](NormParams& np) {
-    np.dgamma.zero();
-    np.dbeta.zero();
+  // One pool dispatch for all gradient buffers (disjoint, so the partition
+  // is bit-irrelevant) instead of one per tensor.
+  std::vector<Tensor*> gs;
+  auto add_norm = [&](NormParams& np) {
+    gs.push_back(&np.dgamma);
+    gs.push_back(&np.dbeta);
   };
-  stem_.dw.zero();
-  zero_norm(stem_norm_);
+  gs.push_back(&stem_.dw);
+  add_norm(stem_norm_);
   for (ResBlock& b : blocks_) {
-    b.conv1.dw.zero();
-    b.conv2.dw.zero();
-    if (!b.proj.w.empty()) b.proj.dw.zero();
-    zero_norm(b.norm1);
-    zero_norm(b.norm2);
-    if (!b.proj.w.empty()) zero_norm(b.norm_proj);
+    gs.push_back(&b.conv1.dw);
+    gs.push_back(&b.conv2.dw);
+    if (!b.proj.w.empty()) gs.push_back(&b.proj.dw);
+    add_norm(b.norm1);
+    add_norm(b.norm2);
+    if (!b.proj.w.empty()) add_norm(b.norm_proj);
   }
-  fc_dw.zero();
-  fc_db.zero();
+  gs.push_back(&fc_dw);
+  gs.push_back(&fc_db);
+  util::parallel_for(static_cast<std::int64_t>(gs.size()), 1,
+                     [&](std::int64_t i0, std::int64_t i1) {
+                       for (std::int64_t i = i0; i < i1; ++i)
+                         gs[static_cast<std::size_t>(i)]->zero();
+                     });
 }
 
 std::vector<Tensor*> SmallResNet::parameters() {

@@ -1,9 +1,60 @@
 #include "train/tensor.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <limits>
+
+#include "util/parallel.h"
 
 namespace mbs::train {
+
+std::int64_t Tensor::count(const std::vector<int>& shape) {
+  std::int64_t n = 1;
+  for (int d : shape) {
+    if (d < 0) {
+      std::fprintf(stderr, "Tensor: negative dimension %d\n", d);
+      std::abort();
+    }
+    if (d != 0 && n > std::numeric_limits<std::int64_t>::max() / d) {
+      std::fprintf(stderr,
+                   "Tensor: shape element count overflows int64 "
+                   "(... * %lld * %d)\n",
+                   static_cast<long long>(n), d);
+      std::abort();
+    }
+    n *= d;
+  }
+  return n;
+}
+
+void Tensor::fill(float v) {
+  float* d = data_.data();
+  util::parallel_for(size(), 1 << 16,
+                     [&](std::int64_t i0, std::int64_t i1) {
+                       for (std::int64_t i = i0; i < i1; ++i) d[i] = v;
+                     });
+}
+
+void Tensor::axpy(float alpha, const Tensor& other) {
+  assert(size() == other.size());
+  float* d = data_.data();
+  const float* o = other.data();
+  util::parallel_for(size(), 1 << 15,
+                     [&](std::int64_t i0, std::int64_t i1) {
+                       for (std::int64_t i = i0; i < i1; ++i)
+                         d[i] += alpha * o[i];
+                     });
+}
+
+void Tensor::scale(float alpha) {
+  float* d = data_.data();
+  util::parallel_for(size(), 1 << 16,
+                     [&](std::int64_t i0, std::int64_t i1) {
+                       for (std::int64_t i = i0; i < i1; ++i) d[i] *= alpha;
+                     });
+}
 
 Tensor Tensor::slice_batch(int first, int count) const {
   assert(ndim() >= 1);

@@ -21,14 +21,11 @@ class Tensor {
     data_.assign(static_cast<std::size_t>(count(shape_)), 0.0f);
   }
 
-  static std::int64_t count(const std::vector<int>& shape) {
-    std::int64_t n = 1;
-    for (int d : shape) {
-      assert(d >= 0);
-      n *= d;
-    }
-    return n;
-  }
+  /// Element count of `shape`. Negative dimensions and products that would
+  /// overflow int64 abort with a message — explicitly, not via assert,
+  /// so oversized shapes fail loudly in Release builds instead of wrapping
+  /// into a small allocation (same policy as the serde length guard).
+  static std::int64_t count(const std::vector<int>& shape);
 
   static Tensor zeros(std::vector<int> shape) { return Tensor(std::move(shape)); }
 
@@ -71,21 +68,15 @@ class Tensor {
                shape_[3] + w;
   }
 
-  void fill(float v) {
-    for (float& x : data_) x = v;
-  }
+  /// fill/axpy/scale are elementwise and run on the kernel pool (any range
+  /// partition is bit-identical); implementations live in tensor.cc.
+  void fill(float v);
   void zero() { fill(0.0f); }
 
   /// this += alpha * other (shapes must match).
-  void axpy(float alpha, const Tensor& other) {
-    assert(size() == other.size());
-    for (std::int64_t i = 0; i < size(); ++i)
-      data_[static_cast<std::size_t>(i)] += alpha * other[i];
-  }
+  void axpy(float alpha, const Tensor& other);
 
-  void scale(float alpha) {
-    for (float& x : data_) x *= alpha;
-  }
+  void scale(float alpha);
 
   /// Returns the batch slice [first, first+count) along dimension 0.
   Tensor slice_batch(int first, int count) const;

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstring>
 #include <numeric>
 
 #include "train/loss.h"
+#include "util/parallel.h"
 
 namespace mbs::train {
 
@@ -103,18 +105,23 @@ std::vector<EpochLog> train_model(SmallCnn& model, const Dataset& train_set,
     log.epoch = epoch;
     int steps = 0;
     for (int off = 0; off + config.batch <= n; off += config.batch) {
-      // Gather the shuffled mini-batch.
+      // Gather the shuffled mini-batch (pure per-sample copies, so the
+      // pool partition is bit-irrelevant).
       Tensor x({config.batch, train_set.images.dim(1),
                 train_set.images.dim(2), train_set.images.dim(3)});
       std::vector<int> labels(static_cast<std::size_t>(config.batch));
       const std::int64_t per = train_set.images.size() / n;
-      for (int i = 0; i < config.batch; ++i) {
-        const int src = order[static_cast<std::size_t>(off + i)];
-        for (std::int64_t k = 0; k < per; ++k)
-          x[i * per + k] = train_set.images[src * per + k];
-        labels[static_cast<std::size_t>(i)] =
-            train_set.labels[static_cast<std::size_t>(src)];
-      }
+      util::parallel_for(config.batch, 4, [&](std::int64_t i0,
+                                              std::int64_t i1) {
+        for (std::int64_t i = i0; i < i1; ++i) {
+          const int src = order[static_cast<std::size_t>(off + i)];
+          std::memcpy(x.data() + i * per,
+                      train_set.images.data() + src * per,
+                      static_cast<std::size_t>(per) * sizeof(float));
+          labels[static_cast<std::size_t>(i)] =
+              train_set.labels[static_cast<std::size_t>(src)];
+        }
+      });
       const std::vector<int> chunks =
           config.chunks.empty() ? std::vector<int>{config.batch}
                                 : config.chunks;

@@ -1,0 +1,110 @@
+// Process-wide kernel thread pool with deterministic static partitioning.
+//
+// The training kernels (src/train/) and the sweep engine (src/engine/)
+// share ONE thread budget: MBS_THREADS / --threads (0 = hardware
+// concurrency). The pool is lazily started on first use and its workers
+// persist for the process lifetime, so per-kernel dispatch costs a
+// condition-variable wakeup rather than thread creation.
+//
+// Determinism contract: parallel_for(n, grain, body) splits [0, n) into at
+// most thread_budget() contiguous ranges and runs body(begin, end) once per
+// range. Callers arrange that every output element is computed entirely
+// inside one range with an unchanged per-element operation order, and that
+// ranges never split a floating-point reduction — then the result is
+// bit-identical at every thread count, including 1 (see
+// docs/ARCHITECTURE.md "Kernel layer & threading model").
+//
+// Nesting rule: a parallel_for issued from inside a pool worker — or from
+// any thread that entered a ParallelRegionGuard, as engine::SweepRunner
+// workers do — runs inline on the calling thread. Sweeps of training
+// scenarios therefore never oversubscribe the budget: either the sweep
+// fans out and kernels run inline, or the sweep is serial and the kernels
+// get the whole pool.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace mbs::util {
+
+/// The process-wide thread budget shared by the kernel pool and
+/// engine::SweepRunner: the last set_thread_budget() value if any, else
+/// MBS_THREADS, else std::thread::hardware_concurrency(); always >= 1.
+int thread_budget();
+
+/// Overrides the budget (0 = hardware concurrency, negative = drop the
+/// override and fall back to MBS_THREADS). engine::Driver calls this with
+/// its --threads/MBS_THREADS value so both layers draw from one budget;
+/// benchmarks and tests use it to pin serial vs pooled runs.
+void set_thread_budget(int threads);
+
+/// True while the calling thread is inside a pool worker or a
+/// ParallelRegionGuard: any parallel_for it issues runs inline.
+bool in_parallel_region();
+
+/// Marks the current thread as already-parallel for its lifetime (RAII).
+/// engine::SweepRunner workers hold one so nested kernels run inline.
+class ParallelRegionGuard {
+ public:
+  ParallelRegionGuard();
+  ~ParallelRegionGuard();
+  ParallelRegionGuard(const ParallelRegionGuard&) = delete;
+  ParallelRegionGuard& operator=(const ParallelRegionGuard&) = delete;
+
+ private:
+  bool was_inside_;
+};
+
+/// Runs body(begin, end) over a deterministic static partition of [0, n)
+/// into contiguous ranges (at most thread_budget() of them, each at least
+/// `grain` long except possibly the last split). Runs inline as body(0, n)
+/// when the budget is 1, when n <= grain, or when called from inside a
+/// parallel region. Exceptions from workers are rethrown on the caller.
+void parallel_for(std::int64_t n, std::int64_t grain,
+                  const std::function<void(std::int64_t, std::int64_t)>& body);
+
+// ---------------------------------------------------------------------------
+// Kernel-time accounting (MBS_ENGINE_STATS=1 breakdown via engine::Driver).
+// ---------------------------------------------------------------------------
+
+enum class KernelKind {
+  kGemm = 0,   // matmul / matmul_bt / matmul_at (outside a conv)
+  kIm2col,     // im2col / col2im lowering (outside a conv)
+  kConvFwd,    // conv2d_forward
+  kConvBwd,    // conv2d_backward
+  kPool,       // max / global-average pooling, forward and backward
+  kNorm,       // batch/group normalization, forward and backward
+  kLinear,     // linear_forward / linear_backward
+  kRelu,       // relu_forward / relu_backward
+  kSgd,        // Sgd::step
+  kCount
+};
+
+struct KernelStat {
+  std::int64_t calls = 0;
+  double seconds = 0;
+};
+
+/// Snapshot of accumulated per-kind kernel time. Only the OUTERMOST timer
+/// on a thread records (a conv's internal GEMM counts as conv time), so the
+/// kinds sum to total kernel time without double counting.
+KernelStat kernel_stat(KernelKind kind);
+
+const char* to_string(KernelKind kind);
+
+/// RAII timer the kernel entry points wrap themselves in. Thread-safe;
+/// nested timers on the same thread are no-ops.
+class ScopedKernelTimer {
+ public:
+  explicit ScopedKernelTimer(KernelKind kind);
+  ~ScopedKernelTimer();
+  ScopedKernelTimer(const ScopedKernelTimer&) = delete;
+  ScopedKernelTimer& operator=(const ScopedKernelTimer&) = delete;
+
+ private:
+  KernelKind kind_;
+  bool outermost_;
+  std::int64_t start_ns_ = 0;
+};
+
+}  // namespace mbs::util

@@ -12,9 +12,15 @@
 #include <sstream>
 #include <stdexcept>
 
+#include <cstring>
+
 #include "engine/engine.h"
 #include "models/zoo.h"
 #include "sched/config.h"
+#include "train/data.h"
+#include "train/model.h"
+#include "train/trainer.h"
+#include "util/parallel.h"
 #include "util/serde.h"
 
 namespace mbs::engine {
@@ -170,6 +176,53 @@ TEST(SweepRunner, ParallelMatchesSerialBitForBit) {
   const EvaluatorStats stats = par_eval.stats();
   EXPECT_EQ(stats.network_misses, 6);
   EXPECT_EQ(stats.schedule_misses, 36);
+}
+
+TEST(SweepRunner, ComposesWithKernelPoolBitIdentically) {
+  // The sweep pool and the kernel pool share one thread budget; nested
+  // kernel parallelism inside sweep workers runs inline. A threaded sweep
+  // of training jobs must therefore be byte-identical to a fully serial
+  // run at any core count — the in-tree replacement for the old "needs a
+  // >= 4-core host" benchmark caveat.
+  const train::Dataset data =
+      train::make_synthetic_dataset(16, 4, 1, 12, /*seed=*/71);
+  auto gradients = [&](int sweep_threads, int kernel_budget) {
+    util::set_thread_budget(kernel_budget);
+    SweepOptions opts;
+    opts.threads = sweep_threads;
+    const SweepRunner runner(opts);
+    std::vector<std::function<std::vector<float>()>> jobs;
+    for (int seed : {5, 6, 7}) {
+      jobs.push_back([&data, seed] {
+        train::SmallCnnConfig cfg;
+        cfg.norm = train::NormMode::kGroup;
+        cfg.seed = seed;
+        train::SmallCnn model(cfg);
+        train::compute_gradients(model, data.images, data.labels,
+                                 {4, 4, 4, 4});
+        std::vector<float> flat;
+        for (train::Tensor* g : model.gradients())
+          flat.insert(flat.end(), g->data(), g->data() + g->size());
+        return flat;
+      });
+    }
+    auto per_job = runner.map<std::vector<float>>(jobs);
+    util::set_thread_budget(-1);
+    std::vector<float> all;
+    for (const auto& v : per_job) all.insert(all.end(), v.begin(), v.end());
+    return all;
+  };
+
+  const std::vector<float> serial = gradients(/*sweep=*/1, /*kernel=*/1);
+  for (const auto& [sweep, kernel] :
+       std::vector<std::pair<int, int>>{{4, 1}, {1, 8}, {4, 8}, {8, 3}}) {
+    const std::vector<float> got = gradients(sweep, kernel);
+    ASSERT_EQ(got.size(), serial.size());
+    EXPECT_EQ(0, std::memcmp(got.data(), serial.data(),
+                             serial.size() * sizeof(float)))
+        << "sweep=" << sweep << " kernel=" << kernel
+        << ": training gradients diverged from the serial run";
+  }
 }
 
 TEST(SweepRunner, ResultsComeBackInInputOrder) {
