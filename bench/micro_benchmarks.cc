@@ -111,6 +111,33 @@ void BM_SweepFig10Threaded(benchmark::State& state) {
 }
 BENCHMARK(BM_SweepFig10Threaded);
 
+// ---- Engine: schedule-group batching (fig12-shaped sweep) -------------------
+
+// Twelve scenarios sharing four schedules (4 configs x 3 memory systems):
+// grouped runs do one schedule/traffic lookup per group, ungrouped ones do
+// one per scenario. state.range(0) selects grouping (1 = on).
+void BM_TrafficGrouped(benchmark::State& state) {
+  std::vector<engine::Scenario> grid;
+  for (auto cfg : {sched::ExecConfig::kBaseline, sched::ExecConfig::kArchOpt,
+                   sched::ExecConfig::kIL, sched::ExecConfig::kMbs2})
+    for (const auto& mem :
+         {arch::hbm2_x2(), arch::gddr5(), arch::lpddr4()}) {
+      engine::Scenario s;
+      s.network = "resnet50";
+      s.config = cfg;
+      s.hw.memory = mem;
+      grid.push_back(std::move(s));
+    }
+  engine::SweepOptions opts;
+  opts.group_by_schedule = state.range(0) != 0;
+  const engine::SweepRunner runner(opts);
+  for (auto _ : state) {
+    engine::Evaluator eval;
+    benchmark::DoNotOptimize(runner.run(grid, eval));
+  }
+}
+BENCHMARK(BM_TrafficGrouped)->Arg(1)->Arg(0);
+
 // ---- Training kernel layer (serial = budget 1, pooled = hardware) -----------
 
 // state.range(0) is the thread budget (0 = hardware concurrency).
@@ -161,6 +188,29 @@ void BM_Conv2dBackward(benchmark::State& state) {
   util::set_thread_budget(-1);
 }
 BENCHMARK(BM_Conv2dBackward)->Arg(1)->Arg(0);
+
+// Backward consuming the forward's im2col lowering from a per-layer
+// ConvCache (the production model path), against persistent gradient
+// scratch — the zero-redundancy hot path. Compare with BM_Conv2dBackward
+// (which re-lowers the input and allocates fresh grads) for the reuse win.
+void BM_Conv2dBackwardCached(benchmark::State& state) {
+  util::Rng rng(4);
+  const train::Tensor x = train::Tensor::randn({4, 32, 28, 28}, rng);
+  const train::Tensor w = train::Tensor::randn({32, 32, 3, 3}, rng, 0.2);
+  const train::Tensor dy = train::Tensor::randn({4, 32, 28, 28}, rng);
+  train::ConvCache cache;
+  train::Conv2dGrads grads;
+  train::Tensor y;
+  util::set_thread_budget(static_cast<int>(state.range(0)));
+  train::conv2d_forward_into(x, w, train::Tensor(), 1, 1, &cache, y);
+  for (auto _ : state) {
+    train::conv2d_backward_into(x, w, dy, 1, 1, /*need_dx=*/true, &cache,
+                                grads);
+    benchmark::DoNotOptimize(grads.dx.data());
+  }
+  util::set_thread_budget(-1);
+}
+BENCHMARK(BM_Conv2dBackwardCached)->Arg(1)->Arg(0);
 
 void BM_TrainStep(benchmark::State& state) {
   // One fig06-style GN+MBS optimizer step (batch 32 as four sub-batches).

@@ -46,6 +46,11 @@ Driver::Driver(int argc, char** argv) {
 
   if (const char* env = std::getenv("MBS_THREADS"); env && *env)
     sweep.threads = parse_int_flag(env, "threads (MBS_THREADS)");
+  // Schedule-group batching is on by default; MBS_NO_SCHEDULE_GROUPS=1 is
+  // the A/B escape hatch (output is byte-identical either way).
+  if (const char* env = std::getenv("MBS_NO_SCHEDULE_GROUPS");
+      env && *env && std::strcmp(env, "0") != 0)
+    sweep.group_by_schedule = false;
 
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];

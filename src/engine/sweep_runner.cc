@@ -5,7 +5,10 @@
 #include <cstdlib>
 #include <exception>
 #include <mutex>
+#include <numeric>
 #include <thread>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "util/parallel.h"
@@ -119,13 +122,85 @@ void SweepRunner::for_each_index(int n, const std::function<void(int)>& fn) cons
   if (error) std::rethrow_exception(error);
 }
 
+void SweepRunner::evaluate_indices(const std::vector<Scenario>& scenarios,
+                                   Evaluator& eval,
+                                   const std::vector<std::size_t>& indices,
+                                   ScenarioResult* out) const {
+  if (!opts_.group_by_schedule) {
+    for_each_index(static_cast<int>(indices.size()), [&](int k) {
+      out[k] = evaluate_scenario(scenarios[indices[static_cast<std::size_t>(k)]],
+                                 eval);
+    });
+    return;
+  }
+
+  // Group the WaveCore scenarios that run the scheduler by schedule cache
+  // key; GPU and network-only scenarios stay ungrouped (they share no
+  // schedule-stage work).
+  struct Group {
+    std::size_t repr;  ///< first member, in input order
+    Stage deepest;     ///< deepest stage any member needs
+  };
+  std::vector<Group> groups;
+  std::unordered_map<std::string, std::size_t> group_by_key;
+  std::vector<std::int64_t> group_of(indices.size(), -1);
+  for (std::size_t k = 0; k < indices.size(); ++k) {
+    const Scenario& s = scenarios[indices[k]];
+    if (s.device != Device::kWaveCore || s.stage < Stage::kSchedule) continue;
+    const auto [it, inserted] =
+        group_by_key.emplace(s.schedule_key(), groups.size());
+    if (inserted)
+      groups.push_back(Group{indices[k], s.stage});
+    else if (groups[it->second].deepest < s.stage)
+      groups[it->second].deepest = s.stage;
+    group_of[k] = static_cast<std::int64_t>(it->second);
+  }
+
+  // Phase 1: one worker unit per schedule group — the shared schedule (and
+  // traffic, when any member runs that deep) is computed exactly once, and
+  // no phase-2 worker ever blocks on another's in-flight schedule.
+  struct SharedStages {
+    const sched::Schedule* schedule = nullptr;
+    const sched::Traffic* traffic = nullptr;
+  };
+  std::vector<SharedStages> shared(groups.size());
+  for_each_index(static_cast<int>(groups.size()), [&](int gi) {
+    const Group& g = groups[static_cast<std::size_t>(gi)];
+    const Scenario& rep = scenarios[g.repr];
+    SharedStages& sh = shared[static_cast<std::size_t>(gi)];
+    sh.schedule = &eval.schedule(rep);
+    if (g.deepest >= Stage::kTraffic) sh.traffic = &eval.traffic(rep);
+  });
+
+  // Phase 2: per-scenario work (device-specific simulation) fans out with
+  // the group's shared stage results. The pointers are the very objects
+  // evaluate_scenario would fetch from the evaluator, so grouped results
+  // are identical to ungrouped ones — including for members shallower
+  // than the group's deepest stage, which keep their own stage cut-off.
+  for_each_index(static_cast<int>(indices.size()), [&](int k) {
+    const Scenario& s = scenarios[indices[static_cast<std::size_t>(k)]];
+    if (group_of[static_cast<std::size_t>(k)] < 0) {
+      out[k] = evaluate_scenario(s, eval);
+      return;
+    }
+    const SharedStages& sh = shared[static_cast<std::size_t>(
+        group_of[static_cast<std::size_t>(k)])];
+    ScenarioResult r;
+    r.scenario = s;
+    r.network = &eval.network(s.network);
+    if (s.stage >= Stage::kSchedule) r.schedule = sh.schedule;
+    if (s.stage >= Stage::kTraffic) r.traffic = sh.traffic;
+    if (s.stage >= Stage::kSimulate) r.step = eval.step(s);
+    out[k] = std::move(r);
+  });
+}
+
 std::vector<ScenarioResult> SweepRunner::run(
     const std::vector<Scenario>& scenarios, Evaluator& eval) const {
   std::vector<ScenarioResult> out(scenarios.size());
-  for_each_index(static_cast<int>(scenarios.size()), [&](int i) {
-    const std::size_t idx = static_cast<std::size_t>(i);
-    out[idx] = evaluate_scenario(scenarios[idx], eval);
-  });
+  std::vector<std::size_t> all(scenarios.size());
+  std::iota(all.begin(), all.end(), std::size_t{0});
+  evaluate_indices(scenarios, eval, all, out.data());
   return out;
 }
 
@@ -138,11 +213,11 @@ SweepResults SweepRunner::run_sharded(
   for (std::size_t i = 0; i < scenarios.size(); ++i)
     if (needed(i)) owned.push_back(i);
   // Distinct slots per index: the pool fills them without the access lock.
-  for_each_index(static_cast<int>(owned.size()), [&](int k) {
-    const std::size_t idx = owned[static_cast<std::size_t>(k)];
-    results.slots_[idx] = std::make_unique<ScenarioResult>(
-        evaluate_scenario(scenarios[idx], eval));
-  });
+  std::vector<ScenarioResult> evaluated(owned.size());
+  evaluate_indices(scenarios, eval, owned, evaluated.data());
+  for (std::size_t k = 0; k < owned.size(); ++k)
+    results.slots_[owned[k]] =
+        std::make_unique<ScenarioResult>(std::move(evaluated[k]));
   return results;
 }
 

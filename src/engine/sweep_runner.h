@@ -68,6 +68,16 @@ ScenarioResult evaluate_scenario(const Scenario& s, Evaluator& eval);
 struct SweepOptions {
   /// Worker threads; 0 uses std::thread::hardware_concurrency().
   int threads = 0;
+  /// Batch scenarios that share a schedule cache key (fig12's four memory
+  /// systems per config, fig13's GPU comparisons, …): each group's
+  /// schedule and traffic are computed exactly once up front, then the
+  /// member scenarios fan out with the shared results — no worker ever
+  /// blocks on another's in-flight schedule, and the evaluator sees one
+  /// traffic lookup per group instead of one per scenario. Results are
+  /// byte-identical to ungrouped runs (the shared objects ARE the
+  /// evaluator-cached ones). Disable for A/B timing with
+  /// MBS_NO_SCHEDULE_GROUPS=1 (engine::Driver) or this flag.
+  bool group_by_schedule = true;
 };
 
 /// Results of a (possibly sharded) sweep, indexed like the scenario grid.
@@ -160,6 +170,15 @@ class SweepRunner {
   int thread_count(int n) const;
 
  private:
+  /// Evaluates `indices` (positions into `scenarios`) into out[0..k),
+  /// grouping by schedule key when the options ask for it. out[k] is the
+  /// result for scenarios[indices[k]]; entries are identical to
+  /// evaluate_scenario's regardless of grouping.
+  void evaluate_indices(const std::vector<Scenario>& scenarios,
+                        Evaluator& eval,
+                        const std::vector<std::size_t>& indices,
+                        ScenarioResult* out) const;
+
   SweepOptions opts_;
 };
 

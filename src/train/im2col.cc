@@ -8,7 +8,8 @@
 // order with the same accumulator type as the naive loop (float for
 // matmul/matmul_at/matmul_bt_f32, double for matmul_bt), so the rounded
 // operation sequence per element is unchanged at any thread count or tile
-// size. The naive loops' `if (v == 0) continue` sparsity skips are dropped:
+// size. The naive loops' `if (v == 0) continue` sparsity skips are dropped
+// on the blocked path (the small-shape path keeps the seed's skip):
 // for finite operands, adding a +/-0 term never changes a float
 // accumulator that is not -0.0, and the accumulators here start at +0.0
 // (or a bias that SGD can never drive to -0.0) and can never become -0.0
@@ -17,12 +18,19 @@
 // is non-finite data: 0 * Inf is NaN where the skipping loop left the
 // output untouched. A training run whose tensors hold Inf/NaN has already
 // diverged, so the determinism contract is scoped to finite values.)
+// Two dispatch refinements on top of the PR-3 design, both preserving the
+// per-element operation sequence exactly: (1) small shapes (K < 128 and a
+// C that fits in L1) skip the panel pack and tile machinery entirely —
+// packing cost more than it saved there (BENCH_PR3: 0.88x at K=65) — and
+// run direct loops instead; (2) the packed B panel is workspace-arena
+// scratch (util::Arena), not a fresh std::vector, so the blocked path
+// performs no heap allocation per call.
 #include "train/im2col.h"
 
 #include <cassert>
 #include <cstring>
-#include <vector>
 
+#include "util/arena.h"
 #include "util/parallel.h"
 
 namespace mbs::train {
@@ -123,25 +131,66 @@ std::int64_t row_grain(int k) {
 
 enum class PanelLayout { kKN, kNK };
 
-/// Shared blocked-GEMM driver: packs one B panel per column block, then
-/// fans the M dimension across the pool.
+/// Shared blocked-GEMM driver: packs one B panel per column block into
+/// workspace-arena scratch, then fans the M dimension across the pool.
 template <typename Kernel>
 void blocked_gemm(std::int64_t m, std::int64_t n, int k, PanelLayout layout,
                   const float* b, const Kernel& kernel) {
-  std::vector<float> panel(static_cast<std::size_t>(k) *
-                           (n < kPanelCols ? n : kPanelCols));
+  util::ArenaScope scope;
+  float* panel = scope.floats(static_cast<std::int64_t>(k) *
+                              (n < kPanelCols ? n : kPanelCols));
   for (std::int64_t j0 = 0; j0 < n; j0 += kPanelCols) {
     const int nc =
         static_cast<int>(n - j0 < kPanelCols ? n - j0 : kPanelCols);
     if (layout == PanelLayout::kKN)
-      pack_panel_kn(b, n, k, j0, nc, panel.data());
+      pack_panel_kn(b, n, k, j0, nc, panel);
     else
-      pack_panel_nk(b, k, j0, nc, panel.data());
+      pack_panel_nk(b, k, j0, nc, panel);
     util::parallel_for(m, row_grain(k),
                        [&](std::int64_t i0, std::int64_t i1) {
-                         kernel(panel.data(), nc, j0, i0, i1);
+                         kernel(panel, nc, j0, i0, i1);
                        });
   }
+}
+
+// ---- Small-shape fast path --------------------------------------------------
+// Below this cutoff the pack + register-tile machinery costs more than it
+// saves; the direct loops keep the identical per-element K-order pass and
+// accumulator types, so the dispatch threshold is bit-irrelevant.
+
+bool small_gemm_shape(std::int64_t m, std::int64_t n, int k) {
+  return k < 128 && m * n <= std::int64_t{32} * 1024;
+}
+
+/// Grain for row loops whose per-row cost is ~n*k.
+std::int64_t small_row_grain(std::int64_t n, int k) {
+  const std::int64_t cost = n * (k < 1 ? 1 : k);
+  const std::int64_t g = 32768 / (cost < 1 ? 1 : cost);
+  return g < 1 ? 1 : g;
+}
+
+/// B in [K,N] row-major: C rows accumulated in p order — the seed's naive
+/// matmul loop nest verbatim, zero skip included (the skip only drops +/-0
+/// addends, and measurably helps codegen even on dense data). A is
+/// addressed a[i*ars + p*acs], serving both A-normal (matmul) and
+/// A-transposed (matmul_at) callers.
+void small_gemm_kn_f32(const float* a, std::int64_t ars, std::int64_t acs,
+                       const float* b, std::int64_t m, std::int64_t n, int k,
+                       float* c) {
+  util::parallel_for(
+      m, small_row_grain(n, k), [&](std::int64_t i0, std::int64_t i1) {
+        for (std::int64_t i = i0; i < i1; ++i) {
+          float* __restrict__ crow = c + i * n;
+          for (std::int64_t j = 0; j < n; ++j) crow[j] = 0.0f;
+          for (int p = 0; p < k; ++p) {
+            const float av = a[i * ars + p * acs];
+            if (av == 0.0f) continue;
+            const float* __restrict__ brow =
+                b + static_cast<std::int64_t>(p) * n;
+            for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+          }
+        }
+      });
 }
 
 }  // namespace
@@ -149,14 +198,23 @@ void blocked_gemm(std::int64_t m, std::int64_t n, int k, PanelLayout layout,
 Tensor im2col(const Tensor& x, int kernel_h, int kernel_w, int stride,
               int pad_h, int pad_w) {
   assert(x.ndim() == 4);
+  const int n = x.dim(0), ci = x.dim(1), ih = x.dim(2), iw = x.dim(3);
+  const int oh = out_dim(ih, kernel_h, stride, pad_h);
+  const int ow = out_dim(iw, kernel_w, stride, pad_w);
+  Tensor cols({n * oh * ow, ci * kernel_h * kernel_w});  // zero-initialized
+  im2col_into(x, kernel_h, kernel_w, stride, pad_h, pad_w, cols.data());
+  return cols;
+}
+
+void im2col_into(const Tensor& x, int kernel_h, int kernel_w, int stride,
+                 int pad_h, int pad_w, float* cd) {
+  assert(x.ndim() == 4);
   util::ScopedKernelTimer timer(util::KernelKind::kIm2col);
   const int n = x.dim(0), ci = x.dim(1), ih = x.dim(2), iw = x.dim(3);
   const int oh = out_dim(ih, kernel_h, stride, pad_h);
   const int ow = out_dim(iw, kernel_w, stride, pad_w);
   const int k = ci * kernel_h * kernel_w;
-  Tensor cols({n * oh * ow, k});
   const float* xd = x.data();
-  float* cd = cols.data();
   util::parallel_for(
       static_cast<std::int64_t>(n) * oh * ow, row_grain(k),
       [&](std::int64_t begin, std::int64_t end) {
@@ -181,7 +239,6 @@ Tensor im2col(const Tensor& x, int kernel_h, int kernel_w, int stride,
             }
         }
       });
-  return cols;
 }
 
 Tensor col2im(const Tensor& cols, const std::vector<int>& x_shape,
@@ -231,6 +288,10 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
   Tensor c({static_cast<int>(m), static_cast<int>(n)});
   const float* ad = a.data();
   float* cd = c.data();
+  if (small_gemm_shape(m, n, k)) {
+    small_gemm_kn_f32(ad, k, 1, b.data(), m, n, k, cd);
+    return c;
+  }
   blocked_gemm(m, n, k, PanelLayout::kKN, b.data(),
                [&](const float* panel, int nc, std::int64_t j0,
                    std::int64_t i0, std::int64_t i1) {
@@ -258,50 +319,60 @@ Tensor matmul_bt(const Tensor& a, const Tensor& b) {
 
 Tensor matmul_at(const Tensor& a, const Tensor& b) {
   assert(a.ndim() == 2 && b.ndim() == 2 && a.dim(0) == b.dim(0));
-  util::ScopedKernelTimer timer(util::KernelKind::kGemm);
   const std::int64_t m = a.dim(1), n = b.dim(1);
-  const int k = a.dim(0);
   Tensor c({static_cast<int>(m), static_cast<int>(n)});
-  const float* ad = a.data();
-  float* cd = c.data();
-  blocked_gemm(m, n, k, PanelLayout::kKN, b.data(),
+  matmul_at_into(a.data(), m, b.data(), n, a.dim(0), c.data());
+  return c;
+}
+
+void matmul_at_into(const float* a, std::int64_t m, const float* b,
+                    std::int64_t n, int k, float* c) {
+  util::ScopedKernelTimer timer(util::KernelKind::kGemm);
+  if (small_gemm_shape(m, n, k)) {
+    small_gemm_kn_f32(a, 1, m, b, m, n, k, c);
+    return;
+  }
+  blocked_gemm(m, n, k, PanelLayout::kKN, b,
                [&](const float* panel, int nc, std::int64_t j0,
                    std::int64_t i0, std::int64_t i1) {
-                 gemm_panel_f32(ad, 1, m, panel, k, nc, nullptr, j0, cd, n,
-                                i0, i1);
+                 gemm_panel_f32(a, 1, m, panel, k, nc, nullptr, j0, c, n, i0,
+                                i1);
                });
-  return c;
 }
 
 Tensor matmul_bt_f32(const Tensor& a, const Tensor& b, const Tensor& init) {
   assert(a.ndim() == 2 && b.ndim() == 2 && a.dim(1) == b.dim(1));
   assert(init.empty() || init.size() == b.dim(0));
-  util::ScopedKernelTimer timer(util::KernelKind::kGemm);
   const std::int64_t m = a.dim(0), n = b.dim(0);
-  const int k = a.dim(1);
   Tensor c({static_cast<int>(m), static_cast<int>(n)});
-  const float* ad = a.data();
-  const float* initd = init.empty() ? nullptr : init.data();
-  float* cd = c.data();
-  blocked_gemm(m, n, k, PanelLayout::kNK, b.data(),
+  matmul_bt_f32_into(a.data(), m, b.data(), n, a.dim(1),
+                     init.empty() ? nullptr : init.data(), c.data());
+  return c;
+}
+
+void matmul_bt_f32_into(const float* a, std::int64_t m, const float* b,
+                        std::int64_t n, int k, const float* init, float* c) {
+  util::ScopedKernelTimer timer(util::KernelKind::kGemm);
+  blocked_gemm(m, n, k, PanelLayout::kNK, b,
                [&](const float* panel, int nc, std::int64_t j0,
                    std::int64_t i0, std::int64_t i1) {
-                 gemm_panel_f32(ad, k, 1, panel, k, nc, initd, j0, cd, n, i0,
+                 gemm_panel_f32(a, k, 1, panel, k, nc, init, j0, c, n, i0,
                                 i1);
                });
-  return c;
 }
 
 Tensor column_sums_f32(const Tensor& m) {
   assert(m.ndim() == 2);
-  const std::int64_t rows = m.dim(0);
-  const int n = m.dim(1);
-  Tensor sums({n});
-  const float* md = m.data();
-  float* out = sums.data();
-  for (std::int64_t r = 0; r < rows; ++r)
-    for (int j = 0; j < n; ++j) out[j] += md[r * n + j];
+  Tensor sums({m.dim(1)});
+  column_sums_f32_into(m.data(), m.dim(0), m.dim(1), sums.data());
   return sums;
+}
+
+void column_sums_f32_into(const float* m, std::int64_t rows, int n,
+                          float* out) {
+  for (int j = 0; j < n; ++j) out[j] = 0.0f;
+  for (std::int64_t r = 0; r < rows; ++r)
+    for (int j = 0; j < n; ++j) out[j] += m[r * n + j];
 }
 
 Tensor nchw_to_rows(const Tensor& t) {
@@ -309,9 +380,16 @@ Tensor nchw_to_rows(const Tensor& t) {
   const int n = t.dim(0), c = t.dim(1);
   const std::int64_t hw = static_cast<std::int64_t>(t.dim(2)) * t.dim(3);
   Tensor rows({static_cast<int>(n * hw), c});
+  nchw_to_rows_into(t, rows.data());
+  return rows;
+}
+
+void nchw_to_rows_into(const Tensor& t, float* rd) {
+  assert(t.ndim() == 4);
+  const int c = t.dim(1);
+  const std::int64_t hw = static_cast<std::int64_t>(t.dim(2)) * t.dim(3);
   const float* td = t.data();
-  float* rd = rows.data();
-  util::parallel_for(n * hw, row_grain(c),
+  util::parallel_for(static_cast<std::int64_t>(t.dim(0)) * hw, row_grain(c),
                      [&](std::int64_t begin, std::int64_t end) {
                        for (std::int64_t row = begin; row < end; ++row) {
                          const std::int64_t b = row / hw, pos = row % hw;
@@ -319,18 +397,24 @@ Tensor nchw_to_rows(const Tensor& t) {
                            rd[row * c + ch] = td[(b * c + ch) * hw + pos];
                        }
                      });
-  return rows;
 }
 
 Tensor rows_to_nchw(const Tensor& rows, const std::vector<int>& shape4) {
   assert(rows.ndim() == 2 && shape4.size() == 4);
-  const int n = shape4[0], c = shape4[1];
-  const std::int64_t hw = static_cast<std::int64_t>(shape4[2]) * shape4[3];
-  assert(rows.dim(0) == n * hw && rows.dim(1) == c);
+  assert(rows.dim(0) == static_cast<std::int64_t>(shape4[0]) * shape4[2] *
+                            shape4[3] &&
+         rows.dim(1) == shape4[1]);
   Tensor t(shape4);
-  const float* rd = rows.data();
+  rows_to_nchw_into(rows.data(), t);
+  return t;
+}
+
+void rows_to_nchw_into(const float* rd, Tensor& t) {
+  assert(t.ndim() == 4);
+  const int c = t.dim(1);
+  const std::int64_t hw = static_cast<std::int64_t>(t.dim(2)) * t.dim(3);
   float* td = t.data();
-  util::parallel_for(static_cast<std::int64_t>(n) * hw, row_grain(c),
+  util::parallel_for(static_cast<std::int64_t>(t.dim(0)) * hw, row_grain(c),
                      [&](std::int64_t begin, std::int64_t end) {
                        for (std::int64_t row = begin; row < end; ++row) {
                          const std::int64_t b = row / hw, pos = row % hw;
@@ -338,18 +422,23 @@ Tensor rows_to_nchw(const Tensor& rows, const std::vector<int>& shape4) {
                            td[(b * c + ch) * hw + pos] = rd[row * c + ch];
                        }
                      });
-  return t;
 }
 
 Tensor kxn_to_conv_weights(const Tensor& m, int co, int ci, int kh, int kw) {
-  const std::int64_t k = static_cast<std::int64_t>(ci) * kh * kw;
-  assert(m.ndim() == 2 && m.dim(0) == k && m.dim(1) == co);
+  assert(m.ndim() == 2 &&
+         m.dim(0) == static_cast<std::int64_t>(ci) * kh * kw &&
+         m.dim(1) == co);
   Tensor w({co, ci, kh, kw});
-  const float* md = m.data();
-  float* wd = w.data();
-  for (std::int64_t i = 0; i < k; ++i)
-    for (int o = 0; o < co; ++o) wd[static_cast<std::int64_t>(o) * k + i] = md[i * co + o];
+  kxn_to_conv_weights_into(m.data(), co, ci, kh, kw, w.data());
   return w;
+}
+
+void kxn_to_conv_weights_into(const float* md, int co, int ci, int kh, int kw,
+                              float* wd) {
+  const std::int64_t k = static_cast<std::int64_t>(ci) * kh * kw;
+  for (std::int64_t i = 0; i < k; ++i)
+    for (int o = 0; o < co; ++o)
+      wd[static_cast<std::int64_t>(o) * k + i] = md[i * co + o];
 }
 
 Tensor conv2d_forward_im2col(const Tensor& x, const Tensor& w,

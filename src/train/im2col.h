@@ -54,6 +54,45 @@ Tensor rows_to_nchw(const Tensor& rows, const std::vector<int>& shape4);
 /// layout [Co, Ci, Kh, Kw].
 Tensor kxn_to_conv_weights(const Tensor& m, int co, int ci, int kh, int kw);
 
+// ---- Raw-pointer entry points (the zero-allocation kernel path) ------------
+//
+// ops.cc drives the production convolutions through these: outputs land in
+// caller-provided buffers (step-persistent Tensors or util::workspace()
+// arena scratch), so a steady-state training step never touches the heap.
+// Each mirrors its Tensor-returning namesake bit for bit.
+
+/// im2col into `cols` (n*oh*ow rows of ci*kh*kw floats). Only in-bounds
+/// receptive-field entries are written: the caller must hand either freshly
+/// zeroed memory or a buffer reused from a pass with the SAME geometry
+/// (padding positions only ever hold zeros, so they stay correct).
+void im2col_into(const Tensor& x, int kernel_h, int kernel_w, int stride,
+                 int pad_h, int pad_w, float* cols);
+
+/// C[M,N] = A[M,K] * B[N,K]^T, float accumulation seeded per column from
+/// `init` (nullptr = 0): the raw form of matmul_bt_f32.
+void matmul_bt_f32_into(const float* a, std::int64_t m, const float* b,
+                        std::int64_t n, int k, const float* init, float* c);
+
+/// C[M,N] = A[K,M]^T * B[K,N]: the raw form of matmul_at.
+void matmul_at_into(const float* a, std::int64_t m, const float* b,
+                    std::int64_t n, int k, float* c);
+
+/// Per-column float sums of a [rows, n] matrix into out[n] (overwritten),
+/// rows accumulated in increasing order: the raw form of column_sums_f32.
+void column_sums_f32_into(const float* m, std::int64_t rows, int n,
+                          float* out);
+
+/// [N,C,H,W] -> [N*H*W, C] rows into a caller buffer of t.size() floats.
+void nchw_to_rows_into(const Tensor& t, float* rows);
+
+/// [N*H*W, C] rows back into 4-D tensor `t` (already shaped, fully
+/// overwritten).
+void rows_to_nchw_into(const float* rows, Tensor& t);
+
+/// [Ci*Kh*Kw, Co] -> [Co, Ci, Kh, Kw] repack into `w` (fully overwritten).
+void kxn_to_conv_weights_into(const float* m, int co, int ci, int kh, int kw,
+                              float* w);
+
 /// Convolution forward via im2col + GEMM (Tab. 1 "Forward"). Must equal
 /// conv2d_forward bit-for-bit up to float summation order.
 Tensor conv2d_forward_im2col(const Tensor& x, const Tensor& w,

@@ -2,6 +2,7 @@
 
 #include <cassert>
 #include <cmath>
+#include <utility>
 
 #include "util/parallel.h"
 
@@ -47,7 +48,8 @@ Tensor SmallCnn::forward(const Tensor& x) {
   for (std::size_t si = 0; si < stages_.size(); ++si) {
     Stage& s = stages_[si];
     s.x_in = cur;
-    s.conv_out = conv2d_forward(cur, s.w, s.b, /*stride=*/1, /*pad=*/1);
+    conv2d_forward_into(cur, s.w, s.b, /*stride=*/1, /*pad=*/1, &s.ccache,
+                        s.conv_out);
     switch (config_.norm) {
       case NormMode::kNone:
         s.norm_out = s.conv_out;
@@ -62,7 +64,7 @@ Tensor SmallCnn::forward(const Tensor& x) {
     }
     if (si == 0) first_preact_mean_ = s.norm_out.mean();
     if (si + 1 == stages_.size()) last_preact_mean_ = s.norm_out.mean();
-    s.relu_out = relu_forward(s.norm_out);
+    relu_forward_into(s.norm_out, s.relu_out);
     s.pool = maxpool_forward(s.relu_out, /*kernel=*/2, /*stride=*/2);
     cur = s.pool.y;
   }
@@ -80,7 +82,7 @@ void SmallCnn::backward(const Tensor& dlogits) {
   for (std::size_t i = stages_.size(); i-- > 0;) {
     Stage& s = stages_[i];
     d = maxpool_backward(d, s.pool, s.relu_out.shape());
-    d = relu_backward(d, s.relu_out);
+    relu_backward_inplace(d, s.relu_out);
     switch (config_.norm) {
       case NormMode::kNone:
         break;
@@ -100,12 +102,13 @@ void SmallCnn::backward(const Tensor& dlogits) {
         break;
       }
     }
-    Conv2dGrads cg =
-        conv2d_backward(s.x_in, s.w, d, /*stride=*/1, /*pad=*/1,
-                        /*need_dx=*/i > 0);
-    s.dw.axpy(1.0f, cg.dw);
-    s.db.axpy(1.0f, cg.dbias);
-    if (i > 0) d = std::move(cg.dx);
+    conv2d_backward_into(s.x_in, s.w, d, /*stride=*/1, /*pad=*/1,
+                         /*need_dx=*/i > 0, &s.ccache, s.gscratch);
+    s.dw.axpy(1.0f, s.gscratch.dw);
+    s.db.axpy(1.0f, s.gscratch.dbias);
+    // Swap rather than move: the scratch keeps a buffer (the old d) whose
+    // capacity it reuses next step, so the backward stays allocation-free.
+    if (i > 0) std::swap(d, s.gscratch.dx);
   }
 }
 

@@ -66,7 +66,9 @@ class SmallCnn {
     // Forward caches.
     Tensor x_in, conv_out, norm_out, relu_out;
     NormCache ncache;
+    ConvCache ccache;  ///< forward's im2col lowering, reused by backward
     MaxPoolResult pool;
+    Conv2dGrads gscratch;  ///< step-persistent conv-gradient staging
   };
 
   SmallCnnConfig config_;

@@ -7,18 +7,26 @@
 // bias with K traversed in the original (c, r, s) order
 // (matmul_bt_f32), the weight-gradient GEMM sums rows in the original
 // (b, yh, yw) order (matmul_at), and the data-gradient scatter keeps the
-// original loop nest per sample. Everything else is data-parallel over
-// disjoint output ranges via util::parallel_for, which never splits a
-// floating-point reduction — so results are bit-identical at any
-// MBS_THREADS setting.
+// seed's per-element addend sequence (two implementations, dispatched on
+// dY density — see the scatter_dx_* kernels). The zero-redundancy layer
+// on top (PR 4): conv2d_forward_into records its im2col lowering in a
+// per-layer ConvCache that conv2d_backward_into consumes, all scratch is
+// workspace-arena memory, and outputs land in step-persistent caller
+// tensors — a steady-state train step's conv/GEMM path performs zero
+// heap allocations (Debug-asserted via util/alloc_hook.cc). Everything
+// else is data-parallel over disjoint output ranges via
+// util::parallel_for, which never splits a floating-point reduction — so
+// results are bit-identical at any MBS_THREADS setting.
 #include "train/ops.h"
 
 #include <algorithm>
 #include <cassert>
+#include <cstdlib>
 #include <cstring>
 #include <limits>
 
 #include "train/im2col.h"
+#include "util/arena.h"
 #include "util/parallel.h"
 
 namespace mbs::train {
@@ -29,79 +37,52 @@ int out_dim(int in, int kernel, int stride, int pad) {
   return (in + 2 * pad - kernel) / stride + 1;
 }
 
-}  // namespace
-
-Tensor conv2d_forward(const Tensor& x, const Tensor& w, const Tensor& bias,
-                      int stride, int pad) {
-  assert(x.ndim() == 4 && w.ndim() == 4);
-  util::ScopedKernelTimer timer(util::KernelKind::kConvFwd);
-  const int n = x.dim(0), ci = x.dim(1);
-  const int co = w.dim(0), kh = w.dim(2), kw = w.dim(3);
-  assert(w.dim(1) == ci);
-  const int oh = out_dim(x.dim(2), kh, stride, pad);
-  const int ow = out_dim(x.dim(3), kw, stride, pad);
-
-  const Tensor a = im2col(x, kh, kw, stride, pad, pad);
-  Tensor w2({co, ci * kh * kw});  // W viewed as the [Co, K] GEMM operand
-  std::memcpy(w2.data(), w.data(),
-              static_cast<std::size_t>(w.size()) * sizeof(float));
-  const Tensor c = matmul_bt_f32(a, w2, bias);  // [N*Ho*Wo, Co]
-  return rows_to_nchw(c, {n, co, oh, ow});
+/// MBS_NO_CONV_CACHE=1 disables forward-to-backward im2col reuse (the
+/// A/B escape hatch for timing the redundancy): backward then re-lowers
+/// its input exactly like the pre-cache code, bit for bit.
+bool conv_cache_enabled() {
+  static const bool disabled = [] {
+    const char* env = std::getenv("MBS_NO_CONV_CACHE");
+    return env && *env && std::strcmp(env, "0") != 0;
+  }();
+  return !disabled;
 }
 
-Conv2dGrads conv2d_backward(const Tensor& x, const Tensor& w,
-                            const Tensor& dy, int stride, int pad,
-                            bool need_dx) {
-  util::ScopedKernelTimer timer(util::KernelKind::kConvBwd);
-  const int n = x.dim(0), ci = x.dim(1), ih = x.dim(2), iw = x.dim(3);
-  const int co = w.dim(0), kh = w.dim(2), kw = w.dim(3);
-  const int oh = dy.dim(2), ow = dy.dim(3);
+struct ConvGeom {
+  int n, ci, ih, iw, co, kh, kw, oh, ow, stride, pad;
+};
 
-  Conv2dGrads g;
-
-  // Weight gradient: im2col(x)^T * dY sums rows in the original
-  // (b, yh, yw) order; bias gradient: dY column sums, same order.
-  const Tensor dy2 = nchw_to_rows(dy);
-  const Tensor a = im2col(x, kh, kw, stride, pad, pad);
-  g.dw = kxn_to_conv_weights(matmul_at(a, dy2), co, ci, kh, kw);
-  g.dbias = column_sums_f32(dy2);
-
-  if (!need_dx) return g;
-
-  // Data gradient. The GEMM formulation (dY * W scattered with col2im)
-  // pre-reduces over output channels and would change the per-element
-  // float summation order, so the scatter keeps the original loop nest —
-  // gradients flow only within a sample, so samples fan out across the
-  // pool, and the inner loops run on raw pointers with the padding
-  // branches hoisted into (r, s) bounds.
-  g.dx = Tensor({n, ci, ih, iw});
-  const float* dyd = dy.data();
-  const float* wd = w.data();
-  float* dxd = g.dx.data();
-  const std::int64_t x_hw = static_cast<std::int64_t>(ih) * iw;
-  const std::int64_t y_hw = static_cast<std::int64_t>(oh) * ow;
-  util::parallel_for(n, 1, [&](std::int64_t b0, std::int64_t b1) {
+/// The seed's data-gradient scatter, kept verbatim for sparse dY: its
+/// `d == 0` skip drops whole receptive fields, which wins when the
+/// incoming gradient is ReLU-sparsified (the no-norm training runs).
+void scatter_dx_sparse(const ConvGeom& g, const float* dyd, const float* wd,
+                       float* dxd) {
+  const std::int64_t x_hw = static_cast<std::int64_t>(g.ih) * g.iw;
+  const std::int64_t y_hw = static_cast<std::int64_t>(g.oh) * g.ow;
+  util::parallel_for(g.n, 1, [&](std::int64_t b0, std::int64_t b1) {
     for (std::int64_t b = b0; b < b1; ++b)
-      for (int o = 0; o < co; ++o) {
-        const float* dy_plane = dyd + (b * co + o) * y_hw;
-        for (int yh = 0; yh < oh; ++yh) {
-          const int xh0 = yh * stride - pad;
+      for (int o = 0; o < g.co; ++o) {
+        const float* dy_plane = dyd + (b * g.co + o) * y_hw;
+        for (int yh = 0; yh < g.oh; ++yh) {
+          const int xh0 = yh * g.stride - g.pad;
           const int r_lo = xh0 < 0 ? -xh0 : 0;
-          const int r_hi = ih - xh0 < kh ? ih - xh0 : kh;
-          for (int yw = 0; yw < ow; ++yw) {
-            const float d = dy_plane[static_cast<std::int64_t>(yh) * ow + yw];
+          const int r_hi = g.ih - xh0 < g.kh ? g.ih - xh0 : g.kh;
+          for (int yw = 0; yw < g.ow; ++yw) {
+            const float d =
+                dy_plane[static_cast<std::int64_t>(yh) * g.ow + yw];
             if (d == 0.0f) continue;
-            const int xw0 = yw * stride - pad;
+            const int xw0 = yw * g.stride - g.pad;
             const int s_lo = xw0 < 0 ? -xw0 : 0;
-            const int s_hi = iw - xw0 < kw ? iw - xw0 : kw;
-            for (int c = 0; c < ci; ++c)
+            const int s_hi = g.iw - xw0 < g.kw ? g.iw - xw0 : g.kw;
+            for (int c = 0; c < g.ci; ++c)
               for (int r = r_lo; r < r_hi; ++r) {
                 const float* w_row =
-                    wd + ((static_cast<std::int64_t>(o) * ci + c) * kh + r) *
-                             kw;
-                float* dx_row =
-                    dxd + (b * ci + c) * x_hw +
-                    static_cast<std::int64_t>(xh0 + r) * iw + xw0;
+                    wd +
+                    ((static_cast<std::int64_t>(o) * g.ci + c) * g.kh + r) *
+                        g.kw;
+                float* dx_row = dxd + (b * g.ci + c) * x_hw +
+                                static_cast<std::int64_t>(xh0 + r) * g.iw +
+                                xw0;
                 for (int s = s_lo; s < s_hi; ++s)
                   dx_row[s] += d * w_row[s];
               }
@@ -109,7 +90,240 @@ Conv2dGrads conv2d_backward(const Tensor& x, const Tensor& w,
         }
       }
   });
+}
+
+/// Dense stride-1 scatter: per weight tap (r, s) the update is a shifted
+/// plane axpy dx[yh + r-pad, yw + s-pad] += dy[yh, yw] * w[o,c,r,s], which
+/// vectorizes over whole rows (and over whole planes when the columns
+/// align). Bit-identity with the seed nest: for a fixed dx element the
+/// addend sequence is still o-major then (yh, yw)-lexicographic, because r
+/// and s are iterated DESCENDING (element yh = xh - r + pad rises as r
+/// falls, yw likewise), and the dropped `d == 0` skip only removes +/-0
+/// addends, which cannot change any finite accumulation (same contract as
+/// the GEMM paths' dropped zero skips, see im2col.cc).
+void scatter_dx_dense_s1(const ConvGeom& g, const float* dyd, const float* wd,
+                         float* dxd) {
+  const std::int64_t x_hw = static_cast<std::int64_t>(g.ih) * g.iw;
+  const std::int64_t y_hw = static_cast<std::int64_t>(g.oh) * g.ow;
+  util::parallel_for(g.n, 1, [&](std::int64_t b0, std::int64_t b1) {
+    for (std::int64_t b = b0; b < b1; ++b)
+      for (int o = 0; o < g.co; ++o) {
+        const float* dy_plane = dyd + (b * g.co + o) * y_hw;
+        for (int c = 0; c < g.ci; ++c) {
+          const float* w_plane =
+              wd + (static_cast<std::int64_t>(o) * g.ci + c) * g.kh * g.kw;
+          float* dx_plane = dxd + (b * g.ci + c) * x_hw;
+          for (int r = g.kh - 1; r >= 0; --r) {
+            const int dr = r - g.pad;  // xh = yh + dr
+            const int yh_lo = dr < 0 ? -dr : 0;
+            const int yh_hi = g.oh < g.ih - dr ? g.oh : g.ih - dr;
+            if (yh_hi <= yh_lo) continue;
+            for (int s = g.kw - 1; s >= 0; --s) {
+              const float wv = w_plane[static_cast<std::int64_t>(r) * g.kw + s];
+              const int ds = s - g.pad;  // xw = yw + ds
+              const int yw_lo = ds < 0 ? -ds : 0;
+              const int yw_hi = g.ow < g.iw - ds ? g.ow : g.iw - ds;
+              if (yw_hi <= yw_lo) continue;
+              if (ds == 0 && g.iw == g.ow) {
+                // Columns align: the rows form one contiguous run.
+                const float* src = dy_plane +
+                                   static_cast<std::int64_t>(yh_lo) * g.ow;
+                float* dst =
+                    dx_plane + static_cast<std::int64_t>(yh_lo + dr) * g.iw;
+                const std::int64_t len =
+                    static_cast<std::int64_t>(yh_hi - yh_lo) * g.ow;
+                for (std::int64_t t = 0; t < len; ++t) dst[t] += src[t] * wv;
+                continue;
+              }
+              const int len = yw_hi - yw_lo;
+              for (int yh = yh_lo; yh < yh_hi; ++yh) {
+                const float* src =
+                    dy_plane + static_cast<std::int64_t>(yh) * g.ow + yw_lo;
+                float* dst = dx_plane +
+                             static_cast<std::int64_t>(yh + dr) * g.iw +
+                             yw_lo + ds;
+                for (int t = 0; t < len; ++t) dst[t] += src[t] * wv;
+              }
+            }
+          }
+        }
+      }
+  });
+}
+
+/// General-stride fallback (dense): per tap, strided row updates in the
+/// same r/s-descending order.
+void scatter_dx_dense(const ConvGeom& g, const float* dyd, const float* wd,
+                      float* dxd) {
+  const std::int64_t x_hw = static_cast<std::int64_t>(g.ih) * g.iw;
+  const std::int64_t y_hw = static_cast<std::int64_t>(g.oh) * g.ow;
+  util::parallel_for(g.n, 1, [&](std::int64_t b0, std::int64_t b1) {
+    for (std::int64_t b = b0; b < b1; ++b)
+      for (int o = 0; o < g.co; ++o) {
+        const float* dy_plane = dyd + (b * g.co + o) * y_hw;
+        for (int c = 0; c < g.ci; ++c) {
+          const float* w_plane =
+              wd + (static_cast<std::int64_t>(o) * g.ci + c) * g.kh * g.kw;
+          float* dx_plane = dxd + (b * g.ci + c) * x_hw;
+          for (int yh = 0; yh < g.oh; ++yh) {
+            const int xh0 = yh * g.stride - g.pad;
+            const int r_lo = xh0 < 0 ? -xh0 : 0;
+            const int r_hi = g.ih - xh0 < g.kh ? g.ih - xh0 : g.kh;
+            const float* dy_row =
+                dy_plane + static_cast<std::int64_t>(yh) * g.ow;
+            for (int r = r_lo; r < r_hi; ++r) {
+              float* dx_row =
+                  dx_plane + static_cast<std::int64_t>(xh0 + r) * g.iw;
+              const float* w_row =
+                  w_plane + static_cast<std::int64_t>(r) * g.kw;
+              for (int s = g.kw - 1; s >= 0; --s) {
+                const float wv = w_row[s];
+                // Valid yw: 0 <= yw*stride - pad + s < iw.
+                if (g.iw - 1 + g.pad - s < 0) continue;
+                const int yw_lo = g.pad - s <= 0
+                                      ? 0
+                                      : (g.pad - s + g.stride - 1) / g.stride;
+                int yw_hi = (g.iw - 1 + g.pad - s) / g.stride + 1;
+                if (yw_hi > g.ow) yw_hi = g.ow;
+                for (int yw = yw_lo; yw < yw_hi; ++yw)
+                  dx_row[yw * g.stride - g.pad + s] += dy_row[yw] * wv;
+              }
+            }
+          }
+        }
+      }
+  });
+}
+
+}  // namespace
+
+Tensor conv2d_forward(const Tensor& x, const Tensor& w, const Tensor& bias,
+                      int stride, int pad) {
+  Tensor y;
+  conv2d_forward_into(x, w, bias, stride, pad, /*cache=*/nullptr, y);
+  return y;
+}
+
+void conv2d_forward_into(const Tensor& x, const Tensor& w, const Tensor& bias,
+                         int stride, int pad, ConvCache* cache, Tensor& y) {
+  assert(x.ndim() == 4 && w.ndim() == 4);
+  util::ScopedKernelTimer timer(util::KernelKind::kConvFwd);
+  const int n = x.dim(0), ci = x.dim(1);
+  const int co = w.dim(0), kh = w.dim(2), kw = w.dim(3);
+  assert(w.dim(1) == ci);
+  const int oh = out_dim(x.dim(2), kh, stride, pad);
+  const int ow = out_dim(x.dim(3), kw, stride, pad);
+  const int rows = n * oh * ow;
+  const int k = ci * kh * kw;
+
+  util::ArenaScope scope;
+  // The im2col lowering: into the layer's step-persistent cache when one
+  // is attached, else into zeroed arena scratch. Buffer reuse preserves
+  // contents ONLY when the full geometry stamp matches — the padding-zero
+  // layout depends on kernel/stride/pad, not just the cols shape, so a
+  // geometry change that happens to keep the shape (e.g. a 3x1 kernel
+  // followed by a 1x3 one) must re-zero the buffer.
+  float* cols = nullptr;
+  if (cache && conv_cache_enabled()) {
+    if (cache->matches(x, kh, kw, stride, pad))
+      cache->cols.ensure_shape({rows, k});  // padding zeros still valid
+    else
+      cache->cols.ensure_zeroed({rows, k});
+    cols = cache->cols.data();
+    cache->x_shape = x.shape();
+    cache->kh = kh;
+    cache->kw = kw;
+    cache->stride = stride;
+    cache->pad = pad;
+    cache->valid = true;
+  } else {
+    cols = scope.floats(static_cast<std::int64_t>(rows) * k);
+    std::memset(cols, 0,
+                static_cast<std::size_t>(rows) * k * sizeof(float));
+    if (cache) cache->valid = false;
+  }
+  im2col_into(x, kh, kw, stride, pad, pad, cols);
+
+  // W is already the [Co, Ci*Kh*Kw] GEMM operand in row-major memory; no
+  // reshaped copy needed. C [N*Ho*Wo, Co] is arena scratch.
+  float* c = scope.floats(static_cast<std::int64_t>(rows) * co);
+  matmul_bt_f32_into(cols, rows, w.data(), co, k,
+                     bias.empty() ? nullptr : bias.data(), c);
+  y.ensure_shape({n, co, oh, ow});
+  rows_to_nchw_into(c, y);
+}
+
+Conv2dGrads conv2d_backward(const Tensor& x, const Tensor& w,
+                            const Tensor& dy, int stride, int pad,
+                            bool need_dx) {
+  Conv2dGrads g;
+  conv2d_backward_into(x, w, dy, stride, pad, need_dx, /*cache=*/nullptr, g);
   return g;
+}
+
+void conv2d_backward_into(const Tensor& x, const Tensor& w, const Tensor& dy,
+                          int stride, int pad, bool need_dx, ConvCache* cache,
+                          Conv2dGrads& g) {
+  util::ScopedKernelTimer timer(util::KernelKind::kConvBwd);
+  const int n = x.dim(0), ci = x.dim(1), ih = x.dim(2), iw = x.dim(3);
+  const int co = w.dim(0), kh = w.dim(2), kw = w.dim(3);
+  const int oh = dy.dim(2), ow = dy.dim(3);
+  const int rows = n * oh * ow;
+  const int k = ci * kh * kw;
+
+  util::ArenaScope scope;
+  // dY as a [N*Ho*Wo, Co] matrix (arena scratch, fully overwritten).
+  float* dy2 = scope.floats(static_cast<std::int64_t>(rows) * co);
+  nchw_to_rows_into(dy, dy2);
+
+  // The forward pass's im2col lowering, reused when the layer cache holds
+  // it — the other half of the per-step im2col cost. Recomputed (bit-
+  // identically) when absent or stale.
+  const float* cols = nullptr;
+  if (cache && cache->matches(x, kh, kw, stride, pad)) {
+    cols = cache->cols.data();
+  } else {
+    float* scratch = scope.floats(static_cast<std::int64_t>(rows) * k);
+    std::memset(scratch, 0,
+                static_cast<std::size_t>(rows) * k * sizeof(float));
+    im2col_into(x, kh, kw, stride, pad, pad, scratch);
+    cols = scratch;
+  }
+
+  // Weight gradient: im2col(x)^T * dY sums rows in the original
+  // (b, yh, yw) order; bias gradient: dY column sums, same order.
+  float* dw_kxn = scope.floats(static_cast<std::int64_t>(k) * co);
+  matmul_at_into(cols, k, dy2, co, rows, dw_kxn);
+  g.dw.ensure_shape(w.shape());
+  kxn_to_conv_weights_into(dw_kxn, co, ci, kh, kw, g.dw.data());
+  g.dbias.ensure_shape({co});
+  column_sums_f32_into(dy2, rows, co, g.dbias.data());
+
+  if (!need_dx) return;
+
+  // Data gradient. The GEMM formulation (dY * W scattered with col2im)
+  // pre-reduces over output channels and would change the per-element
+  // float summation order, so the computation stays a scatter over the
+  // seed's per-element addend sequence (o-major, then (yh, yw)-
+  // lexicographic; see the scatter_dx_* kernels above). Two bit-identical
+  // implementations cover the density extremes, so the dispatch below is
+  // value-dependent but result-invariant: ReLU-sparsified gradients (the
+  // no-norm training runs) keep the seed loop whose `d == 0` skip drops
+  // whole receptive fields, while dense gradients take the vectorized
+  // shifted-plane form.
+  g.dx.ensure_zeroed({n, ci, ih, iw});
+  const ConvGeom geom{n,  ci, ih,     iw, co, kh,
+                      kw, oh, ow, stride, pad};
+  const float* dyd = dy.data();
+  std::int64_t zeros = 0;
+  const std::int64_t dy_n = dy.size();
+  for (std::int64_t i = 0; i < dy_n; ++i) zeros += dyd[i] == 0.0f;
+  if (3 * zeros >= dy_n)
+    scatter_dx_sparse(geom, dyd, w.data(), g.dx.data());
+  else if (stride == 1)
+    scatter_dx_dense_s1(geom, dyd, w.data(), g.dx.data());
+  else
+    scatter_dx_dense(geom, dyd, w.data(), g.dx.data());
 }
 
 MaxPoolResult maxpool_forward(const Tensor& x, int kernel, int stride) {
@@ -121,29 +335,36 @@ MaxPoolResult maxpool_forward(const Tensor& x, int kernel, int stride) {
   r.y = Tensor({n, c, oh, ow});
   r.argmax.assign(static_cast<std::size_t>(r.y.size()), 0);
   const std::int64_t per = static_cast<std::int64_t>(oh) * ow;
+  const std::int64_t x_hw = static_cast<std::int64_t>(ih) * iw;
+  const float* xd = x.data();
+  float* yd = r.y.data();
   util::parallel_for(
       static_cast<std::int64_t>(n) * c, 1,
       [&](std::int64_t p0, std::int64_t p1) {
         for (std::int64_t plane = p0; plane < p1; ++plane) {
-          const int b = static_cast<int>(plane / c);
-          const int ch = static_cast<int>(plane % c);
+          const float* x_plane = xd + plane * x_hw;
+          const std::int64_t x_base = plane * x_hw;
           std::int64_t oi = plane * per;
           for (int yh = 0; yh < oh; ++yh)
             for (int yw = 0; yw < ow; ++yw, ++oi) {
               float best = -std::numeric_limits<float>::infinity();
               std::int64_t best_idx = 0;
-              for (int r2 = 0; r2 < kernel; ++r2)
+              for (int r2 = 0; r2 < kernel; ++r2) {
+                const int xh = yh * stride + r2;
+                if (xh >= ih) continue;
+                const float* row =
+                    x_plane + static_cast<std::int64_t>(xh) * iw;
                 for (int s2 = 0; s2 < kernel; ++s2) {
-                  const int xh = yh * stride + r2;
                   const int xw = yw * stride + s2;
-                  if (xh >= ih || xw >= iw) continue;
-                  const float v = x.at(b, ch, xh, xw);
+                  if (xw >= iw) continue;
+                  const float v = row[xw];
                   if (v > best) {
                     best = v;
-                    best_idx = x.idx4(b, ch, xh, xw);
+                    best_idx = x_base + static_cast<std::int64_t>(xh) * iw + xw;
                   }
                 }
-              r.y[oi] = best;
+              }
+              yd[oi] = best;
               r.argmax[static_cast<std::size_t>(oi)] = best_idx;
             }
         }
@@ -219,18 +440,36 @@ Tensor relu_forward(const Tensor& x) {
   return y;
 }
 
+void relu_forward_into(const Tensor& x, Tensor& y) {
+  util::ScopedKernelTimer timer(util::KernelKind::kRelu);
+  y.ensure_shape(x.shape());
+  const float* xd = x.data();
+  float* yd = y.data();
+  // One pass writing every element: value-identical to copy-then-clamp.
+  util::parallel_for(x.size(), 1 << 15,
+                     [&](std::int64_t i0, std::int64_t i1) {
+                       for (std::int64_t i = i0; i < i1; ++i)
+                         yd[i] = xd[i] < 0 ? 0.0f : xd[i];
+                     });
+}
+
 Tensor relu_backward(const Tensor& dy, const Tensor& y) {
   assert(dy.size() == y.size());
-  util::ScopedKernelTimer timer(util::KernelKind::kRelu);
   Tensor dx = dy;
+  relu_backward_inplace(dx, y);
+  return dx;
+}
+
+void relu_backward_inplace(Tensor& d, const Tensor& y) {
+  assert(d.size() == y.size());
+  util::ScopedKernelTimer timer(util::KernelKind::kRelu);
   const float* yd = y.data();
-  float* dxd = dx.data();
-  util::parallel_for(dx.size(), 1 << 15,
+  float* dxd = d.data();
+  util::parallel_for(d.size(), 1 << 15,
                      [&](std::int64_t i0, std::int64_t i1) {
                        for (std::int64_t i = i0; i < i1; ++i)
                          if (yd[i] <= 0) dxd[i] = 0;
                      });
-  return dx;
 }
 
 Tensor linear_forward(const Tensor& x, const Tensor& w, const Tensor& bias) {

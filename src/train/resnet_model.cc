@@ -2,6 +2,7 @@
 
 #include <cassert>
 #include <cmath>
+#include <utility>
 
 #include "util/parallel.h"
 
@@ -98,27 +99,31 @@ Tensor SmallResNet::norm_backward(NormParams& np, const Tensor& dy) {
 
 Tensor SmallResNet::forward(const Tensor& x) {
   stem_in_ = x;
-  stem_conv_out_ = conv2d_forward(x, stem_.w, Tensor(), 1, 1);
+  conv2d_forward_into(x, stem_.w, Tensor(), 1, 1, &stem_.cache,
+                      stem_conv_out_);
   stem_norm_out_ = norm_forward(stem_norm_, stem_conv_out_);
-  stem_relu_out_ = relu_forward(stem_norm_out_);
+  relu_forward_into(stem_norm_out_, stem_relu_out_);
 
   Tensor cur = stem_relu_out_;
   for (ResBlock& b : blocks_) {
     b.x_in = cur;
-    b.c1_out = conv2d_forward(cur, b.conv1.w, Tensor(), b.conv1.stride, 1);
+    conv2d_forward_into(cur, b.conv1.w, Tensor(), b.conv1.stride, 1,
+                        &b.conv1.cache, b.c1_out);
     b.n1_out = norm_forward(b.norm1, b.c1_out);
-    b.r1_out = relu_forward(b.n1_out);
-    b.c2_out = conv2d_forward(b.r1_out, b.conv2.w, Tensor(), 1, 1);
+    relu_forward_into(b.n1_out, b.r1_out);
+    conv2d_forward_into(b.r1_out, b.conv2.w, Tensor(), 1, 1, &b.conv2.cache,
+                        b.c2_out);
     b.n2_out = norm_forward(b.norm2, b.c2_out);
     if (!b.proj.w.empty()) {
-      const Tensor p = conv2d_forward(cur, b.proj.w, Tensor(), b.proj.stride, 0);
-      b.shortcut_out = norm_forward(b.norm_proj, p);
+      conv2d_forward_into(cur, b.proj.w, Tensor(), b.proj.stride, 0,
+                          &b.proj.cache, b.proj_out);
+      b.shortcut_out = norm_forward(b.norm_proj, b.proj_out);
     } else {
       b.shortcut_out = cur;
     }
     b.add_out = b.n2_out;
     b.add_out.axpy(1.0f, b.shortcut_out);
-    b.relu_out = relu_forward(b.add_out);
+    relu_forward_into(b.add_out, b.relu_out);
     cur = b.relu_out;
   }
 
@@ -135,39 +140,49 @@ void SmallResNet::backward(const Tensor& dlogits) {
 
   for (std::size_t i = blocks_.size(); i-- > 0;) {
     ResBlock& b = blocks_[i];
-    d = relu_backward(d, b.relu_out);
+    relu_backward_inplace(d, b.relu_out);
     // Add backward: the gradient flows unchanged to both branches — the
     // routing MBS exploits (Sec. 3 "Back Propagation").
     Tensor d_main = d;
     Tensor d_short = d;
 
     d_main = norm_backward(b.norm2, d_main);
-    Conv2dGrads g2 = conv2d_backward(b.r1_out, b.conv2.w, d_main, 1, 1);
-    b.conv2.dw.axpy(1.0f, g2.dw);
-    d_main = relu_backward(g2.dx, b.r1_out);
+    conv2d_backward_into(b.r1_out, b.conv2.w, d_main, 1, 1, /*need_dx=*/true,
+                         &b.conv2.cache, b.conv2.gscratch);
+    b.conv2.dw.axpy(1.0f, b.conv2.gscratch.dw);
+    // Swap rather than copy: d_main's old buffer (conv2's dy, same size
+    // as its dx) circulates into the scratch, keeping the step
+    // allocation-free; the in-place mask equals relu_backward exactly.
+    std::swap(d_main, b.conv2.gscratch.dx);
+    relu_backward_inplace(d_main, b.r1_out);
     d_main = norm_backward(b.norm1, d_main);
-    Conv2dGrads g1 =
-        conv2d_backward(b.x_in, b.conv1.w, d_main, b.conv1.stride, 1);
-    b.conv1.dw.axpy(1.0f, g1.dw);
+    conv2d_backward_into(b.x_in, b.conv1.w, d_main, b.conv1.stride, 1,
+                         /*need_dx=*/true, &b.conv1.cache, b.conv1.gscratch);
+    b.conv1.dw.axpy(1.0f, b.conv1.gscratch.dw);
 
-    Tensor d_in = std::move(g1.dx);
+    // Copy rather than move or swap: moving would leave the scratch
+    // empty, and swapping would hand it d_main's buffer, which for
+    // stride-2 blocks is half dx's size — the scratch would then regrow
+    // inside the conv path every step. The copy itself allocates outside
+    // the kernel timers (and only until d_in's capacity stabilizes).
+    Tensor d_in = b.conv1.gscratch.dx;
     if (!b.proj.w.empty()) {
       d_short = norm_backward(b.norm_proj, d_short);
-      Conv2dGrads gp =
-          conv2d_backward(b.x_in, b.proj.w, d_short, b.proj.stride, 0);
-      b.proj.dw.axpy(1.0f, gp.dw);
-      d_in.axpy(1.0f, gp.dx);
+      conv2d_backward_into(b.x_in, b.proj.w, d_short, b.proj.stride, 0,
+                           /*need_dx=*/true, &b.proj.cache, b.proj.gscratch);
+      b.proj.dw.axpy(1.0f, b.proj.gscratch.dw);
+      d_in.axpy(1.0f, b.proj.gscratch.dx);
     } else {
       d_in.axpy(1.0f, d_short);
     }
     d = std::move(d_in);
   }
 
-  d = relu_backward(d, stem_relu_out_);
+  relu_backward_inplace(d, stem_relu_out_);
   d = norm_backward(stem_norm_, d);
-  Conv2dGrads gs = conv2d_backward(stem_in_, stem_.w, d, 1, 1,
-                                   /*need_dx=*/false);
-  stem_.dw.axpy(1.0f, gs.dw);
+  conv2d_backward_into(stem_in_, stem_.w, d, 1, 1, /*need_dx=*/false,
+                       &stem_.cache, stem_.gscratch);
+  stem_.dw.axpy(1.0f, stem_.gscratch.dw);
 }
 
 void SmallResNet::zero_grad() {

@@ -56,13 +56,15 @@ class SmallResNet {
   struct ConvParams {
     Tensor w, dw;
     int stride = 1;
+    ConvCache cache;       ///< forward's im2col lowering, reused by backward
+    Conv2dGrads gscratch;  ///< step-persistent conv-gradient staging
   };
   struct ResBlock {
     ConvParams conv1, conv2, proj;  ///< proj.w empty for identity shortcut
     NormParams norm1, norm2, norm_proj;
     // Forward caches.
-    Tensor x_in, c1_out, n1_out, r1_out, c2_out, n2_out, shortcut_out,
-        add_out, relu_out;
+    Tensor x_in, c1_out, n1_out, r1_out, c2_out, n2_out, proj_out,
+        shortcut_out, add_out, relu_out;
   };
 
   Tensor norm_forward(NormParams& np, const Tensor& x);

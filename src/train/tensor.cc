@@ -29,6 +29,47 @@ std::int64_t Tensor::count(const std::vector<int>& shape) {
   return n;
 }
 
+namespace {
+
+template <typename Range>
+bool same_shape(const std::vector<int>& shape, const Range& other) {
+  return shape.size() == other.size() &&
+         std::equal(other.begin(), other.end(), shape.begin());
+}
+
+}  // namespace
+
+void Tensor::ensure_shape(const std::vector<int>& shape) {
+  if (same_shape(shape_, shape)) return;
+  shape_ = shape;
+  data_.assign(static_cast<std::size_t>(count(shape_)),
+               0.0f);  // reuses capacity
+}
+
+void Tensor::ensure_shape(std::initializer_list<int> shape) {
+  if (same_shape(shape_, shape)) return;
+  shape_.assign(shape.begin(), shape.end());
+  data_.assign(static_cast<std::size_t>(count(shape_)), 0.0f);
+}
+
+void Tensor::ensure_zeroed(const std::vector<int>& shape) {
+  if (same_shape(shape_, shape)) {
+    // assign() would redundantly re-walk the buffer serially; the pooled
+    // fill is bit-identical (zeros are zeros) and faster for large grads.
+    fill(0.0f);
+    return;
+  }
+  ensure_shape(shape);
+}
+
+void Tensor::ensure_zeroed(std::initializer_list<int> shape) {
+  if (same_shape(shape_, shape)) {
+    fill(0.0f);
+    return;
+  }
+  ensure_shape(shape);
+}
+
 void Tensor::fill(float v) {
   float* d = data_.data();
   util::parallel_for(size(), 1 << 16,

@@ -68,6 +68,22 @@ class Tensor {
                shape_[3] + w;
   }
 
+  /// Reshapes in place, reusing the existing heap buffer whenever its
+  /// capacity suffices (std::vector::assign semantics) — the step-persistent
+  /// storage discipline of the kernel layer's zero-allocation contract.
+  /// When the shape is unchanged this is a no-op and the CONTENTS ARE
+  /// PRESERVED (a reused im2col buffer keeps its padding zeros); on a shape
+  /// change the tensor is zero-filled like a freshly constructed one.
+  /// The initializer_list overloads compare before materializing anything,
+  /// so a steady-state call like ensure_shape({n, c, h, w}) touches no heap.
+  void ensure_shape(const std::vector<int>& shape);
+  void ensure_shape(std::initializer_list<int> shape);
+
+  /// As ensure_shape, but always zero-filled — for scatter-add targets that
+  /// must start from zero every call (e.g. the conv data gradient).
+  void ensure_zeroed(const std::vector<int>& shape);
+  void ensure_zeroed(std::initializer_list<int> shape);
+
   /// fill/axpy/scale are elementwise and run on the kernel pool (any range
   /// partition is bit-identical); implementations live in tensor.cc.
   void fill(float v);

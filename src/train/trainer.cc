@@ -87,6 +87,12 @@ std::vector<EpochLog> train_model(SmallCnn& model, const Dataset& train_set,
   std::iota(order.begin(), order.end(), 0);
 
   std::vector<EpochLog> logs;
+  // The gathered mini-batch is the same shape every step; keep one buffer
+  // for the whole run instead of allocating per step (the same
+  // step-persistent storage discipline as the kernel layer's ConvCache
+  // and gradient scratch).
+  Tensor x;
+  std::vector<int> labels(static_cast<std::size_t>(config.batch));
   for (int epoch = 0; epoch < config.epochs; ++epoch) {
     if (std::find(config.lr_decay_epochs.begin(), config.lr_decay_epochs.end(),
                   epoch) != config.lr_decay_epochs.end())
@@ -106,10 +112,10 @@ std::vector<EpochLog> train_model(SmallCnn& model, const Dataset& train_set,
     int steps = 0;
     for (int off = 0; off + config.batch <= n; off += config.batch) {
       // Gather the shuffled mini-batch (pure per-sample copies, so the
-      // pool partition is bit-irrelevant).
-      Tensor x({config.batch, train_set.images.dim(1),
-                train_set.images.dim(2), train_set.images.dim(3)});
-      std::vector<int> labels(static_cast<std::size_t>(config.batch));
+      // pool partition is bit-irrelevant). Every element is overwritten,
+      // so reusing the buffer is value-identical to a fresh tensor.
+      x.ensure_shape({config.batch, train_set.images.dim(1),
+                      train_set.images.dim(2), train_set.images.dim(3)});
       const std::int64_t per = train_set.images.size() / n;
       util::parallel_for(config.batch, 4, [&](std::int64_t i0,
                                               std::int64_t i1) {

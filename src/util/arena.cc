@@ -1,0 +1,81 @@
+#include "util/arena.h"
+
+#include <cassert>
+
+namespace mbs::util {
+
+namespace {
+
+std::size_t align_up(std::size_t n) {
+  return (n + Arena::kAlign - 1) & ~(Arena::kAlign - 1);
+}
+
+}  // namespace
+
+void* Arena::allocate(std::size_t bytes) {
+  bytes = align_up(bytes ? bytes : 1);
+  // Advance through existing blocks first (they were sized by a previous
+  // high-water pass); only append when none of them fits.
+  while (active_ < blocks_.size() &&
+         blocks_[active_].used + bytes > blocks_[active_].size)
+    ++active_;
+  if (active_ == blocks_.size()) {
+    std::size_t size = capacity() * 2;
+    if (size < kMinBlock) size = kMinBlock;
+    if (size < bytes) size = align_up(bytes);
+    Block b;
+    // operator new[] keeps the block visible to the Debug allocation hook:
+    // an unexpected mid-step growth shows up in kernel_path_allocs() as
+    // well as in block_allocs().
+    b.data = std::unique_ptr<unsigned char[]>(new unsigned char[size + kAlign]);
+    b.size = size;
+    blocks_.push_back(std::move(b));
+    ++block_allocs_;
+  }
+  Block& block = blocks_[active_];
+  // The block base may not be cache-line aligned; bump from an aligned
+  // origin inside it (the +kAlign slack above covers the worst case).
+  unsigned char* base = block.data.get();
+  const std::size_t skew =
+      align_up(reinterpret_cast<std::uintptr_t>(base)) -
+      reinterpret_cast<std::uintptr_t>(base);
+  void* p = base + skew + block.used;
+  block.used += bytes;
+  const std::size_t total = used();
+  if (total > high_water_) high_water_ = total;
+  return p;
+}
+
+Arena::Marker Arena::mark() const {
+  Marker m;
+  m.block = active_;
+  m.used = active_ < blocks_.size() ? blocks_[active_].used : 0;
+  return m;
+}
+
+void Arena::rewind(const Marker& m) {
+  assert(m.block <= blocks_.size());
+  for (std::size_t i = m.block + 1; i < blocks_.size(); ++i)
+    blocks_[i].used = 0;
+  if (m.block < blocks_.size()) blocks_[m.block].used = m.used;
+  active_ = m.block;
+}
+
+std::size_t Arena::capacity() const {
+  std::size_t total = 0;
+  for (const Block& b : blocks_) total += b.size;
+  return total;
+}
+
+std::size_t Arena::used() const {
+  std::size_t total = 0;
+  for (const Block& b : blocks_) total += b.used;
+  return total;
+}
+
+Arena& workspace() {
+  thread_local Arena arena;
+  return arena;
+}
+
+}  // namespace mbs::util

@@ -38,7 +38,7 @@ int resolve_budget(int requested) {
 /// One parallel_for dispatch: workers (and the caller) claim range indices
 /// from `next` until exhausted; the last finisher signals `done`.
 struct Job {
-  const std::function<void(std::int64_t, std::int64_t)>* body = nullptr;
+  const RangeBody* body = nullptr;
   std::int64_t n = 0;
   std::int64_t base = 0;  // per-range length, first `rem` ranges get +1
   std::int64_t rem = 0;
@@ -179,8 +179,7 @@ ParallelRegionGuard::~ParallelRegionGuard() {
   t_in_parallel_region = was_inside_;
 }
 
-void parallel_for(std::int64_t n, std::int64_t grain,
-                  const std::function<void(std::int64_t, std::int64_t)>& body) {
+void parallel_for(std::int64_t n, std::int64_t grain, RangeBody body) {
   if (n <= 0) return;
   if (grain < 1) grain = 1;
   const int budget = thread_budget();
@@ -217,6 +216,14 @@ struct KernelCounter {
 
 KernelCounter g_kernel_counters[static_cast<int>(KernelKind::kCount)];
 thread_local bool t_in_kernel_timer = false;
+thread_local int t_kernel_path_depth = 0;
+std::atomic<std::int64_t> g_kernel_path_allocs{0};
+
+/// The kinds whose scopes form the zero-allocation conv/GEMM path.
+bool counts_toward_kernel_path(KernelKind kind) {
+  return kind == KernelKind::kGemm || kind == KernelKind::kIm2col ||
+         kind == KernelKind::kConvFwd || kind == KernelKind::kConvBwd;
+}
 
 std::int64_t now_ns() {
   return std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -251,7 +258,10 @@ const char* to_string(KernelKind kind) {
 }
 
 ScopedKernelTimer::ScopedKernelTimer(KernelKind kind)
-    : kind_(kind), outermost_(!t_in_kernel_timer) {
+    : kind_(kind),
+      outermost_(!t_in_kernel_timer),
+      in_path_(counts_toward_kernel_path(kind)) {
+  if (in_path_) ++t_kernel_path_depth;
   if (outermost_) {
     t_in_kernel_timer = true;
     start_ns_ = now_ns();
@@ -259,11 +269,27 @@ ScopedKernelTimer::ScopedKernelTimer(KernelKind kind)
 }
 
 ScopedKernelTimer::~ScopedKernelTimer() {
+  if (in_path_) --t_kernel_path_depth;
   if (!outermost_) return;
   t_in_kernel_timer = false;
   KernelCounter& c = g_kernel_counters[static_cast<int>(kind_)];
   c.calls.fetch_add(1, std::memory_order_relaxed);
   c.nanos.fetch_add(now_ns() - start_ns_, std::memory_order_relaxed);
 }
+
+bool in_kernel_path() { return t_kernel_path_depth > 0; }
+
+std::int64_t kernel_path_allocs() {
+  return g_kernel_path_allocs.load(std::memory_order_relaxed);
+}
+
+namespace detail {
+
+void note_alloc_for_kernel_path() {
+  if (t_kernel_path_depth > 0)
+    g_kernel_path_allocs.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace detail
 
 }  // namespace mbs::util

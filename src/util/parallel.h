@@ -23,7 +23,8 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
+#include <memory>
+#include <type_traits>
 
 namespace mbs::util {
 
@@ -55,13 +56,40 @@ class ParallelRegionGuard {
   bool was_inside_;
 };
 
+/// Non-owning reference to a `void(begin, end)` range body. parallel_for
+/// blocks until the dispatch completes, so binding a temporary lambda is
+/// safe — and unlike the std::function it replaced, nothing is copied or
+/// heap-allocated per dispatch (large captures would otherwise put a
+/// malloc inside every kernel, breaking the zero-allocation contract of
+/// the conv/GEMM hot path).
+class RangeBody {
+ public:
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, RangeBody> &&
+                std::is_invocable_v<F&, std::int64_t, std::int64_t>>>
+  RangeBody(F&& f)  // NOLINT(google-explicit-constructor): call-site adaptor
+      : obj_(const_cast<void*>(
+            static_cast<const void*>(std::addressof(f)))),
+        call_([](void* obj, std::int64_t begin, std::int64_t end) {
+          (*static_cast<std::remove_reference_t<F>*>(obj))(begin, end);
+        }) {}
+
+  void operator()(std::int64_t begin, std::int64_t end) const {
+    call_(obj_, begin, end);
+  }
+
+ private:
+  void* obj_;
+  void (*call_)(void*, std::int64_t, std::int64_t);
+};
+
 /// Runs body(begin, end) over a deterministic static partition of [0, n)
 /// into contiguous ranges (at most thread_budget() of them, each at least
 /// `grain` long except possibly the last split). Runs inline as body(0, n)
 /// when the budget is 1, when n <= grain, or when called from inside a
 /// parallel region. Exceptions from workers are rethrown on the caller.
-void parallel_for(std::int64_t n, std::int64_t grain,
-                  const std::function<void(std::int64_t, std::int64_t)>& body);
+void parallel_for(std::int64_t n, std::int64_t grain, RangeBody body);
 
 // ---------------------------------------------------------------------------
 // Kernel-time accounting (MBS_ENGINE_STATS=1 breakdown via engine::Driver).
@@ -93,7 +121,9 @@ KernelStat kernel_stat(KernelKind kind);
 const char* to_string(KernelKind kind);
 
 /// RAII timer the kernel entry points wrap themselves in. Thread-safe;
-/// nested timers on the same thread are no-ops.
+/// nested timers on the same thread are no-ops for time accounting, but
+/// every conv/GEMM/im2col-kind timer keeps the thread inside the "kernel
+/// path" for the allocation hook below.
 class ScopedKernelTimer {
  public:
   explicit ScopedKernelTimer(KernelKind kind);
@@ -104,7 +134,33 @@ class ScopedKernelTimer {
  private:
   KernelKind kind_;
   bool outermost_;
+  bool in_path_;  ///< this timer contributes to the kernel-path depth
   std::int64_t start_ns_ = 0;
 };
+
+// ---------------------------------------------------------------------------
+// Zero-allocation contract of the conv/GEMM hot path (Debug witness).
+// ---------------------------------------------------------------------------
+
+/// True while the calling thread is inside a conv2d_forward/backward, GEMM
+/// or im2col/col2im timer scope — the paths whose steady-state training
+/// steps must not touch the heap (scratch comes from util::Arena, outputs
+/// from step-persistent Tensors).
+bool in_kernel_path();
+
+/// Allocations observed while in_kernel_path() was true, counted by the
+/// Debug-only global operator-new hook in util/alloc_hook.cc. Always 0 in
+/// Release builds and in binaries that don't link the hook; call
+/// alloc_hook_active() to know whether the counter is live.
+std::int64_t kernel_path_allocs();
+
+/// True when this binary carries the Debug allocation hook (referencing it
+/// also forces the hook's object file into the link).
+bool alloc_hook_active();
+
+namespace detail {
+/// Called by the operator-new hook; counts only on kernel-path threads.
+void note_alloc_for_kernel_path();
+}  // namespace detail
 
 }  // namespace mbs::util

@@ -14,6 +14,7 @@
 
 #include <cstring>
 
+#include "arch/memory.h"
 #include "engine/engine.h"
 #include "models/zoo.h"
 #include "sched/config.h"
@@ -223,6 +224,160 @@ TEST(SweepRunner, ComposesWithKernelPoolBitIdentically) {
         << "sweep=" << sweep << " kernel=" << kernel
         << ": training gradients diverged from the serial run";
   }
+}
+
+// ---- Schedule-group batching ------------------------------------------------
+
+/// A fig12-shaped grid: every config's schedule is shared by three
+/// hardware variants (12 scenarios, 4 schedule keys).
+std::vector<Scenario> schedule_sharing_grid() {
+  std::vector<Scenario> grid;
+  for (auto cfg : {sched::ExecConfig::kBaseline, sched::ExecConfig::kArchOpt,
+                   sched::ExecConfig::kIL, sched::ExecConfig::kMbs2})
+    for (const auto& mem :
+         {arch::hbm2_x2(), arch::gddr5(), arch::lpddr4()}) {
+      Scenario s;
+      s.network = "alexnet";
+      s.config = cfg;
+      s.hw.memory = mem;
+      grid.push_back(std::move(s));
+    }
+  return grid;
+}
+
+TEST(ScheduleGroups, GroupedSweepMatchesUngroupedBitForBit) {
+  const auto grid = schedule_sharing_grid();
+
+  SweepOptions ungrouped_opts;
+  ungrouped_opts.group_by_schedule = false;
+  Evaluator ungrouped_eval;
+  const auto reference =
+      SweepRunner(ungrouped_opts).run(grid, ungrouped_eval);
+
+  for (int threads : {1, 4}) {
+    SweepOptions opts;
+    opts.threads = threads;
+    Evaluator eval;
+    const auto grouped = SweepRunner(opts).run(grid, eval);
+    ASSERT_EQ(grouped.size(), reference.size());
+    for (std::size_t i = 0; i < grouped.size(); ++i) {
+      EXPECT_TRUE(step_equal(grouped[i].step, reference[i].step))
+          << "threads=" << threads << " scenario " << i;
+      ASSERT_NE(grouped[i].traffic, nullptr);
+      EXPECT_EQ(grouped[i].traffic->dram_bytes(),
+                reference[i].traffic->dram_bytes());
+      EXPECT_EQ(grouped[i].schedule->groups.size(),
+                reference[i].schedule->groups.size());
+    }
+    // Members of one group share the evaluator's schedule/traffic objects.
+    EXPECT_EQ(grouped[0].schedule, grouped[1].schedule);
+    EXPECT_EQ(grouped[0].traffic, grouped[2].traffic);
+    EXPECT_NE(grouped[0].schedule, grouped[3].schedule);
+  }
+}
+
+TEST(ScheduleGroups, GroupingReducesTrafficInvocationsToOnePerGroup) {
+  const auto grid = schedule_sharing_grid();  // 12 scenarios, 4 keys
+
+  Evaluator grouped_eval;
+  SweepRunner().run(grid, grouped_eval);
+  const EvaluatorStats grouped = grouped_eval.stats();
+  EXPECT_EQ(grouped.traffic_misses, 4);
+  EXPECT_EQ(grouped.traffic_hits, 0);  // one lookup per group, total
+  EXPECT_EQ(grouped.schedule_misses, 4);
+  EXPECT_EQ(grouped.step_misses, 12);  // per-scenario work is untouched
+
+  SweepOptions off;
+  off.group_by_schedule = false;
+  Evaluator ungrouped_eval;
+  SweepRunner(off).run(grid, ungrouped_eval);
+  const EvaluatorStats ungrouped = ungrouped_eval.stats();
+  EXPECT_EQ(ungrouped.traffic_misses, 4);
+  EXPECT_EQ(ungrouped.traffic_hits, 8);  // one lookup per scenario
+}
+
+TEST(ScheduleGroups, MixedStageMembersKeepTheirOwnDepth) {
+  // Two scenarios share a schedule key but differ in evaluation depth:
+  // grouping must not deepen the shallow one's result.
+  Scenario shallow = mbs2_scenario("alexnet");
+  shallow.stage = Stage::kSchedule;
+  Scenario deep = mbs2_scenario("alexnet");
+  deep.stage = Stage::kSimulate;
+
+  Evaluator eval;
+  const auto results = SweepRunner().run({shallow, deep}, eval);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_NE(results[0].schedule, nullptr);
+  EXPECT_EQ(results[0].traffic, nullptr);  // still cut off at kSchedule
+  EXPECT_NE(results[1].traffic, nullptr);
+  EXPECT_EQ(results[0].schedule, results[1].schedule);
+  EXPECT_EQ(eval.stats().traffic_misses, 1);
+  EXPECT_EQ(eval.stats().step_misses, 1);
+}
+
+TEST(ScheduleGroups, ComposesWithShardingAndWarmCacheByteIdentically) {
+  const auto grid = schedule_sharing_grid();
+  const std::string dir = testing::TempDir() + "mbs_groups_" +
+                          std::to_string(static_cast<long>(::getpid()));
+  const std::string path = dir + "/evaluator.mbscache";
+  std::remove(path.c_str());
+
+  const auto render = [&](const SweepResults& results, const ShardPlan& plan,
+                          std::ostringstream& csv, std::ostringstream& json) {
+    ResultSink sink("groups x shards", {"config", "memory", "time", "dram"});
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      if (!plan.owns(i)) continue;
+      sink.add_row({sched::to_string(results[i].scenario.config),
+                    results[i].scenario.hw.memory.name,
+                    std::to_string(results[i].step.time_s),
+                    std::to_string(results[i].step.dram_bytes)});
+    }
+    sink.write_csv(csv);
+    sink.write_json(json);
+  };
+
+  // Ungrouped, unsharded reference documents.
+  SweepOptions off;
+  off.group_by_schedule = false;
+  Evaluator ref_eval;
+  std::ostringstream ref_csv, ref_json;
+  render(SweepRunner(off).run_sharded(grid, ref_eval, ShardPlan{}),
+         ShardPlan{}, ref_csv, ref_json);
+
+  // Grouped + sharded runs against one disk cache (cold shard 0 of 2, then
+  // warm shard 1 of 2 in a fresh store), merged back.
+  std::vector<ResultSink::Parsed> csv_shards, json_shards;
+  for (int index = 0; index < 2; ++index) {
+    CacheStore store(path);
+    Evaluator eval(&store);
+    const ShardPlan plan{index, 2};
+    const SweepResults results =
+        SweepRunner().run_sharded(grid, eval, plan);
+    std::ostringstream csv, json;
+    render(results, plan, csv, json);
+    csv_shards.push_back(ResultSink::parse_csv(csv.str()));
+    json_shards.push_back(ResultSink::parse_json(json.str()));
+    ASSERT_TRUE(store.save());
+    if (index == 1) {
+      // The second shard's schedule-group phase was served from disk.
+      const EvaluatorStats stats = eval.stats();
+      EXPECT_GT(stats.schedule_disk_hits, 0);
+      EXPECT_GT(stats.traffic_disk_hits, 0);
+    }
+  }
+  const ResultSink::Parsed merged_csv = ResultSink::merge_shards(csv_shards);
+  const ResultSink::Parsed merged_json =
+      ResultSink::merge_shards(json_shards);
+  ResultSink csv_sink("", merged_csv.headers);
+  for (const auto& row : merged_csv.rows) csv_sink.add_row(row);
+  ResultSink json_sink(merged_json.title, merged_json.headers);
+  for (const auto& row : merged_json.rows) json_sink.add_row(row);
+  std::ostringstream csv, json;
+  csv_sink.write_csv(csv);
+  json_sink.write_json(json);
+  EXPECT_EQ(csv.str(), ref_csv.str());
+  EXPECT_EQ(json.str(), ref_json.str());
+  std::remove(path.c_str());
 }
 
 TEST(SweepRunner, ResultsComeBackInInputOrder) {

@@ -4,15 +4,22 @@
 // adversarial shapes (M/N/K not multiples of the tile size, strided and
 // asymmetrically padded convolutions, 1x1 and 7x7 kernels), plus the
 // Tensor::count overflow guard and the compute_gradients serialization
-// identity on the fast path.
+// identity on the fast path. PR 4 adds the memory-plan layer's coverage:
+// cached-im2col conv backward == uncached across budgets {1, 2, 8} and
+// adversarial geometries (pad > kernel, 1x1, stride 2), util::Arena
+// reuse/rewind/reset semantics, and the Debug zero-allocation contract
+// for steady-state train steps.
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdint>
 #include <cstring>
 #include <functional>
 #include <stdexcept>
 #include <string>
 #include <vector>
+
+#include "util/arena.h"
 
 #include "train/data.h"
 #include "train/im2col.h"
@@ -441,6 +448,232 @@ TEST(ParallelFor, PropagatesExceptions) {
                            if (i0 > 0) throw std::runtime_error("boom");
                          }),
       std::runtime_error);
+}
+
+// ---- ConvCache: cached-im2col backward == uncached, bit for bit -------------
+
+struct CachedConvCase {
+  int n, ci, h, w, co, k, stride, pad;
+};
+
+class CachedConv : public ::testing::TestWithParam<CachedConvCase> {};
+
+TEST_P(CachedConv, BackwardWithForwardCacheMatchesUncachedBitForBit) {
+  const CachedConvCase p = GetParam();
+  util::Rng rng(53);
+  const Tensor x = Tensor::randn({p.n, p.ci, p.h, p.w}, rng);
+  const Tensor w = Tensor::randn({p.co, p.ci, p.k, p.k}, rng, 0.5);
+  const Tensor b = Tensor::randn({p.co}, rng, 0.1);
+
+  // Uncached reference (budget 1).
+  BudgetGuard guard;
+  util::set_thread_budget(1);
+  const Tensor ref_y = conv2d_forward(x, w, b, p.stride, p.pad);
+  util::Rng rng2(59);
+  const Tensor dy = Tensor::randn(ref_y.shape(), rng2);
+  const Conv2dGrads ref_g = conv2d_backward(x, w, dy, p.stride, p.pad);
+
+  for (int budget : {1, 2, 8}) {
+    util::set_thread_budget(budget);
+    ConvCache cache;
+    Conv2dGrads g;
+    Tensor y;
+    // Twice: the second iteration reuses every step-persistent buffer, so
+    // it also exercises the ensure_shape/zeroed reuse paths.
+    for (int iter = 0; iter < 2; ++iter) {
+      conv2d_forward_into(x, w, b, p.stride, p.pad, &cache, y);
+      expect_bits_equal(y, ref_y, "cached conv forward");
+      conv2d_backward_into(x, w, dy, p.stride, p.pad, /*need_dx=*/true,
+                           &cache, g);
+      expect_bits_equal(g.dw, ref_g.dw, "cached conv dw");
+      expect_bits_equal(g.dbias, ref_g.dbias, "cached conv dbias");
+      expect_bits_equal(g.dx, ref_g.dx, "cached conv dx");
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AdversarialGeometries, CachedConv,
+    ::testing::Values(
+        CachedConvCase{2, 3, 8, 8, 4, 3, 1, 1},    // ResNet-style 3x3
+        CachedConvCase{1, 4, 7, 7, 8, 1, 1, 0},    // 1x1 bottleneck
+        CachedConvCase{2, 2, 9, 11, 3, 3, 2, 1},   // stride 2, H != W
+        CachedConvCase{1, 2, 6, 6, 2, 3, 1, 4},    // pad > kernel
+        CachedConvCase{1, 3, 10, 6, 2, 5, 2, 2},   // stride 2, 5x5
+        CachedConvCase{2, 2, 7, 7, 3, 3, 2, 3}));  // stride 2, pad > kernel/2
+
+TEST(CachedConv, GeometryChangeWithSameColsShapeRezerosTheBuffer) {
+  // A 3x1 kernel (pad 1) and a 1x3 kernel (pad 1) on the same input both
+  // lower to a cols matrix of identical SHAPE, but with different
+  // padding-zero layouts. Reusing one cache across the switch must not
+  // preserve the first geometry's stale values in positions the second
+  // geometry treats as padding.
+  util::Rng rng(83);
+  const Tensor x = Tensor::randn({1, 1, 4, 4}, rng);
+  Tensor w31({2, 1, 3, 1}), w13({2, 1, 1, 3});
+  for (std::int64_t i = 0; i < w31.size(); ++i) {
+    w31[i] = 0.25f * static_cast<float>(i + 1);
+    w13[i] = -0.5f * static_cast<float>(i + 1);
+  }
+  ConvCache cache;
+  Tensor y;
+  conv2d_forward_into(x, w31, Tensor(), 1, 1, &cache, y);
+  expect_bits_equal(y, conv2d_forward(x, w31, Tensor(), 1, 1), "3x1 pass");
+  conv2d_forward_into(x, w13, Tensor(), 1, 1, &cache, y);
+  expect_bits_equal(y, conv2d_forward(x, w13, Tensor(), 1, 1),
+                    "1x3 pass after 3x1 cache");
+  // And the backward consuming the refreshed cache is right too.
+  util::Rng rng2(89);
+  const Tensor dy = Tensor::randn(y.shape(), rng2);
+  Conv2dGrads got;
+  conv2d_backward_into(x, w13, dy, 1, 1, /*need_dx=*/true, &cache, got);
+  const Conv2dGrads ref = conv2d_backward(x, w13, dy, 1, 1);
+  expect_bits_equal(got.dw, ref.dw, "1x3 dw after geometry switch");
+  expect_bits_equal(got.dx, ref.dx, "1x3 dx after geometry switch");
+}
+
+TEST(CachedConv, StaleCacheFallsBackToRecomputingBitForBit) {
+  util::Rng rng(61);
+  const Tensor x8 = Tensor::randn({2, 3, 8, 8}, rng);
+  const Tensor x6 = Tensor::randn({2, 3, 6, 6}, rng);
+  const Tensor w = Tensor::randn({4, 3, 3, 3}, rng, 0.5);
+  ConvCache cache;
+  Tensor y;
+  conv2d_forward_into(x8, w, Tensor(), 1, 1, &cache, y);  // caches 8x8
+  // Backward against the 6x6 input: the cache is stale (geometry stamp
+  // mismatch) and must be ignored, not consumed.
+  util::Rng rng2(67);
+  const Tensor dy = Tensor::randn({2, 4, 6, 6}, rng2);
+  Conv2dGrads got;
+  conv2d_backward_into(x6, w, dy, 1, 1, /*need_dx=*/true, &cache, got);
+  const Conv2dGrads ref = conv2d_backward(x6, w, dy, 1, 1);
+  expect_bits_equal(got.dw, ref.dw, "stale-cache dw");
+  expect_bits_equal(got.dx, ref.dx, "stale-cache dx");
+}
+
+TEST(CachedConv, RepeatedStepsWithReusedBuffersStayBitStable) {
+  // Every per-layer buffer (ConvCache cols, gradient scratch, activation
+  // caches) is reused in place across steps; a second pass over the same
+  // data must reproduce the first bit for bit — stale state anywhere in
+  // the reuse discipline would show up here.
+  const Dataset data = make_synthetic_dataset(8, 4, 1, 12, /*seed=*/71);
+  SmallCnnConfig cfg;
+  cfg.norm = NormMode::kGroup;
+  cfg.seed = 3;
+  SmallCnn model(cfg);
+  compute_gradients(model, data.images, data.labels, {4, 4});
+  std::vector<Tensor> first;
+  for (Tensor* g : model.gradients()) first.push_back(*g);
+  compute_gradients(model, data.images, data.labels, {4, 4});
+  auto gs = model.gradients();
+  ASSERT_EQ(gs.size(), first.size());
+  for (std::size_t i = 0; i < gs.size(); ++i)
+    expect_bits_equal(*gs[i], first[i], "repeated-step gradients");
+}
+
+// ---- ReLU into/in-place forms -----------------------------------------------
+
+TEST(ReluForms, IntoAndInplaceMatchTheAllocatingForms) {
+  util::Rng rng(73);
+  const Tensor x = Tensor::randn({3, 4, 5, 5}, rng);
+  const Tensor ref_y = relu_forward(x);
+  Tensor y;
+  relu_forward_into(x, y);
+  expect_bits_equal(y, ref_y, "relu_forward_into");
+  relu_forward_into(x, y);  // reused buffer
+  expect_bits_equal(y, ref_y, "relu_forward_into reuse");
+
+  util::Rng rng2(79);
+  const Tensor dy = Tensor::randn(x.shape(), rng2);
+  const Tensor ref_dx = relu_backward(dy, ref_y);
+  Tensor d = dy;
+  relu_backward_inplace(d, ref_y);
+  expect_bits_equal(d, ref_dx, "relu_backward_inplace");
+}
+
+// ---- util::Arena -------------------------------------------------------------
+
+TEST(Arena, ReusesCapacityAfterRewindAndReset) {
+  util::Arena arena;
+  float* first = arena.floats(1000);
+  ASSERT_NE(first, nullptr);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(first) % util::Arena::kAlign,
+            0u);
+  const std::int64_t blocks_after_first = arena.block_allocs();
+  arena.reset();
+  // Same request after reset: same memory, no new block.
+  float* second = arena.floats(1000);
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(arena.block_allocs(), blocks_after_first);
+
+  // A repeating allocation pattern reaches a steady state with zero
+  // further block acquisitions (the zero-allocation contract's arena
+  // half).
+  for (int step = 0; step < 5; ++step) {
+    arena.reset();
+    arena.floats(123);
+    arena.floats(4567);
+    arena.floats(89);
+  }
+  EXPECT_EQ(arena.block_allocs(), blocks_after_first);
+  EXPECT_GT(arena.high_water(), 0u);
+}
+
+TEST(Arena, MarkRewindNestsLikeAStack) {
+  util::Arena arena;
+  arena.floats(64);
+  const util::Arena::Marker outer = arena.mark();
+  float* a = arena.floats(256);
+  {
+    util::ArenaScope scope(arena);
+    float* b = scope.floats(512);
+    ASSERT_NE(b, nullptr);
+    EXPECT_GT(arena.used(), 0u);
+  }
+  // The scope rewound its scratch; a new allocation lands where b was.
+  float* b2 = arena.floats(512);
+  arena.rewind(outer);
+  // After rewinding to the outer marker, the same sequence replays to the
+  // same addresses.
+  float* a2 = arena.floats(256);
+  EXPECT_EQ(a, a2);
+  float* b3 = arena.floats(512);
+  EXPECT_EQ(b2, b3);
+}
+
+TEST(Arena, GrowsAcrossBlocksWithoutInvalidatingLivePointers) {
+  util::Arena arena;
+  float* small = arena.floats(8);
+  small[0] = 42.0f;
+  // Force growth past the first block.
+  float* big = arena.floats((std::int64_t{1} << 20));
+  ASSERT_NE(big, nullptr);
+  big[0] = 1.0f;
+  EXPECT_EQ(small[0], 42.0f);  // old pointer still valid
+  EXPECT_GE(arena.block_allocs(), 2);
+}
+
+// ---- Zero-allocation contract (Debug builds) --------------------------------
+
+TEST(ZeroAllocContract, SteadyStateTrainStepIsAllocationFree) {
+  if (!util::alloc_hook_active())
+    GTEST_SKIP() << "allocation hook only active in Debug builds";
+  const Dataset data = make_synthetic_dataset(32, 8, 1, 12, /*seed=*/7);
+  SmallCnnConfig cfg;
+  cfg.norm = NormMode::kGroup;
+  cfg.classes = 8;
+  cfg.stage_channels = {16, 32};
+  SmallCnn model(cfg);
+  Sgd opt({/*lr=*/0.05, /*momentum=*/0.9, /*weight_decay=*/1e-4});
+  // Warm-up: grows the arena to its high-water mark and settles every
+  // step-persistent buffer's capacity.
+  for (int i = 0; i < 3; ++i)
+    train_step(model, opt, data.images, data.labels, {8, 8, 8, 8});
+  const std::int64_t before = util::kernel_path_allocs();
+  for (int i = 0; i < 2; ++i)
+    train_step(model, opt, data.images, data.labels, {8, 8, 8, 8});
+  EXPECT_EQ(util::kernel_path_allocs(), before)
+      << "steady-state conv/GEMM path touched the heap";
 }
 
 // ---- Tensor::count overflow guard -------------------------------------------
