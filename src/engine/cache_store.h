@@ -36,8 +36,9 @@ class CacheStore {
   /// Bumped when the token framing of the file itself changes.
   static constexpr int kFormatVersion = 1;
   /// Bumped (per stage) when a serialized struct gains/loses fields.
+  /// sched2: Group gained the `members` list (non-contiguous grouping).
   static constexpr const char* kSchemaStamp =
-      "net1;sched1;traffic1;step1;gpu1";
+      "net1;sched2;traffic1;step1;gpu1";
 
   explicit CacheStore(std::string path);
 

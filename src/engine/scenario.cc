@@ -57,6 +57,12 @@ std::string Scenario::schedule_key() const {
   field(key, "mb", params.mini_batch);
   field(key, "opt", params.optimal_grouping);
   field(key, "ft", static_cast<int>(params.feature_type));
+  // Appended only when non-default so every pre-variant key keeps its
+  // exact bytes and the key space never fragments as axes accrue. No
+  // collision is possible: default keys end in the ft field, never in a
+  // var field.
+  if (params.variant != sched::GroupingVariant::kContiguous)
+    field(key, "var", static_cast<int>(params.variant));
   return key;
 }
 

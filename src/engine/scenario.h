@@ -37,11 +37,24 @@ enum class Stage {
 };
 
 /// One evaluation point. Value type: copy freely, no behaviour beyond key
-/// derivation.
+/// derivation. Every field that influences a pipeline stage's result is
+/// covered by that stage's key below — when adding a field, thread it into
+/// scenario.cc or two different scenarios will alias one memoized result
+/// (docs/WORKLOADS.md "Declaring a scenario grid").
 struct Scenario {
-  std::string network;  ///< models::make_network name ("resnet50", ...)
+  /// models::make_network name: an evaluated CNN ("resnet50", ...,
+  /// "alexnet") or a Transformer-family addition ("vit_small", "vit_base",
+  /// "transformer_base"); see models::all_network_names().
+  std::string network;
+  /// Tab. 3 execution configuration (Baseline ... MBS2).
   sched::ExecConfig config = sched::ExecConfig::kBaseline;
+  /// Scheduler inputs: buffer capacity, mini-batch override, greedy-vs-DP
+  /// grouping, feature type, and the grouping-variant axis
+  /// (sched::GroupingVariant — contiguous by default, non-contiguous to
+  /// sweep the relaxed search space).
   sched::ScheduleParams params;
+  /// WaveCore hardware point: systolic array, memory system (type and
+  /// bandwidth), core count, global buffer, energy model.
   sim::WaveCoreConfig hw;
 
   Device device = Device::kWaveCore;
@@ -57,7 +70,9 @@ struct Scenario {
   /// Key of the network-construction stage (models::make_network input).
   std::string network_key() const;
   /// Key of the scheduling stage: network + config + every ScheduleParams
-  /// field. Scenarios differing only in `hw` share this key.
+  /// field. Scenarios differing only in `hw` share this key. Fields added
+  /// after PR 2 (params.variant) are emitted only when non-default, so
+  /// pre-existing scenarios' keys never change bytes as axes accrue.
   std::string schedule_key() const;
   /// Key of the simulation stage: schedule_key + every hardware field (or
   /// the GPU model fields for kGpu scenarios). Two scenarios with equal

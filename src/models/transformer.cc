@@ -1,0 +1,140 @@
+#include "models/transformer.h"
+
+#include <cassert>
+#include <utility>
+#include <vector>
+
+#include "models/common.h"
+
+namespace mbs::models {
+
+namespace {
+
+using core::Block;
+using core::BlockKind;
+using core::Branch;
+
+/// A pre-norm residual block: `main` plus an identity shortcut merged by a
+/// bare Add. Transformers apply no activation after the residual sum, so
+/// this deliberately skips core::make_residual_block's trailing ReLU.
+Block make_pre_norm_residual(std::string name, FeatureShape in,
+                             std::vector<Layer> main) {
+  assert(!main.empty());
+  Block b;
+  b.kind = BlockKind::kResidual;
+  b.name = std::move(name);
+  b.in = in;
+  b.out = main.back().out;
+  b.branches.push_back(Branch{std::move(main)});
+  b.branches.push_back(Branch{});  // identity shortcut
+  b.merge.push_back(core::make_add(b.name + ".add", b.out));
+  b.check();
+  return b;
+}
+
+/// Token-wise linear projection: a 1x1 convolution over the token grid.
+Layer token_linear(const std::string& name, FeatureShape in, int out_c) {
+  return core::make_conv(name, in, out_c, /*kernel=*/1, /*stride=*/1,
+                         /*pad=*/0);
+}
+
+/// Self-attention block over a {d, gh, gw} token grid (tokens = gh * gw):
+/// pre-norm, packed QKV projection, the score/softmax/context stand-ins
+/// (see transformer.h for the modeling notes), and the output projection.
+Block make_attention_block(const std::string& name, FeatureShape in) {
+  const int d = in.c;
+  const int tokens = in.h * in.w;
+  std::vector<Layer> main;
+  main.push_back(core::make_norm(name + ".norm", in));
+  main.push_back(token_linear(name + ".qkv", in, 3 * d));
+  main.push_back(token_linear(name + ".score", main.back().out, tokens));
+  main.push_back(core::make_act(name + ".softmax", main.back().out));
+  main.push_back(token_linear(name + ".context", main.back().out, d));
+  main.push_back(token_linear(name + ".proj", main.back().out, d));
+  return make_pre_norm_residual(name, in, std::move(main));
+}
+
+/// MLP block: pre-norm, expand to ratio*d, GELU stand-in act, project back.
+Block make_mlp_block(const std::string& name, FeatureShape in, int ratio) {
+  const int d = in.c;
+  std::vector<Layer> main;
+  main.push_back(core::make_norm(name + ".norm", in));
+  main.push_back(token_linear(name + ".fc1", in, ratio * d));
+  main.push_back(core::make_act(name + ".act", main.back().out));
+  main.push_back(token_linear(name + ".fc2", main.back().out, d));
+  return make_pre_norm_residual(name, in, std::move(main));
+}
+
+}  // namespace
+
+core::Network make_transformer(const TransformerConfig& cfg) {
+  assert(cfg.d_model > 0 && cfg.depth > 0 && cfg.mlp_ratio > 0);
+
+  core::Network net;
+  net.name = cfg.name;
+  net.input = cfg.input;
+  net.mini_batch_per_core = cfg.mini_batch_per_core;
+
+  FeatureShape cur = cfg.input;
+  if (cfg.patch > 0) {
+    // Patchify stem: non-overlapping patch x patch convolution, then the
+    // embedding norm. This is the network's first GEMM (its data gradient
+    // is skipped by the traffic model like every first layer).
+    std::vector<Layer> stem;
+    stem.push_back(core::make_conv("patch_embed.conv", cur, cfg.d_model,
+                                   cfg.patch, cfg.patch, /*pad=*/0));
+    stem.push_back(core::make_norm("patch_embed.norm", stem.back().out));
+    cur = stem.back().out;
+    net.blocks.push_back(
+        core::make_simple_block("patch_embed", std::move(stem)));
+  } else {
+    assert(cfg.input.c == cfg.d_model &&
+           "patch == 0 requires a pre-embedded {d_model, tokens, 1} input");
+  }
+
+  for (int layer = 0; layer < cfg.depth; ++layer) {
+    const std::string prefix = "enc" + std::to_string(layer);
+    net.blocks.push_back(make_attention_block(prefix + ".attn", cur));
+    net.blocks.push_back(make_mlp_block(prefix + ".mlp", cur, cfg.mlp_ratio));
+  }
+
+  if (cfg.num_classes > 0) {
+    std::vector<Layer> head;
+    head.push_back(core::make_norm("head.norm", cur));
+    head.push_back(core::make_global_avg_pool("head.pool", cur));
+    head.push_back(core::make_fc("head.fc", cfg.d_model, cfg.num_classes));
+    net.blocks.push_back(core::make_simple_block("head", std::move(head)));
+  } else {
+    net.blocks.push_back(core::make_simple_block(
+        "final_norm", {core::make_norm("final_norm", cur)}));
+  }
+
+  net.check();
+  return net;
+}
+
+core::Network make_vit_base() {
+  TransformerConfig cfg;
+  cfg.name = "ViT-Base/16";
+  return make_transformer(cfg);
+}
+
+core::Network make_vit_small() {
+  TransformerConfig cfg;
+  cfg.name = "ViT-Small/16";
+  cfg.d_model = 384;
+  return make_transformer(cfg);
+}
+
+core::Network make_transformer_base() {
+  TransformerConfig cfg;
+  cfg.name = "TransformerBase";
+  cfg.input = FeatureShape{512, 192, 1};
+  cfg.patch = 0;
+  cfg.d_model = 512;
+  cfg.depth = 6;
+  cfg.num_classes = 0;
+  return make_transformer(cfg);
+}
+
+}  // namespace mbs::models

@@ -1,0 +1,64 @@
+// Transformer-family encoders expressed in the shape-level core::Layer /
+// core::Block vocabulary, so the MBS scheduler, traffic model, and
+// simulator sweep them exactly like the CNN zoo (ROADMAP: "new workloads
+// through the engine").
+//
+// Mapping (documented in docs/WORKLOADS.md):
+//  * The token sequence is a spatial grid: a ViT patch embedding produces
+//    {d_model, H/patch, W/patch} and every token-wise linear layer is a
+//    1x1 convolution over that grid; a text-style encoder uses {d_model,
+//    seq_len, 1} directly.
+//  * Each encoder layer is two pre-norm residual Blocks merged by Add
+//    (no post-add ReLU — the blocks are built without the CNN helper's
+//    trailing activation): an attention block [norm, qkv 1x1 conv d->3d,
+//    score 1x1 conv 3d->tokens, softmax stand-in act, context 1x1 conv
+//    tokens->d, output 1x1 conv d->d] and an MLP block [norm, 1x1 conv
+//    d->ratio*d, act, 1x1 conv ratio*d->d].
+//  * Approximations, deliberate and small: the score/context convolutions
+//    stand in for the QK^T and A*V activation-activation GEMMs, so their
+//    "weights" (4*d*tokens per layer, a few percent of real layer
+//    parameters) model the K/V operands, and the score GEMM's FLOPs are
+//    3x the real QK^T (it consumes the packed 3d query row). Softmax
+//    backward is modeled like a ReLU mask. All projection/MLP parameter
+//    counts and FLOPs are exact.
+#pragma once
+
+#include <string>
+
+#include "core/network.h"
+#include "core/shape.h"
+
+namespace mbs::models {
+
+/// Everything that defines one Transformer-family encoder.
+struct TransformerConfig {
+  std::string name;                       ///< Network::name
+  core::FeatureShape input{3, 224, 224};  ///< raw per-sample input
+  /// Patch-embedding size. > 0: ViT-style patchify stem (conv
+  /// patch x patch / patch) + norm over `input`. 0: `input` is already a
+  /// {d_model, tokens, 1} embedded sequence and no stem is emitted.
+  int patch = 16;
+  int d_model = 768;    ///< token embedding width
+  int depth = 12;       ///< encoder layers (each = attention + MLP block)
+  int mlp_ratio = 4;    ///< MLP hidden width as a multiple of d_model
+  /// Classification head: > 0 emits [norm, global-avg-pool, fc]; 0 emits a
+  /// final norm only (text-style encoder).
+  int num_classes = 1000;
+  int mini_batch_per_core = 32;  ///< evaluation mini-batch (Sec. 5 default)
+};
+
+/// Builds the encoder described by `cfg`. Aborts (via core::Block::check)
+/// on inconsistent configurations.
+core::Network make_transformer(const TransformerConfig& cfg);
+
+/// ViT-B/16 on 224x224: d=768, 12 layers, 196 tokens (~93M modeled params).
+core::Network make_vit_base();
+
+/// ViT-S/16 on 224x224: d=384, 12 layers, 196 tokens (~25M modeled params).
+core::Network make_vit_small();
+
+/// Text-style post-embedding encoder: d=512, 6 layers over a 192-token
+/// sequence, no patch stem, final-norm head.
+core::Network make_transformer_base();
+
+}  // namespace mbs::models

@@ -7,6 +7,7 @@
 #include "models/inception_v3.h"
 #include "models/inception_v4.h"
 #include "models/resnet.h"
+#include "models/transformer.h"
 
 namespace mbs::models {
 
@@ -17,6 +18,9 @@ core::Network make_network(const std::string& name) {
   if (name == "inception_v3") return make_inception_v3();
   if (name == "inception_v4") return make_inception_v4();
   if (name == "alexnet") return make_alexnet();
+  if (name == "vit_small") return make_vit_small();
+  if (name == "vit_base") return make_vit_base();
+  if (name == "transformer_base") return make_transformer_base();
   std::fprintf(stderr, "unknown network '%s'\n", name.c_str());
   std::abort();
 }
@@ -24,6 +28,17 @@ core::Network make_network(const std::string& name) {
 std::vector<std::string> evaluated_network_names() {
   return {"resnet50",     "resnet101",    "resnet152",
           "inception_v3", "inception_v4", "alexnet"};
+}
+
+std::vector<std::string> transformer_network_names() {
+  return {"vit_small", "vit_base", "transformer_base"};
+}
+
+std::vector<std::string> all_network_names() {
+  std::vector<std::string> names = evaluated_network_names();
+  for (auto& name : transformer_network_names())
+    names.push_back(std::move(name));
+  return names;
 }
 
 std::vector<core::Network> all_evaluated_networks() {

@@ -1,4 +1,7 @@
-// Registry of the CNNs evaluated in the paper (Sec. 5).
+// Registry of every network the reproduction can evaluate: the six CNNs of
+// the paper (Sec. 5) plus the Transformer-family additions, all reachable
+// through one `make_network(name)` entry point so engine scenario grids can
+// sweep any of them.
 #pragma once
 
 #include <string>
@@ -8,14 +11,26 @@
 
 namespace mbs::models {
 
-/// Builds a network by name: "resnet50", "resnet101", "resnet152",
-/// "inception_v3", "inception_v4", "alexnet". Aborts on unknown names.
+/// Builds a network by name. CNN zoo: "resnet50", "resnet101", "resnet152",
+/// "inception_v3", "inception_v4", "alexnet". Transformer family:
+/// "vit_small", "vit_base", "transformer_base". Aborts on unknown names.
 core::Network make_network(const std::string& name);
 
-/// Names of all evaluated networks, in the paper's presentation order.
+/// Names of the six networks the paper evaluates, in its presentation
+/// order. This list feeds the paper-figure grids, so it never grows —
+/// additions go to transformer_network_names() / all_network_names().
 std::vector<std::string> evaluated_network_names();
 
-/// Builds all six evaluated networks.
+/// Names of the Transformer-family additions (docs/WORKLOADS.md walks
+/// through how they are expressed in the core vocabulary).
+std::vector<std::string> transformer_network_names();
+
+/// Every registered network name: evaluated CNNs first, then the
+/// Transformer family. The list new-workload benches (pareto_sweep,
+/// schedule_explorer) accept.
+std::vector<std::string> all_network_names();
+
+/// Builds all six paper-evaluated networks.
 std::vector<core::Network> all_evaluated_networks();
 
 }  // namespace mbs::models

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <iterator>
 #include <limits>
 
 #include "sched/traffic.h"
@@ -15,8 +16,13 @@ namespace {
 void refresh_groups(Schedule& s) {
   for (Group& g : s.groups) {
     int sub = s.mini_batch;
-    for (int b = g.first; b <= g.last; ++b)
-      sub = std::min(sub, s.block_max_sub[static_cast<std::size_t>(b)]);
+    if (g.members.empty()) {
+      for (int b = g.first; b <= g.last; ++b)
+        sub = std::min(sub, s.block_max_sub[static_cast<std::size_t>(b)]);
+    } else {
+      for (int b : g.members)
+        sub = std::min(sub, s.block_max_sub[static_cast<std::size_t>(b)]);
+    }
     g.sub_batch = sub;
     g.iterations = iterations_for(s.mini_batch, sub);
   }
@@ -71,6 +77,61 @@ void greedy_merge(const core::Network& net, Schedule& s) {
   }
 }
 
+/// Non-contiguous greedy merging (GroupingVariant::kNonContiguous):
+/// starting from the same initial groups, repeatedly apply the merge of
+/// *any* two groups — adjacent or not — that reduces total modeled DRAM
+/// traffic the most. Merged groups carry explicit sorted member lists and
+/// the group vector stays ordered by first block. Because all tensor edges
+/// of the evaluated networks connect adjacent blocks, merging non-adjacent
+/// groups keeps no extra data on chip while still tightening the merged
+/// sub-batch to the minimum over members, so in practice this search picks
+/// exactly the adjacent merges the contiguous greedy picks — the variant is
+/// the in-tree demonstration that the paper's contiguity restriction loses
+/// nothing.
+void greedy_merge_noncontig(const core::Network& net, Schedule& s) {
+  // Every group carries members explicitly so downstream consumers can
+  // rely on one representation for this variant.
+  for (Group& g : s.groups) g.members = g.blocks();
+  refresh_groups(s);
+  double best = dram_traffic_bytes(net, s);
+
+  auto merge_into = [](Schedule& sched, std::size_t a, std::size_t b) {
+    Group& ga = sched.groups[a];
+    Group& gb = sched.groups[b];
+    std::vector<int> merged;
+    merged.reserve(ga.members.size() + gb.members.size());
+    std::merge(ga.members.begin(), ga.members.end(), gb.members.begin(),
+               gb.members.end(), std::back_inserter(merged));
+    ga.members = std::move(merged);
+    ga.first = ga.members.front();
+    ga.last = ga.members.back();
+    sched.groups.erase(sched.groups.begin() + static_cast<std::ptrdiff_t>(b));
+    std::sort(sched.groups.begin(), sched.groups.end(),
+              [](const Group& x, const Group& y) { return x.first < y.first; });
+  };
+
+  while (s.groups.size() > 1) {
+    std::size_t best_a = 0, best_b = 0;
+    double best_traffic = best;
+    for (std::size_t a = 0; a < s.groups.size(); ++a)
+      for (std::size_t b = a + 1; b < s.groups.size(); ++b) {
+        Schedule cand = s;
+        merge_into(cand, a, b);
+        refresh_groups(cand);
+        const double traffic = dram_traffic_bytes(net, cand);
+        if (traffic < best_traffic) {
+          best_traffic = traffic;
+          best_a = a;
+          best_b = b;
+        }
+      }
+    if (best_a == best_b) break;
+    merge_into(s, best_a, best_b);
+    refresh_groups(s);
+    best = best_traffic;
+  }
+}
+
 /// Optimal contiguous partition via dynamic programming (footnote 1).
 /// Evaluates candidate partitions with the full traffic model; to keep this
 /// polynomial it exploits that traffic is additive over groups given fixed
@@ -95,9 +156,9 @@ void dp_optimal(const core::Network& net, Schedule& s) {
   auto cost = [&](int i, int j) {
     Schedule cand = singles;
     std::vector<Group> groups;
-    for (int b = 0; b < i; ++b) groups.push_back(Group{b, b, 1, 1});
-    groups.push_back(Group{i, j, 1, 1});
-    for (int b = j + 1; b < n; ++b) groups.push_back(Group{b, b, 1, 1});
+    for (int b = 0; b < i; ++b) groups.push_back(Group{b, b, 1, 1, {}});
+    groups.push_back(Group{i, j, 1, 1, {}});
+    for (int b = j + 1; b < n; ++b) groups.push_back(Group{b, b, 1, 1, {}});
     cand.groups = std::move(groups);
     refresh_groups(cand);
     return dram_traffic_bytes(net, cand);
@@ -170,7 +231,9 @@ Schedule build_schedule(const core::Network& net, ExecConfig config,
 
   s.groups = initial_groups(s, n);
   refresh_groups(s);
-  if (params.optimal_grouping)
+  if (params.variant == GroupingVariant::kNonContiguous)
+    greedy_merge_noncontig(net, s);
+  else if (params.optimal_grouping)
     dp_optimal(net, s);
   else
     greedy_merge(net, s);

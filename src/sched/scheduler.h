@@ -17,9 +17,21 @@ namespace mbs::sched {
 ///   improves; MBS2 additionally provisions for inter-branch reuse (Eq. 1/2)
 ///   when computing footprints.
 ///
-/// With `params.optimal_grouping`, MBS1/MBS2 use an O(blocks^2) dynamic
-/// program over contiguous partitions instead of greedy merging (the
-/// exhaustive-search reference of the paper's footnote 1).
+/// Two search-space knobs refine the MBS1/MBS2 grouping step:
+///
+/// * `params.optimal_grouping` replaces greedy merging with an O(blocks^2)
+///   dynamic program over contiguous partitions (the exhaustive-search
+///   reference of the paper's footnote 1).
+/// * `params.variant == GroupingVariant::kNonContiguous` lets the greedy
+///   merger combine *any* two groups, not just adjacent ones; the resulting
+///   groups carry explicit member lists (`Group::members`). It takes
+///   precedence over `optimal_grouping` (the DP searches the contiguous
+///   space only). The default, `kContiguous`, preserves current schedules
+///   bit for bit.
+///
+/// Determinism: for fixed inputs the result is a pure function of
+/// (net, config, params) — the engine memoizes it under
+/// `Scenario::schedule_key()`, which covers every `ScheduleParams` field.
 Schedule build_schedule(const core::Network& net, ExecConfig config,
                         const ScheduleParams& params = {});
 

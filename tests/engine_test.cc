@@ -81,6 +81,27 @@ TEST(Scenario, KeyDistinguishesEveryScheduleField) {
   EXPECT_NE(s.schedule_key(), base.schedule_key());
 }
 
+TEST(Scenario, GroupingVariantExtendsKeysBackwardCompatibly) {
+  // The variant axis must not perturb existing keys: a default scenario's
+  // schedule key has no var field (the key space stays byte-stable as axes
+  // accrue), while a non-contiguous scenario gets a distinct key.
+  const Scenario base = mbs2_scenario();
+  EXPECT_EQ(base.schedule_key().find("var="), std::string::npos);
+  Scenario relaxed = base;
+  relaxed.params.variant = sched::GroupingVariant::kNonContiguous;
+  EXPECT_NE(relaxed.schedule_key(), base.schedule_key());
+  EXPECT_NE(relaxed.cache_key(), base.cache_key());
+  EXPECT_NE(relaxed.schedule_key().find("var="), std::string::npos);
+}
+
+TEST(Scenario, TransformerNetworksFormDistinctKeys) {
+  for (const auto& name : models::transformer_network_names()) {
+    Scenario s = mbs2_scenario(name);
+    EXPECT_NE(s.schedule_key(), mbs2_scenario().schedule_key());
+    EXPECT_EQ(s.network_key(), name);
+  }
+}
+
 TEST(Scenario, GpuKeyIsDisjointFromWaveCoreKey) {
   Scenario wave = mbs2_scenario();
   Scenario gpu = mbs2_scenario();
@@ -377,6 +398,129 @@ TEST(ScheduleGroups, ComposesWithShardingAndWarmCacheByteIdentically) {
   json_sink.write_json(json);
   EXPECT_EQ(csv.str(), ref_csv.str());
   EXPECT_EQ(json.str(), ref_json.str());
+  std::remove(path.c_str());
+}
+
+// ---- Workload axes (PR 5: transformers x variants x memory configs) ---------
+
+/// The pareto_sweep-shaped grid: a Transformer network swept over grouping
+/// variants x buffer sizes, sharing schedules across two bandwidths each.
+std::vector<Scenario> workload_axis_grid() {
+  std::vector<Scenario> grid;
+  for (auto variant : {sched::GroupingVariant::kContiguous,
+                       sched::GroupingVariant::kNonContiguous})
+    for (double mib : {5.0, 10.0})
+      for (double bw_scale : {0.5, 1.0}) {
+        Scenario s;
+        s.network = "transformer_base";
+        s.config = sched::ExecConfig::kMbs2;
+        s.params.variant = variant;
+        s.params.buffer_bytes =
+            static_cast<std::int64_t>(mib * 1024 * 1024);
+        s.hw.global_buffer_bytes = s.params.buffer_bytes;
+        s.hw.memory.bandwidth_bytes_per_s *= bw_scale;
+        grid.push_back(std::move(s));
+      }
+  return grid;
+}
+
+TEST(WorkloadAxes, VariantAxisShardsAndWarmCachesByteIdentically) {
+  // The new axes must compose with every engine feature at once: the grid
+  // runs grouped + sharded against a disk cache (cold shard 0, warm shard
+  // 1), and the merged CSV/JSON documents must be byte-identical to an
+  // unsharded, ungrouped, memory-only reference run.
+  const auto grid = workload_axis_grid();
+  const std::string dir = testing::TempDir() + "mbs_axes_" +
+                          std::to_string(static_cast<long>(::getpid()));
+  const std::string path = dir + "/evaluator.mbscache";
+  std::remove(path.c_str());
+
+  const auto render = [&](const SweepResults& results, const ShardPlan& plan,
+                          std::ostringstream& csv, std::ostringstream& json) {
+    ResultSink sink("workload axes",
+                    {"variant", "buffer", "bw", "time", "dram", "groups"});
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      if (!plan.owns(i)) continue;
+      const ScenarioResult& r = results[i];
+      sink.add_row({sched::to_string(r.scenario.params.variant),
+                    std::to_string(r.scenario.params.buffer_bytes),
+                    std::to_string(r.scenario.hw.memory.bandwidth_bytes_per_s),
+                    std::to_string(r.step.time_s),
+                    std::to_string(r.step.dram_bytes),
+                    std::to_string(r.schedule->groups.size())});
+    }
+    sink.write_csv(csv);
+    sink.write_json(json);
+  };
+
+  SweepOptions off;
+  off.group_by_schedule = false;
+  Evaluator ref_eval;
+  std::ostringstream ref_csv, ref_json;
+  render(SweepRunner(off).run_sharded(grid, ref_eval, ShardPlan{}),
+         ShardPlan{}, ref_csv, ref_json);
+  // Per variant: one network build, two schedules (buffer sizes), four
+  // simulations (x bandwidth) — the axes share all upstream stages.
+  EXPECT_EQ(ref_eval.stats().network_misses, 1);
+  EXPECT_EQ(ref_eval.stats().schedule_misses, 4);
+  EXPECT_EQ(ref_eval.stats().step_misses, 8);
+
+  std::vector<ResultSink::Parsed> csv_shards, json_shards;
+  for (int index = 0; index < 2; ++index) {
+    CacheStore store(path);
+    Evaluator eval(&store);
+    const ShardPlan plan{index, 2};
+    const SweepResults results = SweepRunner().run_sharded(grid, eval, plan);
+    std::ostringstream csv, json;
+    render(results, plan, csv, json);
+    csv_shards.push_back(ResultSink::parse_csv(csv.str()));
+    json_shards.push_back(ResultSink::parse_json(json.str()));
+    ASSERT_TRUE(store.save());
+    if (index == 1) {
+      // The second shard's schedule phase was served from disk — including
+      // the non-contiguous schedules, whose member lists round-trip through
+      // the sched2 serde record.
+      EXPECT_GT(eval.stats().schedule_disk_hits, 0);
+    }
+  }
+  const ResultSink::Parsed merged_csv = ResultSink::merge_shards(csv_shards);
+  const ResultSink::Parsed merged_json = ResultSink::merge_shards(json_shards);
+  ResultSink csv_sink("", merged_csv.headers);
+  for (const auto& row : merged_csv.rows) csv_sink.add_row(row);
+  ResultSink json_sink(merged_json.title, merged_json.headers);
+  for (const auto& row : merged_json.rows) json_sink.add_row(row);
+  std::ostringstream csv, json;
+  csv_sink.write_csv(csv);
+  json_sink.write_json(json);
+  EXPECT_EQ(csv.str(), ref_csv.str());
+  EXPECT_EQ(json.str(), ref_json.str());
+  std::remove(path.c_str());
+}
+
+TEST(WorkloadAxes, NonContiguousScheduleRoundTripsThroughDiskStore) {
+  const std::string dir = testing::TempDir() + "mbs_variant_store_" +
+                          std::to_string(static_cast<long>(::getpid()));
+  const std::string path = dir + "/evaluator.mbscache";
+  std::remove(path.c_str());
+
+  Scenario s = mbs2_scenario("alexnet");
+  s.params.variant = sched::GroupingVariant::kNonContiguous;
+  sched::Schedule computed;
+  {
+    CacheStore store(path);
+    Evaluator eval(&store);
+    computed = eval.schedule(s);
+    ASSERT_TRUE(store.save());
+  }
+  CacheStore reloaded(path);
+  sched::Schedule from_disk;
+  ASSERT_TRUE(reloaded.load_schedule(s.schedule_key(), &from_disk));
+  ASSERT_EQ(from_disk.groups.size(), computed.groups.size());
+  for (std::size_t g = 0; g < computed.groups.size(); ++g) {
+    EXPECT_EQ(from_disk.groups[g].members, computed.groups[g].members);
+    EXPECT_FALSE(from_disk.groups[g].members.empty());
+    EXPECT_EQ(from_disk.groups[g].sub_batch, computed.groups[g].sub_batch);
+  }
   std::remove(path.c_str());
 }
 

@@ -6,6 +6,7 @@
 #include "models/inception_v3.h"
 #include "models/inception_v4.h"
 #include "models/resnet.h"
+#include "models/transformer.h"
 #include "models/zoo.h"
 
 namespace mbs::models {
@@ -179,6 +180,91 @@ TEST(Zoo, ResNetDepthMonotonicity) {
             make_resnet(101).flops_per_sample());
   EXPECT_LT(make_resnet(101).flops_per_sample(),
             make_resnet(152).flops_per_sample());
+}
+
+// ---- Transformer family -----------------------------------------------------
+
+TEST(Transformer, VitBaseStructure) {
+  const Network net = make_vit_base();
+  net.check();
+  // patch_embed + 12 x (attention + MLP residual pairs) + head.
+  ASSERT_EQ(net.blocks.size(), 26u);
+  EXPECT_EQ(count_blocks(net, BlockKind::kResidual), 24);
+  EXPECT_EQ(net.blocks.front().name, "patch_embed");
+  EXPECT_EQ(net.blocks.back().name, "head");
+  // 224/16 = 14: the token grid every encoder block preserves.
+  for (std::size_t b = 1; b + 1 < net.blocks.size(); ++b) {
+    EXPECT_EQ(net.blocks[b].out.c, 768);
+    EXPECT_EQ(net.blocks[b].out.h, 14);
+    EXPECT_EQ(net.blocks[b].out.w, 14);
+  }
+  EXPECT_EQ(net.mini_batch_per_core, 32);
+}
+
+TEST(Transformer, VitBaseParamAndFlopScale) {
+  const Network net = make_vit_base();
+  // Reference ViT-B/16: 86.6M params, ~35.2 GFLOPs/sample (2 per MAC).
+  // The score/context stand-ins add 4*d*tokens params per layer and 3x the
+  // (small) QK^T term, so allow up to +10%.
+  EXPECT_GT(net.param_count(), 86000000);
+  EXPECT_LT(net.param_count(), 95000000);
+  const double gflops = static_cast<double>(net.flops_per_sample()) / 1e9;
+  EXPECT_NEAR(gflops, 35.2, 35.2 * 0.10);
+}
+
+TEST(Transformer, VitBaseAttentionStandInAccounting) {
+  const Network net = make_vit_base();
+  const core::Block& attn = net.blocks[1];
+  ASSERT_EQ(attn.name, "enc0.attn");
+  ASSERT_EQ(attn.kind, BlockKind::kResidual);
+  // norm + qkv + score + softmax + context + proj, plus the bare Add merge
+  // (no post-residual ReLU: transformers do not activate after the sum).
+  EXPECT_EQ(attn.layer_count(), 7);
+  int relus_after_add = 0;
+  for (const core::Layer& l : attn.merge)
+    relus_after_add += (l.kind == LayerKind::kAct) ? 1 : 0;
+  EXPECT_EQ(relus_after_add, 0);
+  // Exact per-layer params: norm 2d + qkv 3d^2 + score 3d*S + ctx S*d +
+  // proj d^2 with d=768, S=196.
+  const std::int64_t d = 768, tokens = 196;
+  EXPECT_EQ(attn.param_count(),
+            2 * d + 3 * d * d + 3 * d * tokens + tokens * d + d * d);
+}
+
+TEST(Transformer, FamilyOrderingAndTextEncoder) {
+  const Network small = make_vit_small();
+  const Network base = make_vit_base();
+  EXPECT_LT(small.param_count(), base.param_count());
+  EXPECT_LT(small.flops_per_sample(), base.flops_per_sample());
+
+  const Network text = make_transformer_base();
+  text.check();
+  // No patch stem, final-norm head: 6 encoder layers = 12 residual blocks.
+  EXPECT_EQ(count_blocks(text, BlockKind::kResidual), 12);
+  EXPECT_EQ(text.blocks.size(), 13u);
+  EXPECT_EQ(text.input.c, 512);
+  EXPECT_EQ(text.input.h, 192);
+  EXPECT_EQ(text.input.w, 1);
+  EXPECT_EQ(text.blocks.back().out.c, 512);
+}
+
+TEST(Transformer, RegisteredInZoo) {
+  const auto names = transformer_network_names();
+  ASSERT_EQ(names.size(), 3u);
+  for (const auto& name : names) {
+    const Network net = make_network(name);
+    net.check();
+    EXPECT_GT(net.param_count(), 0);
+    EXPECT_GT(net.flops_per_sample(), 0);
+  }
+  // all_network_names = evaluated CNNs + transformer family, in order; the
+  // evaluated list itself must never grow (paper-figure grids depend on it).
+  EXPECT_EQ(evaluated_network_names().size(), 6u);
+  const auto all = all_network_names();
+  ASSERT_EQ(all.size(), 9u);
+  EXPECT_EQ(all[5], "alexnet");
+  EXPECT_EQ(all[6], "vit_small");
+  EXPECT_EQ(all[8], "transformer_base");
 }
 
 }  // namespace

@@ -132,18 +132,31 @@ TEST_P(ScheduleInvariants, MasksOnlyUnderMbs) {
   }
 }
 
+std::string schedule_invariant_name(
+    const ::testing::TestParamInfo<std::tuple<std::string, ExecConfig>>&
+        info) {
+  std::string name = std::get<0>(info.param);
+  name += "_";
+  name += to_string(std::get<1>(info.param));
+  for (char& c : name)
+    if (c == '-') c = '_';
+  return name;
+}
+
 INSTANTIATE_TEST_SUITE_P(
     AllNetworksAllConfigs, ScheduleInvariants,
     ::testing::Combine(::testing::ValuesIn(models::evaluated_network_names()),
                        ::testing::ValuesIn(kAllConfigs)),
-    [](const auto& info) {
-      std::string name = std::get<0>(info.param);
-      name += "_";
-      name += to_string(std::get<1>(info.param));
-      for (char& c : name)
-        if (c == '-') c = '_';
-      return name;
-    });
+    schedule_invariant_name);
+
+// The Transformer family must satisfy the same structural invariants under
+// every configuration — the zoo-growth contract of docs/WORKLOADS.md.
+INSTANTIATE_TEST_SUITE_P(
+    TransformerFamilyAllConfigs, ScheduleInvariants,
+    ::testing::Combine(
+        ::testing::ValuesIn(models::transformer_network_names()),
+        ::testing::ValuesIn(kAllConfigs)),
+    schedule_invariant_name);
 
 // ---- Traffic orderings (the paper's Fig. 10c structure) ---------------------
 
@@ -241,6 +254,159 @@ TEST(Grouping, BufferSizeMonotonicity) {
     EXPECT_LE(t, prev * 1.0001) << mib << " MiB";
     prev = t;
   }
+}
+
+// ---- Grouping variants (non-contiguous search space) ------------------------
+
+/// Field-by-field equality of two schedules, down to the bit pattern of
+/// every group and footprint entry.
+void expect_bitwise_equal(const Schedule& a, const Schedule& b) {
+  EXPECT_EQ(a.config, b.config);
+  EXPECT_EQ(a.mini_batch, b.mini_batch);
+  EXPECT_EQ(a.buffer_bytes, b.buffer_bytes);
+  ASSERT_EQ(a.groups.size(), b.groups.size());
+  for (std::size_t g = 0; g < a.groups.size(); ++g) {
+    EXPECT_EQ(a.groups[g].first, b.groups[g].first) << "group " << g;
+    EXPECT_EQ(a.groups[g].last, b.groups[g].last) << "group " << g;
+    EXPECT_EQ(a.groups[g].sub_batch, b.groups[g].sub_batch) << "group " << g;
+    EXPECT_EQ(a.groups[g].iterations, b.groups[g].iterations) << "group " << g;
+    EXPECT_EQ(a.groups[g].members, b.groups[g].members) << "group " << g;
+  }
+  EXPECT_EQ(a.block_footprint, b.block_footprint);
+  EXPECT_EQ(a.block_max_sub, b.block_max_sub);
+}
+
+TEST(GroupingVariants, VariantOffIsBitwiseIdenticalToCurrentSchedules) {
+  // The kContiguous default must be indistinguishable from a pre-variant
+  // build: explicit kContiguous == default-constructed params, groups carry
+  // no member lists, and the modeled traffic agrees to the last bit.
+  for (const auto& name : models::evaluated_network_names()) {
+    const Network net = models::make_network(name);
+    for (ExecConfig cfg : kAllConfigs) {
+      const Schedule def = build_schedule(net, cfg);
+      ScheduleParams p;
+      p.variant = GroupingVariant::kContiguous;
+      const Schedule explicit_off = build_schedule(net, cfg, p);
+      expect_bitwise_equal(def, explicit_off);
+      for (const Group& g : def.groups) EXPECT_TRUE(g.members.empty());
+      EXPECT_EQ(dram_traffic_bytes(net, def),
+                dram_traffic_bytes(net, explicit_off))
+          << name << " " << to_string(cfg);
+    }
+  }
+}
+
+TEST(GroupingVariants, NonContiguousSchedulesValidate) {
+  ScheduleParams p;
+  p.variant = GroupingVariant::kNonContiguous;
+  for (const auto& name : {"resnet50", "alexnet", "vit_base"}) {
+    const Network net = models::make_network(name);
+    for (ExecConfig cfg : {ExecConfig::kMbs1, ExecConfig::kMbs2}) {
+      const Schedule s = build_schedule(net, cfg, p);
+      EXPECT_EQ(s.validate(net), "") << name << " " << to_string(cfg);
+      // Every block owned by exactly one group, via the member lists.
+      for (int b = 0; b < static_cast<int>(net.blocks.size()); ++b)
+        EXPECT_GE(s.group_of_block(b), 0) << name << " block " << b;
+    }
+  }
+}
+
+TEST(GroupingVariants, NonContiguousNeverImprovesTraffic) {
+  // All tensor edges connect adjacent blocks, so merging non-adjacent
+  // groups keeps no extra data on chip while tightening the sub-batch:
+  // the wider search must land exactly on the contiguous greedy's result.
+  ScheduleParams noncontig;
+  noncontig.variant = GroupingVariant::kNonContiguous;
+  for (const auto& name : models::evaluated_network_names()) {
+    const Network net = models::make_network(name);
+    const double contiguous =
+        dram_traffic_bytes(net, build_schedule(net, ExecConfig::kMbs2));
+    const double relaxed = dram_traffic_bytes(
+        net, build_schedule(net, ExecConfig::kMbs2, noncontig));
+    EXPECT_DOUBLE_EQ(relaxed, contiguous) << name;
+  }
+}
+
+TEST(GroupingVariants, BoundaryPredicateMatchesFirstBlockRule) {
+  // For contiguous schedules the generalized predecessor-based boundary
+  // rule must coincide with the historical "block is some group's first".
+  const Network net = models::make_network("resnet50");
+  for (ExecConfig cfg : kAllConfigs) {
+    const Schedule s = build_schedule(net, cfg);
+    for (int b = 0; b < static_cast<int>(net.blocks.size()); ++b) {
+      bool is_first = false;
+      for (const Group& g : s.groups) is_first |= (g.first == b);
+      EXPECT_EQ(s.is_group_boundary(b), is_first)
+          << to_string(cfg) << " block " << b;
+    }
+  }
+}
+
+TEST(GroupingVariants, NonContiguousGroupAccessors) {
+  // A hand-built non-contiguous schedule: membership, boundaries, and the
+  // validate() partition check all follow the member lists.
+  Group a;
+  a.members = {0, 2};
+  a.first = 0;
+  a.last = 2;
+  Group b;
+  b.members = {1};
+  b.first = b.last = 1;
+  EXPECT_TRUE(a.contains(0));
+  EXPECT_FALSE(a.contains(1));
+  EXPECT_TRUE(a.contains(2));
+  EXPECT_EQ(a.blocks(), (std::vector<int>{0, 2}));
+
+  Schedule s;
+  s.config = ExecConfig::kMbs1;
+  s.mini_batch = 4;
+  s.buffer_bytes = 1 << 20;
+  s.groups = {a, b};
+  for (Group& g : s.groups) {
+    g.sub_batch = 4;
+    g.iterations = 1;
+  }
+  s.block_footprint = {1, 1, 1};
+  s.block_max_sub = {4, 4, 4};
+  EXPECT_EQ(s.group_of_block(0), 0);
+  EXPECT_EQ(s.group_of_block(1), 1);
+  EXPECT_EQ(s.group_of_block(2), 0);
+  // Blocks 1 and 2 both start boundary runs (their predecessors belong to
+  // the other group).
+  EXPECT_TRUE(s.is_group_boundary(0));
+  EXPECT_TRUE(s.is_group_boundary(1));
+  EXPECT_TRUE(s.is_group_boundary(2));
+
+  core::Network net;
+  net.name = "toy";
+  net.input = core::FeatureShape{1, 4, 4};
+  for (int i = 0; i < 3; ++i)
+    net.blocks.push_back(core::make_simple_block(
+        "b" + std::to_string(i),
+        {core::make_act("act" + std::to_string(i), net.input)}));
+  EXPECT_EQ(s.validate(net), "");
+  // Dropping a block from the partition is caught.
+  s.groups[1].members = {};
+  s.groups[1].first = s.groups[1].last = 2;  // now 1 is unowned, 2 doubly
+  EXPECT_NE(s.validate(net), "");
+  // A member-less first > last group mixed into a non-contiguous schedule
+  // is reported as an error, not expanded into a bogus block range
+  // (regression: validate must range-check before calling blocks()).
+  s.groups[1].first = 2;
+  s.groups[1].last = 1;
+  EXPECT_NE(s.validate(net), "");
+}
+
+TEST(GroupingVariants, MiniBatchAndBufferComposeWithVariant) {
+  const Network net = models::make_network("transformer_base");
+  ScheduleParams p;
+  p.variant = GroupingVariant::kNonContiguous;
+  p.mini_batch = 64;
+  p.buffer_bytes = 5ll * 1024 * 1024;
+  const Schedule s = build_schedule(net, ExecConfig::kMbs2, p);
+  EXPECT_EQ(s.mini_batch, 64);
+  EXPECT_EQ(s.validate(net), "");
+  EXPECT_GT(dram_traffic_bytes(net, s), 0);
 }
 
 TEST(Grouping, MiniBatchOverrideRespected) {
