@@ -5,16 +5,24 @@
 // training kernel layer (blocked GEMM, im2col convolution, whole training
 // steps; serial vs pooled via util::set_thread_budget). These bound the
 // cost of design-space studies and of the Fig. 6 training reproduction.
+// PR 6 adds roofline rows: per-GEMM-kernel GFLOP/s and fraction of the
+// measured single-core FMA peak, swept over thread budgets {1,2,4,8} and
+// both microkernel families (portable/avx2) — the numbers behind
+// BENCH_PR6.json's scaling table.
 #include <benchmark/benchmark.h>
+
+#include <cstdlib>
 
 #include "engine/engine.h"
 #include "models/zoo.h"
 #include "sched/scheduler.h"
 #include "train/data.h"
+#include "train/gemm_microkernels.h"
 #include "train/im2col.h"
 #include "train/model.h"
 #include "train/ops.h"
 #include "train/trainer.h"
+#include "util/cpu.h"
 #include "util/parallel.h"
 #include "util/rng.h"
 
@@ -149,11 +157,14 @@ void BM_GemmSmall(benchmark::State& state) {
   util::set_thread_budget(static_cast<int>(state.range(0)));
   for (auto _ : state) benchmark::DoNotOptimize(train::matmul(a, b));
   util::set_thread_budget(-1);
+  state.SetLabel("remainder tiles, no zoo layer");
 }
 BENCHMARK(BM_GemmSmall)->Arg(1)->Arg(0);
 
 void BM_GemmResNetShaped(benchmark::State& state) {
-  // A fig06-scale im2col GEMM: A [N*Ho*Wo, Ci*Kh*Kw] x W^T [K, Co].
+  // A fig06-scale im2col GEMM: A [N*Ho*Wo, Ci*Kh*Kw] x W^T [K, Co] — the
+  // forward GEMM of the fig06 SmallCnn stage-2 3x3 conv (batch 32,
+  // Ci=Co=32 @ 12x12: M = 32*12*12 = 4608, K = 32*3*3 = 288).
   util::Rng rng(2);
   const train::Tensor a = train::Tensor::randn({4608, 288}, rng);
   const train::Tensor w = train::Tensor::randn({32, 288}, rng);
@@ -162,8 +173,102 @@ void BM_GemmResNetShaped(benchmark::State& state) {
   for (auto _ : state)
     benchmark::DoNotOptimize(train::matmul_bt_f32(a, w, bias));
   util::set_thread_budget(-1);
+  state.SetLabel("fig06 SmallCnn stage-2 3x3 fwd GEMM");
 }
 BENCHMARK(BM_GemmResNetShaped)->Arg(1)->Arg(0);
+
+// ---- GEMM roofline (per-kernel GFLOP/s vs the measured FMA peak) ------------
+//
+// state.range(0) = thread budget, state.range(1) = microkernel family
+// (0 = portable, 1 = avx2; avx2 rows degrade to the portable family on
+// hosts without it — the label records what actually ran). Counters:
+// GFLOPs is the achieved rate, frac_peak the fraction of the measured
+// single-core FMA peak (thread budgets > 1 can exceed 1.0 on multi-core
+// hosts; on a single-core host they show the oversubscription penalty).
+
+/// Forces MBS_KERNEL for the benchmark's lifetime, restores default after.
+struct IsaBenchGuard {
+  explicit IsaBenchGuard(bool avx2) {
+    setenv("MBS_KERNEL", avx2 ? "avx2" : "portable", 1);
+    train::detail::reset_microkernel_dispatch();
+  }
+  ~IsaBenchGuard() {
+    unsetenv("MBS_KERNEL");
+    train::detail::reset_microkernel_dispatch();
+  }
+};
+
+void roofline_counters(benchmark::State& state, double flops_per_iter,
+                       const char* shape_label) {
+  const double total =
+      flops_per_iter * static_cast<double>(state.iterations());
+  const double peak = train::detail::measured_peak_gflops() * 1e9;
+  state.counters["GFLOPs"] = benchmark::Counter(
+      total * 1e-9, benchmark::Counter::kIsRate);
+  state.counters["frac_peak"] =
+      benchmark::Counter(total / peak, benchmark::Counter::kIsRate);
+  state.SetLabel(std::string(shape_label) + " isa=" +
+                 util::to_string(train::active_gemm_isa()));
+}
+
+void BM_RooflineMatmulF32(benchmark::State& state) {
+  // ResNet-50 conv3_x 3x3 fwd shape at batch 1: M = Ho*Wo = 28*28 = 784,
+  // K = Ci*3*3 = 128*9 = 1152, N = Co = 128 (models/resnet.cc).
+  IsaBenchGuard isa(state.range(1) != 0);
+  util::Rng rng(11);
+  const train::Tensor a = train::Tensor::randn({784, 1152}, rng);
+  const train::Tensor b = train::Tensor::randn({1152, 128}, rng);
+  util::set_thread_budget(static_cast<int>(state.range(0)));
+  for (auto _ : state) benchmark::DoNotOptimize(train::matmul(a, b));
+  util::set_thread_budget(-1);
+  roofline_counters(state, 2.0 * 784 * 1152 * 128,
+                    "resnet50 conv3_x 3x3 fwd f32");
+}
+BENCHMARK(BM_RooflineMatmulF32)
+    ->UseRealTime()
+    ->ArgNames({"threads", "avx2"})
+    ->Args({1, 0})->Args({2, 0})->Args({4, 0})->Args({8, 0})
+    ->Args({1, 1})->Args({2, 1})->Args({4, 1})->Args({8, 1});
+
+void BM_RooflineMatmulBtF64(benchmark::State& state) {
+  // ResNet-50 conv3_x weight-gradient GEMM (double accumulation):
+  // dW[Co, Ci*Kh*Kw] = dY^T[Co, Ho*Wo] x cols[Ci*Kh*Kw, Ho*Wo]^T.
+  IsaBenchGuard isa(state.range(1) != 0);
+  util::Rng rng(12);
+  const train::Tensor a = train::Tensor::randn({128, 784}, rng);
+  const train::Tensor b = train::Tensor::randn({1152, 784}, rng);
+  util::set_thread_budget(static_cast<int>(state.range(0)));
+  for (auto _ : state) benchmark::DoNotOptimize(train::matmul_bt(a, b));
+  util::set_thread_budget(-1);
+  roofline_counters(state, 2.0 * 128 * 784 * 1152,
+                    "resnet50 conv3_x wgrad f64");
+}
+BENCHMARK(BM_RooflineMatmulBtF64)
+    ->UseRealTime()
+    ->ArgNames({"threads", "avx2"})
+    ->Args({1, 0})->Args({2, 0})->Args({4, 0})->Args({8, 0})
+    ->Args({1, 1})->Args({2, 1})->Args({4, 1})->Args({8, 1});
+
+void BM_RooflineMatmulBtF32(benchmark::State& state) {
+  // fig06 SmallCnn stage-2 3x3 fwd GEMM with bias seeding (the
+  // conv2d_forward production path): M=4608, K=288, N=32.
+  IsaBenchGuard isa(state.range(1) != 0);
+  util::Rng rng(13);
+  const train::Tensor a = train::Tensor::randn({4608, 288}, rng);
+  const train::Tensor w = train::Tensor::randn({32, 288}, rng);
+  const train::Tensor bias = train::Tensor::randn({32}, rng, 0.1);
+  util::set_thread_budget(static_cast<int>(state.range(0)));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(train::matmul_bt_f32(a, w, bias));
+  util::set_thread_budget(-1);
+  roofline_counters(state, 2.0 * 4608 * 288 * 32,
+                    "fig06 SmallCnn stage-2 3x3 fwd f32+init");
+}
+BENCHMARK(BM_RooflineMatmulBtF32)
+    ->UseRealTime()
+    ->ArgNames({"threads", "avx2"})
+    ->Args({1, 0})->Args({2, 0})->Args({4, 0})->Args({8, 0})
+    ->Args({1, 1})->Args({2, 1})->Args({4, 1})->Args({8, 1});
 
 void BM_Conv2dForward(benchmark::State& state) {
   util::Rng rng(3);

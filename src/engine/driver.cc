@@ -5,6 +5,7 @@
 #include <cstring>
 #include <string_view>
 
+#include "train/gemm_microkernels.h"
 #include "util/parallel.h"
 
 namespace mbs::engine {
@@ -129,8 +130,9 @@ Driver::~Driver() {
     if (util::kernel_stat(static_cast<util::KernelKind>(k)).calls > 0)
       any_kernel = true;
   if (any_kernel) {
-    std::fprintf(stderr, "[mbs-engine] kernels (threads=%d):",
-                 util::thread_budget());
+    std::fprintf(stderr, "[mbs-engine] kernels (threads=%d, gemm-isa=%s):",
+                 util::thread_budget(),
+                 util::to_string(train::active_gemm_isa()));
     for (int k = 0; k < static_cast<int>(util::KernelKind::kCount); ++k) {
       const util::KernelStat s =
           util::kernel_stat(static_cast<util::KernelKind>(k));
@@ -138,6 +140,11 @@ Driver::~Driver() {
       std::fprintf(stderr, " %s %.3fs/%lld",
                    util::to_string(static_cast<util::KernelKind>(k)),
                    s.seconds, static_cast<long long>(s.calls));
+      // Kinds whose entry points note FLOPs (the GEMM family, and convs
+      // via their internal GEMMs) also report achieved GFLOP/s.
+      if (s.flops > 0 && s.seconds > 0)
+        std::fprintf(stderr, "(%.1fGF/s)",
+                     static_cast<double>(s.flops) * 1e-9 / s.seconds);
     }
     std::fprintf(stderr, "\n");
   }

@@ -25,12 +25,26 @@
 // run direct loops instead; (2) the packed B panel is workspace-arena
 // scratch (util::Arena), not a fresh std::vector, so the blocked path
 // performs no heap allocation per call.
+//
+// PR 6 adds the ISA dispatch layer: the microkernels this file defines are
+// the PORTABLE family (baseline target, compiler-autovectorized), and the
+// blocked driver calls whichever detail::MicroKernels table
+// active_microkernels() resolves — this one, or the explicit AVX2 family
+// in gemm_avx2.cc (MBS_KERNEL overrides, CPUID decides by default). The
+// small-shape fast path is shared by both ISAs (below the cutoff the pack
+// machinery, not the arithmetic, dominates), so MBS_KERNEL only affects
+// the blocked path. Both families honor the same per-element contract
+// documented in gemm_microkernels.h, so the dispatch is bit-invisible.
 #include "train/im2col.h"
 
+#include <atomic>
 #include <cassert>
+#include <chrono>
 #include <cstring>
 
+#include "train/gemm_microkernels.h"
 #include "util/arena.h"
+#include "util/cpu.h"
 #include "util/parallel.h"
 
 namespace mbs::train {
@@ -129,23 +143,55 @@ std::int64_t row_grain(int k) {
   return g < kMR ? kMR : g;
 }
 
+/// Portable peak probe: 8 independent unfused scalar mul+add chains (the
+/// exact op mix of the portable f32 kernels), autovectorized however the
+/// baseline target allows. The AVX2 family carries its own FMA probe.
+double peak_probe_gflops_portable() {
+  constexpr int kChains = 8;
+  constexpr std::int64_t kIters = 4000000;
+  const float m = 0.999f, a = 1e-3f;
+  double best = 0;
+  for (int rep = 0; rep < 3; ++rep) {  // rep 0 is warm-up
+    float acc[kChains];
+    for (int r = 0; r < kChains; ++r)
+      acc[r] = 1.0f + 0.01f * static_cast<float>(r);
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::int64_t it = 0; it < kIters; ++it)
+      for (int r = 0; r < kChains; ++r) acc[r] = acc[r] * m + a;
+    const auto t1 = std::chrono::steady_clock::now();
+    float total = 0;
+    for (int r = 0; r < kChains; ++r) total += acc[r];
+    volatile float escape = total;
+    (void)escape;
+    const double secs = std::chrono::duration<double>(t1 - t0).count();
+    const double flops = static_cast<double>(kIters) * kChains * 2;
+    if (rep > 0 && secs > 0) best = best > flops / secs ? best : flops / secs;
+  }
+  return best / 1e9;
+}
+
 enum class PanelLayout { kKN, kNK };
 
 /// Shared blocked-GEMM driver: packs one B panel per column block into
 /// workspace-arena scratch, then fans the M dimension across the pool.
+/// The panel is over-allocated by detail::kPanelSlack floats so the AVX2
+/// family's unmasked 8-wide loads on the last row's column tail stay in
+/// bounds (the extra lanes are never stored).
 template <typename Kernel>
 void blocked_gemm(std::int64_t m, std::int64_t n, int k, PanelLayout layout,
-                  const float* b, const Kernel& kernel) {
+                  const float* b, const detail::MicroKernels& mk,
+                  const Kernel& kernel) {
   util::ArenaScope scope;
   float* panel = scope.floats(static_cast<std::int64_t>(k) *
-                              (n < kPanelCols ? n : kPanelCols));
+                                  (n < kPanelCols ? n : kPanelCols) +
+                              detail::kPanelSlack);
   for (std::int64_t j0 = 0; j0 < n; j0 += kPanelCols) {
     const int nc =
         static_cast<int>(n - j0 < kPanelCols ? n - j0 : kPanelCols);
     if (layout == PanelLayout::kKN)
       pack_panel_kn(b, n, k, j0, nc, panel);
     else
-      pack_panel_nk(b, k, j0, nc, panel);
+      mk.pack_nk(b, k, j0, nc, panel);
     util::parallel_for(m, row_grain(k),
                        [&](std::int64_t i0, std::int64_t i1) {
                          kernel(panel, nc, j0, i0, i1);
@@ -194,6 +240,57 @@ void small_gemm_kn_f32(const float* a, std::int64_t ars, std::int64_t acs,
 }
 
 }  // namespace
+
+// ---- ISA dispatch -----------------------------------------------------------
+
+namespace detail {
+
+const MicroKernels& portable_microkernels() {
+  static const MicroKernels mk{gemm_panel_f32, gemm_panel_f64, pack_panel_nk,
+                               peak_probe_gflops_portable};
+  return mk;
+}
+
+namespace {
+
+std::atomic<int> g_active_isa{-1};  // -1 = unresolved
+
+util::KernelIsa resolved_isa() {
+  int v = g_active_isa.load(std::memory_order_acquire);
+  if (v < 0) {
+    v = static_cast<int>(
+        util::resolve_kernel_isa(avx2_microkernels() != nullptr));
+    g_active_isa.store(v, std::memory_order_release);
+  }
+  return static_cast<util::KernelIsa>(v);
+}
+
+}  // namespace
+
+const MicroKernels& active_microkernels() {
+  return resolved_isa() == util::KernelIsa::kAvx2 ? *avx2_microkernels()
+                                                  : portable_microkernels();
+}
+
+void reset_microkernel_dispatch() {
+  g_active_isa.store(-1, std::memory_order_release);
+}
+
+double measured_peak_gflops() {
+  // The machine's ceiling, not the active path's: portable roofline rows
+  // report their fraction of the same hardware peak, which is exactly the
+  // "what's left on the table" number. Measured once per process.
+  static const double peak = [] {
+    const MicroKernels* avx2 = avx2_microkernels();
+    if (avx2 && util::cpu_supports_avx2()) return avx2->peak_probe();
+    return portable_microkernels().peak_probe();
+  }();
+  return peak;
+}
+
+}  // namespace detail
+
+util::KernelIsa active_gemm_isa() { return detail::resolved_isa(); }
 
 Tensor im2col(const Tensor& x, int kernel_h, int kernel_w, int stride,
               int pad_h, int pad_w) {
@@ -285,6 +382,7 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
   util::ScopedKernelTimer timer(util::KernelKind::kGemm);
   const std::int64_t m = a.dim(0), n = b.dim(1);
   const int k = a.dim(1);
+  util::note_kernel_flops(2 * m * n * k);
   Tensor c({static_cast<int>(m), static_cast<int>(n)});
   const float* ad = a.data();
   float* cd = c.data();
@@ -292,11 +390,12 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
     small_gemm_kn_f32(ad, k, 1, b.data(), m, n, k, cd);
     return c;
   }
-  blocked_gemm(m, n, k, PanelLayout::kKN, b.data(),
+  const detail::MicroKernels& mk = detail::active_microkernels();
+  blocked_gemm(m, n, k, PanelLayout::kKN, b.data(), mk,
                [&](const float* panel, int nc, std::int64_t j0,
                    std::int64_t i0, std::int64_t i1) {
-                 gemm_panel_f32(ad, k, 1, panel, k, nc, nullptr, j0, cd, n,
-                                i0, i1);
+                 mk.gemm_f32(ad, k, 1, panel, k, nc, nullptr, j0, cd, n, i0,
+                             i1);
                });
   return c;
 }
@@ -306,13 +405,15 @@ Tensor matmul_bt(const Tensor& a, const Tensor& b) {
   util::ScopedKernelTimer timer(util::KernelKind::kGemm);
   const std::int64_t m = a.dim(0), n = b.dim(0);
   const int k = a.dim(1);
+  util::note_kernel_flops(2 * m * n * k);
   Tensor c({static_cast<int>(m), static_cast<int>(n)});
   const float* ad = a.data();
   float* cd = c.data();
-  blocked_gemm(m, n, k, PanelLayout::kNK, b.data(),
+  const detail::MicroKernels& mk = detail::active_microkernels();
+  blocked_gemm(m, n, k, PanelLayout::kNK, b.data(), mk,
                [&](const float* panel, int nc, std::int64_t j0,
                    std::int64_t i0, std::int64_t i1) {
-                 gemm_panel_f64(ad, k, 1, panel, k, nc, j0, cd, n, i0, i1);
+                 mk.gemm_f64(ad, k, 1, panel, k, nc, j0, cd, n, i0, i1);
                });
   return c;
 }
@@ -328,15 +429,17 @@ Tensor matmul_at(const Tensor& a, const Tensor& b) {
 void matmul_at_into(const float* a, std::int64_t m, const float* b,
                     std::int64_t n, int k, float* c) {
   util::ScopedKernelTimer timer(util::KernelKind::kGemm);
+  util::note_kernel_flops(2 * m * n * k);
   if (small_gemm_shape(m, n, k)) {
     small_gemm_kn_f32(a, 1, m, b, m, n, k, c);
     return;
   }
-  blocked_gemm(m, n, k, PanelLayout::kKN, b,
+  const detail::MicroKernels& mk = detail::active_microkernels();
+  blocked_gemm(m, n, k, PanelLayout::kKN, b, mk,
                [&](const float* panel, int nc, std::int64_t j0,
                    std::int64_t i0, std::int64_t i1) {
-                 gemm_panel_f32(a, 1, m, panel, k, nc, nullptr, j0, c, n, i0,
-                                i1);
+                 mk.gemm_f32(a, 1, m, panel, k, nc, nullptr, j0, c, n, i0,
+                             i1);
                });
 }
 
@@ -353,11 +456,12 @@ Tensor matmul_bt_f32(const Tensor& a, const Tensor& b, const Tensor& init) {
 void matmul_bt_f32_into(const float* a, std::int64_t m, const float* b,
                         std::int64_t n, int k, const float* init, float* c) {
   util::ScopedKernelTimer timer(util::KernelKind::kGemm);
-  blocked_gemm(m, n, k, PanelLayout::kNK, b,
+  util::note_kernel_flops(2 * m * n * k);
+  const detail::MicroKernels& mk = detail::active_microkernels();
+  blocked_gemm(m, n, k, PanelLayout::kNK, b, mk,
                [&](const float* panel, int nc, std::int64_t j0,
                    std::int64_t i0, std::int64_t i1) {
-                 gemm_panel_f32(a, k, 1, panel, k, nc, init, j0, c, n, i0,
-                                i1);
+                 mk.gemm_f32(a, k, 1, panel, k, nc, init, j0, c, n, i0, i1);
                });
 }
 

@@ -5,26 +5,45 @@
 // thread count. GN's backward additionally accumulates dgamma/dbeta across
 // samples, so it parallelizes over groups only (samples stay an inner,
 // in-order loop).
+//
+// Two implementations of each pass live here. The default walks raw
+// pointers over the contiguous [H,W] (BN) / [Cg,H,W] (GN) runs of the
+// NCHW layout and hoists loop-invariant scalars; MBS_NO_NORM_REWRITE=1
+// falls back to the original Tensor::at() form. The rewrite preserves
+// every floating-point expression SHAPE — accumulation order, promotion
+// points, and association are unchanged, and only subexpressions that
+// appear verbatim per iteration (e.g. `sum_dy / m`, `gam * inv`) are
+// hoisted, never re-associated ones (`xh * sum / m` stays written out,
+// because `(xh*sum)/m != xh*(sum/m)` in rounding) — so both paths are
+// bit-identical; tests/kernel_test.cc and the CI golden diff enforce it.
 #include "train/norm.h"
 
 #include <cassert>
 #include <cmath>
+#include <cstdlib>
+#include <cstring>
 
 #include "util/parallel.h"
 
 namespace mbs::train {
 
-Tensor batchnorm_forward(const Tensor& x, const Tensor& gamma,
-                         const Tensor& beta, NormCache& cache, float eps) {
-  assert(x.ndim() == 4);
-  util::ScopedKernelTimer timer(util::KernelKind::kNorm);
+namespace {
+
+bool g_norm_rewrite = [] {
+  const char* env = std::getenv("MBS_NO_NORM_REWRITE");
+  return !(env && *env && std::strcmp(env, "0") != 0);
+}();
+
+// ---------------------------------------------------------------------------
+// Legacy Tensor::at() implementations (MBS_NO_NORM_REWRITE=1).
+// ---------------------------------------------------------------------------
+
+Tensor batchnorm_forward_legacy(const Tensor& x, const Tensor& gamma,
+                                const Tensor& beta, NormCache& cache,
+                                float eps) {
   const int n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
   const std::int64_t m = static_cast<std::int64_t>(n) * h * w;
-  cache.x = x;
-  cache.mean = Tensor({c});
-  cache.inv_std = Tensor({c});
   Tensor y(x.shape());
-  cache.xhat = Tensor(x.shape());
   util::parallel_for(c, 1, [&](std::int64_t c0, std::int64_t c1) {
   for (int ch = static_cast<int>(c0); ch < c1; ++ch) {
     double sum = 0, sq = 0;
@@ -52,9 +71,8 @@ Tensor batchnorm_forward(const Tensor& x, const Tensor& gamma,
   return y;
 }
 
-NormGrads batchnorm_backward(const Tensor& dy, const Tensor& gamma,
-                             const NormCache& cache) {
-  util::ScopedKernelTimer timer(util::KernelKind::kNorm);
+NormGrads batchnorm_backward_legacy(const Tensor& dy, const Tensor& gamma,
+                                    const NormCache& cache) {
   const Tensor& x = cache.x;
   const int n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
   const double m = static_cast<double>(n) * h * w;
@@ -89,19 +107,12 @@ NormGrads batchnorm_backward(const Tensor& dy, const Tensor& gamma,
   return g;
 }
 
-Tensor groupnorm_forward(const Tensor& x, const Tensor& gamma,
-                         const Tensor& beta, int groups, NormCache& cache,
-                         float eps) {
-  assert(x.ndim() == 4);
-  util::ScopedKernelTimer timer(util::KernelKind::kNorm);
+Tensor groupnorm_forward_legacy(const Tensor& x, const Tensor& gamma,
+                                const Tensor& beta, int groups,
+                                NormCache& cache, float eps) {
   const int n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
-  assert(c % groups == 0);
   const int cpg = c / groups;
   const double m = static_cast<double>(cpg) * h * w;
-  cache.x = x;
-  cache.mean = Tensor({n, groups});
-  cache.inv_std = Tensor({n, groups});
-  cache.xhat = Tensor(x.shape());
   Tensor y(x.shape());
   util::parallel_for(
       static_cast<std::int64_t>(n) * groups, 1,
@@ -139,9 +150,8 @@ Tensor groupnorm_forward(const Tensor& x, const Tensor& gamma,
   return y;
 }
 
-NormGrads groupnorm_backward(const Tensor& dy, const Tensor& gamma,
-                             int groups, const NormCache& cache) {
-  util::ScopedKernelTimer timer(util::KernelKind::kNorm);
+NormGrads groupnorm_backward_legacy(const Tensor& dy, const Tensor& gamma,
+                                    int groups, const NormCache& cache) {
   const Tensor& x = cache.x;
   const int n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
   const int cpg = c / groups;
@@ -178,6 +188,241 @@ NormGrads groupnorm_backward(const Tensor& dy, const Tensor& gamma,
             g.dx.at(b, cc, i, j) = static_cast<float>(
                 inv * (d - sum_dyg / m - xh * sum_dyg_xhat / m));
           }
+    }
+  });
+  return g;
+}
+
+}  // namespace
+
+void set_norm_rewrite(bool enabled) { g_norm_rewrite = enabled; }
+
+bool norm_rewrite_enabled() { return g_norm_rewrite; }
+
+// ---------------------------------------------------------------------------
+// Raw-pointer implementations (default). Each (b, ch) pair owns one
+// contiguous [H*W] run of the NCHW layout; walking it with a flat index
+// visits elements in exactly the i-then-j order of the legacy loops.
+// ---------------------------------------------------------------------------
+
+Tensor batchnorm_forward(const Tensor& x, const Tensor& gamma,
+                         const Tensor& beta, NormCache& cache, float eps) {
+  assert(x.ndim() == 4);
+  util::ScopedKernelTimer timer(util::KernelKind::kNorm);
+  const int n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
+  const std::int64_t m = static_cast<std::int64_t>(n) * h * w;
+  cache.x = x;
+  cache.mean = Tensor({c});
+  cache.inv_std = Tensor({c});
+  cache.xhat = Tensor(x.shape());
+  if (!g_norm_rewrite) return batchnorm_forward_legacy(x, gamma, beta, cache, eps);
+  Tensor y(x.shape());
+  const std::int64_t plane = static_cast<std::int64_t>(h) * w;
+  util::parallel_for(c, 1, [&](std::int64_t c0, std::int64_t c1) {
+  for (int ch = static_cast<int>(c0); ch < c1; ++ch) {
+    double sum = 0, sq = 0;
+    for (int b = 0; b < n; ++b) {
+      const float* px =
+          x.data() + (static_cast<std::int64_t>(b) * c + ch) * plane;
+      for (std::int64_t t = 0; t < plane; ++t) {
+        const double v = px[t];
+        sum += v;
+        sq += v * v;
+      }
+    }
+    const double mean = sum / static_cast<double>(m);
+    const double var = sq / static_cast<double>(m) - mean * mean;
+    const double inv = 1.0 / std::sqrt(var + eps);
+    cache.mean[ch] = static_cast<float>(mean);
+    cache.inv_std[ch] = static_cast<float>(inv);
+    const float ga = gamma[ch], be = beta[ch];
+    for (int b = 0; b < n; ++b) {
+      const std::int64_t off = (static_cast<std::int64_t>(b) * c + ch) * plane;
+      const float* px = x.data() + off;
+      float* pxh = cache.xhat.data() + off;
+      float* py = y.data() + off;
+      for (std::int64_t t = 0; t < plane; ++t) {
+        const float xh = static_cast<float>((px[t] - mean) * inv);
+        pxh[t] = xh;
+        py[t] = ga * xh + be;
+      }
+    }
+  }
+  });
+  return y;
+}
+
+NormGrads batchnorm_backward(const Tensor& dy, const Tensor& gamma,
+                             const NormCache& cache) {
+  util::ScopedKernelTimer timer(util::KernelKind::kNorm);
+  if (!g_norm_rewrite) return batchnorm_backward_legacy(dy, gamma, cache);
+  const Tensor& x = cache.x;
+  const int n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
+  const double m = static_cast<double>(n) * h * w;
+  const std::int64_t plane = static_cast<std::int64_t>(h) * w;
+  NormGrads g;
+  g.dx = Tensor(x.shape());
+  g.dgamma = Tensor({c});
+  g.dbeta = Tensor({c});
+  util::parallel_for(c, 1, [&](std::int64_t c0, std::int64_t c1) {
+  for (int ch = static_cast<int>(c0); ch < c1; ++ch) {
+    double sum_dy = 0, sum_dy_xhat = 0;
+    for (int b = 0; b < n; ++b) {
+      const std::int64_t off = (static_cast<std::int64_t>(b) * c + ch) * plane;
+      const float* pdy = dy.data() + off;
+      const float* pxh = cache.xhat.data() + off;
+      for (std::int64_t t = 0; t < plane; ++t) {
+        const double d = pdy[t];
+        sum_dy += d;
+        sum_dy_xhat += d * pxh[t];
+      }
+    }
+    g.dbeta[ch] = static_cast<float>(sum_dy);
+    g.dgamma[ch] = static_cast<float>(sum_dy_xhat);
+    const double inv = cache.inv_std[ch];
+    const double gam = gamma[ch];
+    // gam * inv and sum_dy / m appear verbatim in the legacy expression
+    // (left-to-right association), so hoisting them is bit-preserving;
+    // `xh * sum_dy_xhat / m` associates as (xh*sum)/m and must stay
+    // written out.
+    const double gi = gam * inv;
+    const double k1 = sum_dy / m;
+    for (int b = 0; b < n; ++b) {
+      const std::int64_t off = (static_cast<std::int64_t>(b) * c + ch) * plane;
+      const float* pdy = dy.data() + off;
+      const float* pxh = cache.xhat.data() + off;
+      float* pdx = g.dx.data() + off;
+      for (std::int64_t t = 0; t < plane; ++t) {
+        const double d = pdy[t];
+        const double xh = pxh[t];
+        pdx[t] = static_cast<float>(gi * (d - k1 - xh * sum_dy_xhat / m));
+      }
+    }
+  }
+  });
+  return g;
+}
+
+Tensor groupnorm_forward(const Tensor& x, const Tensor& gamma,
+                         const Tensor& beta, int groups, NormCache& cache,
+                         float eps) {
+  assert(x.ndim() == 4);
+  util::ScopedKernelTimer timer(util::KernelKind::kNorm);
+  const int n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
+  assert(c % groups == 0);
+  const int cpg = c / groups;
+  const double m = static_cast<double>(cpg) * h * w;
+  cache.x = x;
+  cache.mean = Tensor({n, groups});
+  cache.inv_std = Tensor({n, groups});
+  cache.xhat = Tensor(x.shape());
+  if (!g_norm_rewrite)
+    return groupnorm_forward_legacy(x, gamma, beta, groups, cache, eps);
+  Tensor y(x.shape());
+  const std::int64_t plane = static_cast<std::int64_t>(h) * w;
+  util::parallel_for(
+      static_cast<std::int64_t>(n) * groups, 1,
+      [&](std::int64_t u0, std::int64_t u1) {
+  for (std::int64_t unit = u0; unit < u1; ++unit) {
+    const int b = static_cast<int>(unit / groups);
+    const int gr = static_cast<int>(unit % groups);
+    // The group's cpg channels are contiguous in NCHW, so the statistics
+    // pass is one flat run (same cc-then-i-then-j visit order).
+    const std::int64_t base =
+        (static_cast<std::int64_t>(b) * c + gr * cpg) * plane;
+    const std::int64_t run = static_cast<std::int64_t>(cpg) * plane;
+    double sum = 0, sq = 0;
+    {
+      const float* px = x.data() + base;
+      for (std::int64_t t = 0; t < run; ++t) {
+        const double v = px[t];
+        sum += v;
+        sq += v * v;
+      }
+    }
+    const double mean = sum / m;
+    const double var = sq / m - mean * mean;
+    const double inv = 1.0 / std::sqrt(var + eps);
+    cache.mean[static_cast<std::int64_t>(b) * groups + gr] =
+        static_cast<float>(mean);
+    cache.inv_std[static_cast<std::int64_t>(b) * groups + gr] =
+        static_cast<float>(inv);
+    for (int cc = gr * cpg; cc < (gr + 1) * cpg; ++cc) {
+      const std::int64_t off = (static_cast<std::int64_t>(b) * c + cc) * plane;
+      const float* px = x.data() + off;
+      float* pxh = cache.xhat.data() + off;
+      float* py = y.data() + off;
+      const float ga = gamma[cc], be = beta[cc];
+      for (std::int64_t t = 0; t < plane; ++t) {
+        const float xh = static_cast<float>((px[t] - mean) * inv);
+        pxh[t] = xh;
+        py[t] = ga * xh + be;
+      }
+    }
+  }
+      });
+  return y;
+}
+
+NormGrads groupnorm_backward(const Tensor& dy, const Tensor& gamma,
+                             int groups, const NormCache& cache) {
+  util::ScopedKernelTimer timer(util::KernelKind::kNorm);
+  if (!g_norm_rewrite)
+    return groupnorm_backward_legacy(dy, gamma, groups, cache);
+  const Tensor& x = cache.x;
+  const int n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
+  const int cpg = c / groups;
+  const double m = static_cast<double>(cpg) * h * w;
+  const std::int64_t plane = static_cast<std::int64_t>(h) * w;
+  NormGrads g;
+  g.dx = Tensor(x.shape());
+  g.dgamma = Tensor({c});
+  g.dbeta = Tensor({c});
+  // dgamma/dbeta accumulate across samples, so the fan-out unit is the
+  // group (channels partition by group); samples stay in-order inside.
+  util::parallel_for(groups, 1, [&](std::int64_t g0, std::int64_t g1) {
+  for (int gr = static_cast<int>(g0); gr < g1; ++gr)
+    for (int b = 0; b < n; ++b) {
+      // Sums over the normalization group, with dy scaled by gamma (the
+      // affine transform sits between xhat and the loss).
+      double sum_dyg = 0, sum_dyg_xhat = 0;
+      for (int cc = gr * cpg; cc < (gr + 1) * cpg; ++cc) {
+        const std::int64_t off =
+            (static_cast<std::int64_t>(b) * c + cc) * plane;
+        const float* pdy = dy.data() + off;
+        const float* pxh = cache.xhat.data() + off;
+        const double ga = gamma[cc];
+        // Float accumulators across the b loop: read-modify-write through
+        // locals keeps the adds in the legacy order and type.
+        float db = g.dbeta[cc], dg = g.dgamma[cc];
+        for (std::int64_t t = 0; t < plane; ++t) {
+          const double d = pdy[t];
+          const double xh = pxh[t];
+          db += static_cast<float>(d);
+          dg += static_cast<float>(d * xh);
+          sum_dyg += d * ga;
+          sum_dyg_xhat += d * ga * xh;
+        }
+        g.dbeta[cc] = db;
+        g.dgamma[cc] = dg;
+      }
+      const double inv =
+          cache.inv_std[static_cast<std::int64_t>(b) * groups + gr];
+      const double k1 = sum_dyg / m;
+      for (int cc = gr * cpg; cc < (gr + 1) * cpg; ++cc) {
+        const std::int64_t off =
+            (static_cast<std::int64_t>(b) * c + cc) * plane;
+        const float* pdy = dy.data() + off;
+        const float* pxh = cache.xhat.data() + off;
+        float* pdx = g.dx.data() + off;
+        const float gaf = gamma[cc];
+        for (std::int64_t t = 0; t < plane; ++t) {
+          const double d = pdy[t] * gaf;  // float multiply, then promote
+          const double xh = pxh[t];
+          pdx[t] = static_cast<float>(
+              inv * (d - k1 - xh * sum_dyg_xhat / m));
+        }
+      }
     }
   });
   return g;

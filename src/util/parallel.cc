@@ -212,10 +212,12 @@ namespace {
 struct KernelCounter {
   std::atomic<std::int64_t> calls{0};
   std::atomic<std::int64_t> nanos{0};
+  std::atomic<std::int64_t> flops{0};
 };
 
 KernelCounter g_kernel_counters[static_cast<int>(KernelKind::kCount)];
 thread_local bool t_in_kernel_timer = false;
+thread_local KernelKind t_outermost_kind = KernelKind::kCount;
 thread_local int t_kernel_path_depth = 0;
 std::atomic<std::int64_t> g_kernel_path_allocs{0};
 
@@ -238,7 +240,14 @@ KernelStat kernel_stat(KernelKind kind) {
   KernelStat s;
   s.calls = c.calls.load(std::memory_order_relaxed);
   s.seconds = static_cast<double>(c.nanos.load(std::memory_order_relaxed)) * 1e-9;
+  s.flops = c.flops.load(std::memory_order_relaxed);
   return s;
+}
+
+void note_kernel_flops(std::int64_t flops) {
+  if (!t_in_kernel_timer || flops <= 0) return;
+  g_kernel_counters[static_cast<int>(t_outermost_kind)].flops.fetch_add(
+      flops, std::memory_order_relaxed);
 }
 
 const char* to_string(KernelKind kind) {
@@ -264,6 +273,7 @@ ScopedKernelTimer::ScopedKernelTimer(KernelKind kind)
   if (in_path_) ++t_kernel_path_depth;
   if (outermost_) {
     t_in_kernel_timer = true;
+    t_outermost_kind = kind;
     start_ns_ = now_ns();
   }
 }
@@ -272,6 +282,7 @@ ScopedKernelTimer::~ScopedKernelTimer() {
   if (in_path_) --t_kernel_path_depth;
   if (!outermost_) return;
   t_in_kernel_timer = false;
+  t_outermost_kind = KernelKind::kCount;
   KernelCounter& c = g_kernel_counters[static_cast<int>(kind_)];
   c.calls.fetch_add(1, std::memory_order_relaxed);
   c.nanos.fetch_add(now_ns() - start_ns_, std::memory_order_relaxed);

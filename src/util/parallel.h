@@ -111,12 +111,22 @@ enum class KernelKind {
 struct KernelStat {
   std::int64_t calls = 0;
   double seconds = 0;
+  /// Useful floating-point work performed under this kind's outermost
+  /// timers (2*M*N*K per GEMM, noted by the GEMM entry points via
+  /// note_kernel_flops) — seconds+flops give per-kind GFLOP/s in the
+  /// MBS_ENGINE_STATS breakdown. 0 for kinds that never note flops.
+  std::int64_t flops = 0;
 };
 
 /// Snapshot of accumulated per-kind kernel time. Only the OUTERMOST timer
 /// on a thread records (a conv's internal GEMM counts as conv time), so the
 /// kinds sum to total kernel time without double counting.
 KernelStat kernel_stat(KernelKind kind);
+
+/// Credits `flops` floating-point operations to the OUTERMOST kernel timer
+/// active on this thread (so a conv's internal GEMM flops count as conv
+/// flops, matching the time attribution). No-op outside any timer scope.
+void note_kernel_flops(std::int64_t flops);
 
 const char* to_string(KernelKind kind);
 

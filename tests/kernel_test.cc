@@ -8,7 +8,12 @@
 // cached-im2col conv backward == uncached across budgets {1, 2, 8} and
 // adversarial geometries (pad > kernel, 1x1, stride 2), util::Arena
 // reuse/rewind/reset semantics, and the Debug zero-allocation contract
-// for steady-state train steps.
+// for steady-state train steps. PR 6 adds the kernel-ISA dispatch layer:
+// the portable and AVX2 microkernel families must be bit-identical to
+// each other and to the naive references on remainder-heavy shapes, an
+// MBS_KERNEL=avx2 request on a host without AVX2 must fall back cleanly,
+// and the raw-pointer norm-loop rewrite must equal the legacy Tensor::at()
+// form bit for bit.
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -22,12 +27,14 @@
 #include "util/arena.h"
 
 #include "train/data.h"
+#include "train/gemm_microkernels.h"
 #include "train/im2col.h"
 #include "train/model.h"
 #include "train/norm.h"
 #include "train/ops.h"
 #include "train/optim.h"
 #include "train/trainer.h"
+#include "util/cpu.h"
 #include "util/parallel.h"
 #include "util/rng.h"
 
@@ -674,6 +681,164 @@ TEST(ZeroAllocContract, SteadyStateTrainStepIsAllocationFree) {
     train_step(model, opt, data.images, data.labels, {8, 8, 8, 8});
   EXPECT_EQ(util::kernel_path_allocs(), before)
       << "steady-state conv/GEMM path touched the heap";
+}
+
+// ---- Kernel-ISA dispatch: portable and AVX2 families are bit-identical ------
+
+/// Pins MBS_KERNEL / MBS_FORCE_NO_AVX2 for one test and restores the
+/// default dispatch (env unset) on the way out.
+struct IsaGuard {
+  ~IsaGuard() {
+    unsetenv("MBS_KERNEL");
+    unsetenv("MBS_FORCE_NO_AVX2");
+    detail::reset_microkernel_dispatch();
+  }
+  void force(const char* isa) {
+    setenv("MBS_KERNEL", isa, 1);
+    detail::reset_microkernel_dispatch();
+  }
+};
+
+bool avx2_available() {
+  return detail::avx2_microkernels() != nullptr && util::cpu_supports_avx2();
+}
+
+class KernelDispatch : public ::testing::TestWithParam<GemmShapeCase> {};
+
+TEST_P(KernelDispatch, BothIsaFamiliesMatchNaiveBitForBit) {
+  const GemmShapeCase p = GetParam();
+  util::Rng rng(101);
+  const Tensor a = Tensor::randn({p.m, p.k}, rng);
+  const Tensor b = Tensor::randn({p.k, p.n}, rng);
+  const Tensor init = Tensor::randn({p.n}, rng, 0.2);
+  Tensor bt({p.n, p.k});
+  for (int i = 0; i < p.k; ++i)
+    for (int j = 0; j < p.n; ++j)
+      bt[static_cast<std::int64_t>(j) * p.k + i] =
+          b[static_cast<std::int64_t>(i) * p.n + j];
+  Tensor at({p.k, p.m});
+  for (int i = 0; i < p.m; ++i)
+    for (int j = 0; j < p.k; ++j)
+      at[static_cast<std::int64_t>(j) * p.m + i] =
+          a[static_cast<std::int64_t>(i) * p.k + j];
+
+  const Tensor ref = naive_matmul(a, b);
+  const Tensor ref_bt = naive_matmul_bt(a, bt);
+  const Tensor ref_at = naive_matmul_at(at, b);
+  Tensor ref_btf({p.m, p.n});
+  for (int i = 0; i < p.m; ++i)
+    for (int j = 0; j < p.n; ++j) {
+      float acc = init[j];
+      for (int kk = 0; kk < p.k; ++kk)
+        acc += a[static_cast<std::int64_t>(i) * p.k + kk] *
+               bt[static_cast<std::int64_t>(j) * p.k + kk];
+      ref_btf[static_cast<std::int64_t>(i) * p.n + j] = acc;
+    }
+
+  IsaGuard guard;
+  BudgetGuard budget;
+  for (const char* isa : {"portable", "avx2"}) {
+    if (std::strcmp(isa, "avx2") == 0 && !avx2_available()) continue;
+    guard.force(isa);
+    ASSERT_EQ(util::to_string(active_gemm_isa()), std::string(isa));
+    for (int budget_n : {1, 3}) {
+      util::set_thread_budget(budget_n);
+      const std::string tag = std::string(isa) + " matmul";
+      expect_bits_equal(matmul(a, b), ref, tag.c_str());
+      expect_bits_equal(matmul_bt(a, bt), ref_bt,
+                        (std::string(isa) + " matmul_bt").c_str());
+      expect_bits_equal(matmul_at(at, b), ref_at,
+                        (std::string(isa) + " matmul_at").c_str());
+      expect_bits_equal(matmul_bt_f32(a, bt, init), ref_btf,
+                        (std::string(isa) + " matmul_bt_f32").c_str());
+    }
+  }
+}
+
+// K >= 128 defeats the shared small-GEMM shortcut, so every case below
+// actually reaches the dispatched microkernels; N values land on the
+// 16-wide block, the 8-wide half-tile, and the masked tail, and odd M
+// exercises every MR row remainder.
+INSTANTIATE_TEST_SUITE_P(
+    RemainderTiles, KernelDispatch,
+    ::testing::Values(GemmShapeCase{5, 131, 7},     // masked tail only
+                      GemmShapeCase{17, 129, 23},   // 16-block + masked tail
+                      GemmShapeCase{3, 200, 33},    // 2x16 + 1-lane tail
+                      GemmShapeCase{4, 128, 16},    // exact tile multiples
+                      GemmShapeCase{2, 257, 9},     // 8-wide + 1-lane tail
+                      GemmShapeCase{1, 131, 1},     // degenerate M = N = 1
+                      GemmShapeCase{33, 130, 15},   // M remainder 1, N 8+7
+                      GemmShapeCase{6, 128, 31}));  // 16+8+masked 7
+
+TEST(KernelDispatch, Avx2RequestWithoutCpuSupportFallsBackCleanly) {
+  IsaGuard guard;
+  setenv("MBS_FORCE_NO_AVX2", "1", 1);
+  guard.force("avx2");
+  EXPECT_EQ(active_gemm_isa(), util::KernelIsa::kPortable);
+  // ...and GEMMs keep working on the fallback path.
+  util::Rng rng(103);
+  const Tensor a = Tensor::randn({9, 130}, rng);
+  const Tensor b = Tensor::randn({130, 11}, rng);
+  expect_bits_equal(matmul(a, b), naive_matmul(a, b), "fallback matmul");
+}
+
+TEST(KernelDispatch, DefaultResolutionPrefersAvx2WhenSupported) {
+  IsaGuard guard;
+  unsetenv("MBS_KERNEL");
+  detail::reset_microkernel_dispatch();
+  if (avx2_available())
+    EXPECT_EQ(active_gemm_isa(), util::KernelIsa::kAvx2);
+  else
+    EXPECT_EQ(active_gemm_isa(), util::KernelIsa::kPortable);
+}
+
+// ---- Norm rewrite: raw-pointer loops == legacy Tensor::at() loops -----------
+
+TEST(NormRewrite, PointerAndLegacyFormsAreBitIdentical) {
+  const bool saved = norm_rewrite_enabled();
+  util::Rng rng(107);
+  const Tensor x = Tensor::randn({3, 4, 9, 7}, rng);  // odd H/W planes
+  const Tensor gamma = Tensor::randn({4}, rng, 0.3);
+  const Tensor beta = Tensor::randn({4}, rng, 0.3);
+  Tensor dy = Tensor::randn(x.shape(), rng);
+
+  auto run_all = [&] {
+    std::vector<Tensor> out;
+    NormCache bc;
+    out.push_back(batchnorm_forward(x, gamma, beta, bc));
+    out.push_back(bc.mean);
+    out.push_back(bc.inv_std);
+    out.push_back(bc.xhat);
+    NormGrads bg = batchnorm_backward(dy, gamma, bc);
+    out.push_back(bg.dx);
+    out.push_back(bg.dgamma);
+    out.push_back(bg.dbeta);
+    NormCache gc;
+    out.push_back(groupnorm_forward(x, gamma, beta, 2, gc));
+    out.push_back(gc.mean);
+    out.push_back(gc.inv_std);
+    NormGrads gg = groupnorm_backward(dy, gamma, 2, gc);
+    out.push_back(gg.dx);
+    out.push_back(gg.dgamma);
+    out.push_back(gg.dbeta);
+    return out;
+  };
+
+  BudgetGuard budget;
+  for (int budget_n : {1, 3}) {
+    util::set_thread_budget(budget_n);
+    set_norm_rewrite(true);
+    const std::vector<Tensor> fast = run_all();
+    set_norm_rewrite(false);
+    const std::vector<Tensor> legacy = run_all();
+    ASSERT_EQ(fast.size(), legacy.size());
+    for (std::size_t i = 0; i < fast.size(); ++i)
+      expect_bits_equal(fast[i], legacy[i],
+                        ("norm rewrite tensor " + std::to_string(i) +
+                         " budget " + std::to_string(budget_n))
+                            .c_str());
+  }
+  set_norm_rewrite(saved);
 }
 
 // ---- Tensor::count overflow guard -------------------------------------------
