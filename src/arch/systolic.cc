@@ -2,6 +2,13 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
+#include <map>
+#include <utility>
+
+#include "core/network.h"
+#include "sched/schedule.h"
+#include "sched/traffic.h"
 
 namespace mbs::arch {
 
@@ -84,6 +91,260 @@ GemmTiming simulate_gemm(const SystolicConfig& cfg, const GemmShape& shape) {
   t.utilization = static_cast<double>(t.macs) /
                   (static_cast<double>(t.cycles) * cfg.rows * cfg.cols);
   return t;
+}
+
+namespace {
+
+constexpr std::int64_t kElemBytes = 2;  // fp16 operands
+
+/// Skewed-wavefront cycles of one fold: `preload` cycles of stationary-
+/// operand shift-in, then a `stream`-long skewed stream across a
+/// `span_a` x `span_b` mapped region (first result after span_a + span_b - 2
+/// cycles of fill/drain skew).
+std::int64_t fold_cycles(std::int64_t preload, std::int64_t stream,
+                         std::int64_t span_a, std::int64_t span_b) {
+  return preload + stream + span_a + span_b - 2;
+}
+
+void add_fold(GemmCycles* g, std::int64_t cycles, std::int64_t mapped,
+              std::int64_t macs, std::int64_t fold_bytes) {
+  g->comp_cycles += cycles;
+  g->mapped_pe_folds += mapped;
+  g->macs += macs;
+  g->folds += 1;
+  g->max_fold_bytes = std::max(g->max_fold_bytes, fold_bytes);
+}
+
+}  // namespace
+
+GemmCycles simulate_gemm_cycles(const SystolicConfig& cfg, Dataflow df,
+                                const GemmShape& shape) {
+  assert(shape.gh > 0 && shape.gw > 0 && shape.k > 0);
+  const std::int64_t R = cfg.rows;
+  const std::int64_t C = cfg.cols;
+  GemmCycles g;
+
+  if (df == Dataflow::kOutputStationary) {
+    // C tiles pinned to the array: Gh folds over rows, Gw over cols, the
+    // full reduction streams through each fold with no partial-sum spills.
+    for (std::int64_t h0 = 0; h0 < shape.gh; h0 += R) {
+      const std::int64_t m_t = std::min(R, shape.gh - h0);
+      for (std::int64_t w0 = 0; w0 < shape.gw; w0 += C) {
+        const std::int64_t n_t = std::min(C, shape.gw - w0);
+        const std::int64_t cycles = fold_cycles(0, shape.k, m_t, n_t);
+        const std::int64_t fold_elems =
+            m_t * shape.k + shape.k * n_t + m_t * n_t;
+        add_fold(&g, cycles, m_t * n_t, m_t * n_t * shape.k,
+                 kElemBytes * fold_elems);
+        g.bytes.a += kElemBytes * m_t * shape.k;
+        g.bytes.b += kElemBytes * shape.k * n_t;
+        g.bytes.c += kElemBytes * m_t * n_t;
+      }
+    }
+    return g;
+  }
+
+  // ws/is fold the reduction over the array rows; C[m_t|n_t x span] partial
+  // sums spill to the scratchpad after each fold and are re-read by every
+  // fold after the first along k.
+  for (std::int64_t k0 = 0; k0 < shape.k; k0 += R) {
+    const std::int64_t k_t = std::min(R, shape.k - k0);
+    const std::int64_t psum_rw = k0 == 0 ? 1 : 2;  // write, plus read-back
+    if (df == Dataflow::kWeightStationary) {
+      for (std::int64_t w0 = 0; w0 < shape.gw; w0 += C) {
+        const std::int64_t n_t = std::min(C, shape.gw - w0);
+        const std::int64_t cycles = fold_cycles(k_t, shape.gh, k_t, n_t);
+        const std::int64_t fold_elems =
+            k_t * n_t + shape.gh * k_t + shape.gh * n_t;
+        add_fold(&g, cycles, k_t * n_t, k_t * n_t * shape.gh,
+                 kElemBytes * fold_elems);
+        g.bytes.a += kElemBytes * shape.gh * k_t;
+        g.bytes.b += kElemBytes * k_t * n_t;
+        g.bytes.c += kElemBytes * psum_rw * shape.gh * n_t;
+      }
+    } else {
+      for (std::int64_t h0 = 0; h0 < shape.gh; h0 += C) {
+        const std::int64_t m_t = std::min(C, shape.gh - h0);
+        const std::int64_t cycles = fold_cycles(k_t, shape.gw, k_t, m_t);
+        const std::int64_t fold_elems =
+            k_t * m_t + shape.gw * k_t + m_t * shape.gw;
+        add_fold(&g, cycles, k_t * m_t, k_t * m_t * shape.gw,
+                 kElemBytes * fold_elems);
+        g.bytes.a += kElemBytes * k_t * m_t;
+        g.bytes.b += kElemBytes * shape.gw * k_t;
+        g.bytes.c += kElemBytes * psum_rw * m_t * shape.gw;
+      }
+    }
+  }
+  return g;
+}
+
+namespace {
+
+using core::Layer;
+using core::LayerKind;
+
+/// DRAM and buffer bytes of one (block, layer) aggregated by phase.
+/// Lock-step with sim/simulator.cc's aggregation (same map, same key).
+struct LayerBytes {
+  double dram[2] = {0, 0};  ///< indexed by 0 = forward, 1 = backward
+  double buf[2] = {0, 0};
+};
+
+// Vector-unit op counts, duplicated verbatim from sim/simulator.cc's
+// anonymous namespace (arch cannot depend on sim). Keep the two in lock
+// step: the differential harness asserts backend agreement on traffic, and
+// any drift here shows up as unexplained time divergence.
+double vector_ops_fwd(const Layer& l) {
+  return static_cast<double>(l.flops_per_sample());
+}
+
+double vector_ops_bwd(const Layer& l) {
+  switch (l.kind) {
+    case LayerKind::kNorm:
+      return 2.0 * static_cast<double>(l.flops_per_sample());
+    case LayerKind::kAct:
+      return static_cast<double>(l.in.elements());
+    case LayerKind::kPool:
+      return static_cast<double>(l.out.elements());
+    case LayerKind::kAdd:
+    case LayerKind::kConcat:
+      return 0;
+    default:
+      return 0;
+  }
+}
+
+/// ceil(bytes / per-cycle rate) as whole cycles; 0 when the rate is
+/// unconstrained (rate <= 0 models infinite bandwidth).
+std::int64_t transfer_cycles(double bytes, double bytes_per_cycle) {
+  if (bytes_per_cycle <= 0 || bytes <= 0) return 0;
+  return static_cast<std::int64_t>(std::ceil(bytes / bytes_per_cycle));
+}
+
+}  // namespace
+
+SystolicStepResult simulate_systolic_step(const core::Network& net,
+                                          const sched::Schedule& schedule,
+                                          const sched::Traffic& traffic,
+                                          const SystolicSimParams& p) {
+  const SystolicConfig& cfg = p.array;
+  const Dataflow df = p.options.dataflow;
+
+  std::map<std::pair<int, int>, LayerBytes> by_layer;
+  for (const sched::TrafficRecord& r : traffic.records) {
+    LayerBytes& lb = by_layer[{r.block, r.layer}];
+    const int ph = r.phase == sched::Phase::kForward ? 0 : 1;
+    lb.dram[ph] += r.dram_read + r.dram_write;
+    lb.buf[ph] += r.buf_read + r.buf_write;
+  }
+
+  const double dram_bpc = p.dram_bw_bytes_per_s > 0
+                              ? p.dram_bw_bytes_per_s / cfg.clock_hz
+                              : 0;
+  const double buf_bpc =
+      p.buffer_bw_bytes > 0 ? p.buffer_bw_bytes / cfg.clock_hz : 0;
+  const double vec_opc =
+      p.vector_flops > 0 ? p.vector_flops / cfg.clock_hz : 0;
+
+  SystolicStepResult out;
+  std::int64_t gemm_macs = 0;
+  std::int64_t folds_total = 0;
+  std::int64_t mapped_pe_total = 0;
+  OperandBytes stream;
+
+  bool first_gemm = true;
+  for (std::size_t bi = 0; bi < net.blocks.size(); ++bi) {
+    const sched::Group& grp = schedule.groups[static_cast<std::size_t>(
+        schedule.group_of_block(static_cast<int>(bi)))];
+    const std::vector<int> chunks = grp.chunks(schedule.mini_batch);
+
+    int li = 0;
+    net.blocks[bi].for_each_layer([&](const Layer& l, int) {
+      const LayerBytes lb = by_layer[{static_cast<int>(bi), li}];
+      ++li;
+
+      std::int64_t comp[2] = {0, 0};  // forward, backward
+      std::int64_t max_fold_bytes = 0;
+      bool gate_on_scratchpad = false;
+      if (l.is_gemm()) {
+        gate_on_scratchpad = true;
+        const bool skip_dgrad = first_gemm;
+        first_gemm = false;
+        auto run = [&](int sub_batch, GemmPass pass, int phase) {
+          const GemmCycles gc =
+              simulate_gemm_cycles(cfg, df, gemm_shape(l, sub_batch, pass));
+          comp[phase] += gc.comp_cycles;
+          gemm_macs += gc.macs;
+          folds_total += gc.folds;
+          mapped_pe_total += gc.mapped_pe_folds;
+          stream.a += gc.bytes.a;
+          stream.b += gc.bytes.b;
+          stream.c += gc.bytes.c;
+          max_fold_bytes = std::max(max_fold_bytes, gc.max_fold_bytes);
+        };
+        for (int c : chunks) {
+          run(c, GemmPass::kForward, 0);
+          run(c, GemmPass::kWeightGrad, 1);
+          if (!skip_dgrad) run(c, GemmPass::kDataGrad, 1);
+        }
+      } else {
+        // Vector layers: op throughput, floored by global-buffer bandwidth
+        // (mirrors the analytic model's max with buffer time).
+        const double n = schedule.mini_batch;
+        const std::int64_t ops_f = vec_opc > 0
+            ? static_cast<std::int64_t>(
+                  std::ceil(vector_ops_fwd(l) * n / vec_opc))
+            : 0;
+        const std::int64_t ops_b = vec_opc > 0
+            ? static_cast<std::int64_t>(
+                  std::ceil(vector_ops_bwd(l) * n / vec_opc))
+            : 0;
+        comp[0] = std::max(ops_f, transfer_cycles(lb.buf[0], buf_bpc));
+        comp[1] = std::max(ops_b, transfer_cycles(lb.buf[1], buf_bpc));
+      }
+
+      // Double-buffer gate: a GEMM layer's DRAM transfers overlap compute
+      // only when two copies of its largest fold fit in the scratchpad
+      // (one computing, one filling); otherwise transfer and compute
+      // serialize. Vector layers stream through the (double-buffered)
+      // global buffer and always overlap.
+      const bool overlap =
+          !gate_on_scratchpad || 2 * max_fold_bytes <= p.options.scratchpad_bytes;
+      for (int ph = 0; ph < 2; ++ph) {
+        const std::int64_t dram = transfer_cycles(lb.dram[ph], dram_bpc);
+        out.stats.comp_cycles += comp[ph];
+        out.stats.stall_cycles +=
+            overlap ? std::max<std::int64_t>(0, dram - comp[ph]) : dram;
+      }
+    });
+  }
+
+  const std::int64_t total = out.stats.total_cycles();
+  out.stats.util =
+      total > 0 ? static_cast<double>(gemm_macs) /
+                      (static_cast<double>(total) * cfg.rows * cfg.cols)
+                : 0;
+  out.stats.mapping_eff =
+      folds_total > 0 ? static_cast<double>(mapped_pe_total) /
+                            (static_cast<double>(folds_total) * cfg.rows *
+                             cfg.cols)
+                      : 0;
+
+  out.time_s = static_cast<double>(total) / cfg.clock_hz;
+  out.compute_time_s = static_cast<double>(out.stats.comp_cycles) / cfg.clock_hz;
+  out.stall_time_s = static_cast<double>(out.stats.stall_cycles) / cfg.clock_hz;
+
+  // Chip-level totals; DRAM bytes are the schedule's analytic traffic by
+  // construction, so the backends can never disagree on bytes moved.
+  out.dram_bytes = p.cores * traffic.dram_bytes();
+  out.total_macs = static_cast<double>(p.cores) * static_cast<double>(gemm_macs);
+  if (out.time_s > 0) {
+    out.bw_ifmap = static_cast<double>(stream.a) / out.time_s;
+    out.bw_filter = static_cast<double>(stream.b) / out.time_s;
+    out.bw_ofmap = static_cast<double>(stream.c) / out.time_s;
+  }
+  return out;
 }
 
 }  // namespace mbs::arch

@@ -263,6 +263,38 @@ arch::GpuStepResult read_gpu_step(Reader& r) {
   return s;
 }
 
+void write_systolic_step(Writer& w, const arch::SystolicStepResult& s) {
+  w.put_int(s.stats.comp_cycles);
+  w.put_int(s.stats.stall_cycles);
+  w.put_double(s.stats.util);
+  w.put_double(s.stats.mapping_eff);
+  w.put_double(s.time_s);
+  w.put_double(s.compute_time_s);
+  w.put_double(s.stall_time_s);
+  w.put_double(s.dram_bytes);
+  w.put_double(s.total_macs);
+  w.put_double(s.bw_ifmap);
+  w.put_double(s.bw_filter);
+  w.put_double(s.bw_ofmap);
+}
+
+arch::SystolicStepResult read_systolic_step(Reader& r) {
+  arch::SystolicStepResult s;
+  s.stats.comp_cycles = r.read_int();
+  s.stats.stall_cycles = r.read_int();
+  s.stats.util = r.read_double();
+  s.stats.mapping_eff = r.read_double();
+  s.time_s = r.read_double();
+  s.compute_time_s = r.read_double();
+  s.stall_time_s = r.read_double();
+  s.dram_bytes = r.read_double();
+  s.total_macs = r.read_double();
+  s.bw_ifmap = r.read_double();
+  s.bw_filter = r.read_double();
+  s.bw_ofmap = r.read_double();
+  return s;
+}
+
 }  // namespace
 
 CacheStore::CacheStore(std::string path) : path_(std::move(path)) {}
@@ -287,6 +319,7 @@ void CacheStore::ensure_loaded() {
       traffics_.clear();
       steps_.clear();
       gpu_steps_.clear();
+      systolic_steps_.clear();
       loaded_ = 0;
       std::fprintf(stderr,
                    "CacheStore: %s is stale or malformed; starting cold\n",
@@ -299,7 +332,11 @@ bool CacheStore::parse_file(const std::string& text) {
   Reader r(text);
   if (r.read_string() != "mbs-cache") return false;
   if (r.read_int() != kFormatVersion) return false;
-  if (r.read_string() != kSchemaStamp) return false;
+  const std::string stamp = r.read_string();
+  // A legacy-stamp file predates the sys stage, so it cannot hold "sys"
+  // records; every record layout it can hold is unchanged. Accepting it
+  // keeps pre-existing warm caches valid across the upgrade.
+  if (stamp != kSchemaStamp && stamp != kLegacySchemaStamp) return false;
   while (!r.at_end() && !r.fail()) {
     const std::string stage = r.read_string();
     const std::string key = r.read_string();
@@ -313,12 +350,14 @@ bool CacheStore::parse_file(const std::string& text) {
       steps_[key] = read_step(r);
     else if (stage == "gpu")
       gpu_steps_[key] = read_gpu_step(r);
+    else if (stage == "sys")
+      systolic_steps_[key] = read_systolic_step(r);
     else
       return false;
   }
   if (r.fail()) return false;
   loaded_ = networks_.size() + schedules_.size() + traffics_.size() +
-            steps_.size() + gpu_steps_.size();
+            steps_.size() + gpu_steps_.size() + systolic_steps_.size();
   return true;
 }
 
@@ -352,6 +391,11 @@ std::string CacheStore::serialize() const {
     w.put_string(key);
     write_gpu_step(w, v);
   }
+  for (const auto& [key, v] : systolic_steps_) {
+    w.put_string("sys");
+    w.put_string(key);
+    write_systolic_step(w, v);
+  }
   return w.str();
 }
 
@@ -377,6 +421,8 @@ MBS_CACHE_STORE_STAGE(load_traffic, put_traffic, traffics_, sched::Traffic)
 MBS_CACHE_STORE_STAGE(load_step, put_step, steps_, sim::StepResult)
 MBS_CACHE_STORE_STAGE(load_gpu_step, put_gpu_step, gpu_steps_,
                       arch::GpuStepResult)
+MBS_CACHE_STORE_STAGE(load_systolic_step, put_systolic_step, systolic_steps_,
+                      arch::SystolicStepResult)
 
 #undef MBS_CACHE_STORE_STAGE
 
@@ -432,7 +478,7 @@ std::size_t CacheStore::loaded_entries() const {
 std::size_t CacheStore::entry_count() const {
   std::lock_guard<std::mutex> lock(mu_);
   return networks_.size() + schedules_.size() + traffics_.size() +
-         steps_.size() + gpu_steps_.size();
+         steps_.size() + gpu_steps_.size() + systolic_steps_.size();
 }
 
 bool CacheStore::dirty() const {

@@ -37,7 +37,14 @@ class CacheStore {
   static constexpr int kFormatVersion = 1;
   /// Bumped (per stage) when a serialized struct gains/loses fields.
   /// sched2: Group gained the `members` list (non-contiguous grouping).
+  /// sys1: the cycle-level systolic-step stage joined the file.
   static constexpr const char* kSchemaStamp =
+      "net1;sched2;traffic1;step1;gpu1;sys1";
+  /// Still-accepted older stamps. A stage tag bump invalidates only files
+  /// whose existing records changed layout; a file written before a brand-new
+  /// stage existed cannot contain records of that stage, so it stays valid
+  /// (warm starts survive the upgrade; only the new stage starts cold).
+  static constexpr const char* kLegacySchemaStamp =
       "net1;sched2;traffic1;step1;gpu1";
 
   explicit CacheStore(std::string path);
@@ -53,12 +60,16 @@ class CacheStore {
   bool load_traffic(const std::string& key, sched::Traffic* out);
   bool load_step(const std::string& key, sim::StepResult* out);
   bool load_gpu_step(const std::string& key, arch::GpuStepResult* out);
+  bool load_systolic_step(const std::string& key,
+                          arch::SystolicStepResult* out);
 
   void put_network(const std::string& key, const core::Network& v);
   void put_schedule(const std::string& key, const sched::Schedule& v);
   void put_traffic(const std::string& key, const sched::Traffic& v);
   void put_step(const std::string& key, const sim::StepResult& v);
   void put_gpu_step(const std::string& key, const arch::GpuStepResult& v);
+  void put_systolic_step(const std::string& key,
+                         const arch::SystolicStepResult& v);
 
   /// Writes every entry back when new ones were added since load (temp file
   /// + rename; creates the parent directory). Returns false on IO failure,
@@ -87,6 +98,7 @@ class CacheStore {
   std::unordered_map<std::string, sched::Traffic> traffics_;
   std::unordered_map<std::string, sim::StepResult> steps_;
   std::unordered_map<std::string, arch::GpuStepResult> gpu_steps_;
+  std::unordered_map<std::string, arch::SystolicStepResult> systolic_steps_;
   std::size_t loaded_ = 0;
   bool dirty_ = false;
 };

@@ -117,6 +117,7 @@ Driver::~Driver() {
   print_stage("traffic", s.traffic_misses, s.traffic_disk_hits);
   print_stage("step", s.step_misses, s.step_disk_hits);
   print_stage("gpu", s.gpu_misses, s.gpu_disk_hits);
+  print_stage("sys", s.systolic_misses, s.systolic_disk_hits);
   std::fprintf(stderr, "\n");
   if (store_)
     std::fprintf(stderr, "[mbs-engine] cache-store %s: %zu loaded, %zu entries\n",

@@ -91,6 +91,28 @@ const arch::GpuStepResult& Evaluator::gpu_step(const Scenario& s) {
       &EvaluatorStats::gpu_disk_hits);
 }
 
+const arch::SystolicStepResult& Evaluator::systolic_step(const Scenario& s) {
+  assert(s.device == Device::kSystolic);
+  return stage(
+      systolic_steps_, s.cache_key(), &CacheStore::load_systolic_step,
+      &CacheStore::put_systolic_step,
+      [&] {
+        arch::SystolicSimParams p;
+        p.array = s.hw.systolic;
+        p.options = s.systolic;
+        p.dram_bw_bytes_per_s =
+            s.hw.unlimited_dram_bw ? 0
+                                   : s.hw.memory.per_core_bandwidth(s.hw.cores);
+        p.buffer_bw_bytes = s.hw.buffer_bw_bytes;
+        p.vector_flops = s.hw.vector_flops;
+        p.cores = s.hw.cores;
+        return arch::simulate_systolic_step(network(s.network), schedule(s),
+                                            traffic(s), p);
+      },
+      &EvaluatorStats::systolic_hits, &EvaluatorStats::systolic_misses,
+      &EvaluatorStats::systolic_disk_hits);
+}
+
 EvaluatorStats Evaluator::stats() const {
   std::lock_guard<std::mutex> lock(stats_mu_);
   return stats_;

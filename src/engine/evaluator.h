@@ -41,6 +41,7 @@ struct EvaluatorStats {
   std::int64_t traffic_hits = 0, traffic_misses = 0, traffic_disk_hits = 0;
   std::int64_t step_hits = 0, step_misses = 0, step_disk_hits = 0;
   std::int64_t gpu_hits = 0, gpu_misses = 0, gpu_disk_hits = 0;
+  std::int64_t systolic_hits = 0, systolic_misses = 0, systolic_disk_hits = 0;
 };
 
 namespace detail {
@@ -116,6 +117,11 @@ class Evaluator {
   /// Scenario::cache_key().
   const arch::GpuStepResult& gpu_step(const Scenario& s);
 
+  /// arch::simulate_systolic_step for kSystolic scenarios, memoized by
+  /// Scenario::cache_key() (which carries the `dev=systolic` tag plus the
+  /// dataflow/scratchpad fields on top of the WaveCore hardware point).
+  const arch::SystolicStepResult& systolic_step(const Scenario& s);
+
   /// Snapshot of the hit/miss counters.
   EvaluatorStats stats() const;
 
@@ -127,6 +133,7 @@ class Evaluator {
   detail::KeyedCache<sched::Traffic> traffics_;
   detail::KeyedCache<sim::StepResult> steps_;
   detail::KeyedCache<arch::GpuStepResult> gpu_steps_;
+  detail::KeyedCache<arch::SystolicStepResult> systolic_steps_;
 
   mutable std::mutex stats_mu_;
   EvaluatorStats stats_;

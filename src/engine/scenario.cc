@@ -43,6 +43,7 @@ const char* to_string(Device d) {
   switch (d) {
     case Device::kWaveCore: return "WaveCore";
     case Device::kGpu: return "GPU";
+    case Device::kSystolic: return "Systolic";
   }
   return "?";
 }
@@ -82,7 +83,13 @@ std::string Scenario::cache_key() const {
     field(key, "im2col", gpu.materialize_im2col);
     return key;
   }
-  std::string key = schedule_key();
+  std::string key;
+  // Like params.variant in schedule_key(): the device tag appears only for
+  // non-default devices, so every pre-existing kWaveCore key keeps its
+  // exact bytes. No collision is possible: kWaveCore keys start with the
+  // net field, never with a dev field.
+  if (device == Device::kSystolic) field(key, "dev", std::string("systolic"));
+  key += schedule_key();
   field(key, "rows", hw.systolic.rows);
   field(key, "cols", hw.systolic.cols);
   field(key, "clk", hw.systolic.clock_hz);
@@ -103,6 +110,10 @@ std::string Scenario::cache_key() const {
   field(key, "ezero", hw.energy.zero_skip_fraction);
   field(key, "estat", hw.energy.static_power_w);
   field(key, "nobw", hw.unlimited_dram_bw);
+  if (device == Device::kSystolic) {
+    field(key, "df", std::string(arch::to_string(systolic.dataflow)));
+    field(key, "spad", systolic.scratchpad_bytes);
+  }
   return key;
 }
 

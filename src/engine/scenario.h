@@ -23,6 +23,7 @@ namespace mbs::engine {
 enum class Device {
   kWaveCore,  ///< the Sec. 4.2 accelerator model (sim::simulate_step)
   kGpu,       ///< the analytical V100 comparator (arch::simulate_gpu_step)
+  kSystolic,  ///< cycle-level systolic backend (arch::simulate_systolic_step)
 };
 
 const char* to_string(Device d);
@@ -60,6 +61,9 @@ struct Scenario {
   Device device = Device::kWaveCore;
   arch::GpuModel gpu;      ///< used when device == kGpu
   int gpu_mini_batch = 64; ///< global mini-batch for the GPU comparator
+  /// Cycle-backend mapping knobs (dataflow, scratchpad); used when
+  /// device == kSystolic. The array geometry itself comes from `hw`.
+  arch::SystolicOptions systolic;
 
   /// Evaluation depth (not part of any cache key: each stage memoizes
   /// independently, so deep and shallow scenarios share work).

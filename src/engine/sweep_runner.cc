@@ -54,6 +54,28 @@ const ScenarioResult& SweepResults::operator[](std::size_t i) const {
   return *slot;
 }
 
+namespace {
+
+/// The kSimulate-depth work of a scheduled (non-GPU) scenario: runs the
+/// device-specific step model and maps its metrics into `r.step` so mixed
+/// sweeps tabulate uniformly. Shared by the serial path and the grouped
+/// phase-2 fan-out so both produce identical entries.
+void simulate_into(ScenarioResult& r, const Scenario& s, Evaluator& eval) {
+  if (s.device == Device::kSystolic) {
+    r.systolic = eval.systolic_step(s);
+    r.step.time_s = r.systolic.time_s;
+    r.step.dram_bytes = r.systolic.dram_bytes;
+    r.step.total_macs = r.systolic.total_macs;
+    r.step.systolic_utilization = r.systolic.stats.util;
+    r.step.compute_time_s = r.systolic.compute_time_s;
+    r.step.memory_time_s = r.systolic.stall_time_s;
+  } else {
+    r.step = eval.step(s);
+  }
+}
+
+}  // namespace
+
 ScenarioResult evaluate_scenario(const Scenario& s, Evaluator& eval) {
   ScenarioResult r;
   r.scenario = s;
@@ -67,7 +89,7 @@ ScenarioResult evaluate_scenario(const Scenario& s, Evaluator& eval) {
   } else {
     if (s.stage >= Stage::kSchedule) r.schedule = &eval.schedule(s);
     if (s.stage >= Stage::kTraffic) r.traffic = &eval.traffic(s);
-    if (s.stage >= Stage::kSimulate) r.step = eval.step(s);
+    if (s.stage >= Stage::kSimulate) simulate_into(r, s, eval);
   }
   return r;
 }
@@ -134,9 +156,9 @@ void SweepRunner::evaluate_indices(const std::vector<Scenario>& scenarios,
     return;
   }
 
-  // Group the WaveCore scenarios that run the scheduler by schedule cache
-  // key; GPU and network-only scenarios stay ungrouped (they share no
-  // schedule-stage work).
+  // Group the scenarios that run the scheduler (WaveCore and the cycle
+  // backend both do) by schedule cache key; GPU and network-only scenarios
+  // stay ungrouped (they share no schedule-stage work).
   struct Group {
     std::size_t repr;  ///< first member, in input order
     Stage deepest;     ///< deepest stage any member needs
@@ -146,7 +168,7 @@ void SweepRunner::evaluate_indices(const std::vector<Scenario>& scenarios,
   std::vector<std::int64_t> group_of(indices.size(), -1);
   for (std::size_t k = 0; k < indices.size(); ++k) {
     const Scenario& s = scenarios[indices[k]];
-    if (s.device != Device::kWaveCore || s.stage < Stage::kSchedule) continue;
+    if (s.device == Device::kGpu || s.stage < Stage::kSchedule) continue;
     const auto [it, inserted] =
         group_by_key.emplace(s.schedule_key(), groups.size());
     if (inserted)
@@ -190,7 +212,7 @@ void SweepRunner::evaluate_indices(const std::vector<Scenario>& scenarios,
     r.network = &eval.network(s.network);
     if (s.stage >= Stage::kSchedule) r.schedule = sh.schedule;
     if (s.stage >= Stage::kTraffic) r.traffic = sh.traffic;
-    if (s.stage >= Stage::kSimulate) r.step = eval.step(s);
+    if (s.stage >= Stage::kSimulate) simulate_into(r, s, eval);
     out[k] = std::move(r);
   });
 }

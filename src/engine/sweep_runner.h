@@ -54,11 +54,12 @@ struct ScenarioResult {
   const core::Network* network = nullptr;
   const sched::Schedule* schedule = nullptr;
   const sched::Traffic* traffic = nullptr;
-  /// WaveCore step metrics; for kGpu scenarios the time/traffic fields are
-  /// mapped from the GPU estimate so sweeps mixing devices tabulate
-  /// uniformly.
+  /// WaveCore step metrics; for kGpu/kSystolic scenarios the time/traffic
+  /// fields are mapped from the device-specific estimate so sweeps mixing
+  /// devices tabulate uniformly.
   sim::StepResult step;
   arch::GpuStepResult gpu;  ///< populated only for kGpu scenarios
+  arch::SystolicStepResult systolic;  ///< populated only for kSystolic ones
 };
 
 /// Evaluates one scenario against `eval` (the serial reference path; the

@@ -109,6 +109,56 @@ TEST(Scenario, GpuKeyIsDisjointFromWaveCoreKey) {
   EXPECT_NE(wave.cache_key(), gpu.cache_key());
 }
 
+TEST(Scenario, WaveCoreKeysAreByteFrozenAtTheirPreSystolicValues) {
+  // The cycle backend rides in on a new `dev=systolic` tag; pre-existing
+  // devices must keep their exact key bytes so warm caches written before
+  // the backend landed stay valid. These literals were captured from the
+  // tree immediately before the systolic backend merged — a mismatch here
+  // means every on-disk cache in the wild just went cold.
+  const Scenario s = mbs2_scenario();
+  EXPECT_EQ(s.schedule_key(),
+            "net=resnet50;cfg=MBS2;buf=10485760;mb=0;opt=0;ft=0;");
+  EXPECT_EQ(s.cache_key(),
+            "net=resnet50;cfg=MBS2;buf=10485760;mb=0;opt=0;ft=0;"
+            "rows=128;cols=128;clk=700000000;acc=131072;mem=HBM2;"
+            "membw=322122547200;memcap=8589934592;memch=8;mempj=25;cores=2;"
+            "gbuf=10485760;gbw=537944653824;vflops=2870000000000;edram=25;"
+            "ebuf=3.1000000000000001;emac=2;evec=0.40000000000000002;"
+            "ezero=0.40000000000000002;estat=4;nobw=0;");
+  // No systolic axis may leak into the default device's key.
+  EXPECT_EQ(s.cache_key().find("dev="), std::string::npos);
+  EXPECT_EQ(s.cache_key().find("df="), std::string::npos);
+  EXPECT_EQ(s.cache_key().find("spad="), std::string::npos);
+}
+
+TEST(Scenario, GpuKeyIsByteFrozenAtItsPreSystolicValue) {
+  Scenario s = mbs2_scenario();
+  s.device = Device::kGpu;
+  EXPECT_EQ(s.cache_key(),
+            "dev=gpu;net=resnet50;gmb=64;flops=125000000000000;"
+            "bw=900000000000;sm=80;tile=128;bps=2;ko=1.2e-05;"
+            "eff=0.55000000000000004;im2col=1;");
+}
+
+TEST(Scenario, SystolicKeyIsTaggedAndDistinguishesItsAxes) {
+  Scenario s = mbs2_scenario();
+  s.device = Device::kSystolic;
+  EXPECT_EQ(s.cache_key().rfind("dev=systolic;", 0), 0u);
+  EXPECT_NE(s.cache_key().find("df=os;"), std::string::npos);
+  EXPECT_NE(s.cache_key().find("spad=524288;"), std::string::npos);
+  EXPECT_NE(s.cache_key(), mbs2_scenario().cache_key());
+  Scenario ws = s;
+  ws.systolic.dataflow = arch::Dataflow::kWeightStationary;
+  EXPECT_NE(ws.cache_key(), s.cache_key());
+  Scenario big = s;
+  big.systolic.scratchpad_bytes *= 2;
+  EXPECT_NE(big.cache_key(), s.cache_key());
+  // The schedule axis is untouched: both backends share scheduler work,
+  // so the sweep runner batches them into one schedule group.
+  EXPECT_EQ(s.schedule_key(), mbs2_scenario().schedule_key());
+  EXPECT_EQ(ws.schedule_key(), s.schedule_key());
+}
+
 TEST(Scenario, GridIsNetworkMajor) {
   const auto grid = scenario_grid({"resnet50", "alexnet"},
                                   {sched::ExecConfig::kBaseline,
@@ -893,6 +943,208 @@ TEST(Sharding, MergedShardDocumentsAreByteIdenticalToUnsharded) {
     json_sink.write_json(json);
     EXPECT_EQ(csv.str(), ref_csv.str()) << count << " shards";
     EXPECT_EQ(json.str(), ref_json.str()) << count << " shards";
+  }
+}
+
+// ---- Analytic vs cycle backend ----------------------------------------------
+
+TEST(BackendDifferential, UnconstrainedCycleTrafficMatchesAnalyticAcrossZoo) {
+  // The central conservation law of the cycle backend: it charges DRAM
+  // stalls against the schedule's analytic traffic, so with bandwidth out
+  // of the picture the two backends must agree on bytes exactly — for
+  // every network in the zoo and every dataflow — and the cycle model must
+  // report zero stall cycles.
+  Evaluator eval;
+  for (const std::string& net : models::all_network_names()) {
+    Scenario analytic = mbs2_scenario(net);
+    analytic.hw.unlimited_dram_bw = true;
+    const sim::StepResult& step = eval.step(analytic);
+    const double traffic_bytes =
+        analytic.hw.cores * eval.traffic(analytic).dram_bytes();
+    for (const arch::Dataflow df :
+         {arch::Dataflow::kOutputStationary,
+          arch::Dataflow::kWeightStationary,
+          arch::Dataflow::kInputStationary}) {
+      Scenario cycle = analytic;
+      cycle.device = Device::kSystolic;
+      cycle.systolic.dataflow = df;
+      const arch::SystolicStepResult& sys = eval.systolic_step(cycle);
+      EXPECT_DOUBLE_EQ(sys.dram_bytes, step.dram_bytes)
+          << net << " " << arch::to_string(df);
+      EXPECT_DOUBLE_EQ(sys.dram_bytes, traffic_bytes)
+          << net << " " << arch::to_string(df);
+      EXPECT_DOUBLE_EQ(sys.total_macs, step.total_macs)
+          << net << " " << arch::to_string(df);
+      EXPECT_EQ(sys.stats.stall_cycles, 0)
+          << net << " " << arch::to_string(df);
+    }
+  }
+}
+
+TEST(BackendDifferential, MixedSweepTabulatesCycleMetricsIntoStepFields) {
+  Scenario wave = mbs2_scenario("alexnet");
+  Scenario cycle = wave;
+  cycle.device = Device::kSystolic;
+  Evaluator eval;
+  const auto results = SweepRunner().run({wave, cycle}, eval);
+  const ScenarioResult& r = results[1];
+  EXPECT_EQ(r.step.time_s, r.systolic.time_s);
+  EXPECT_EQ(r.step.dram_bytes, r.systolic.dram_bytes);
+  EXPECT_EQ(r.step.total_macs, r.systolic.total_macs);
+  EXPECT_EQ(r.step.systolic_utilization, r.systolic.stats.util);
+  EXPECT_EQ(r.step.compute_time_s, r.systolic.compute_time_s);
+  EXPECT_EQ(r.step.memory_time_s, r.systolic.stall_time_s);
+  // Both backends ran from one shared schedule/traffic pair (they have the
+  // same schedule key, so schedule-group batching hands out one object).
+  EXPECT_EQ(results[0].schedule, r.schedule);
+  EXPECT_EQ(results[0].traffic, r.traffic);
+  // The cycle backend inherits the schedule's traffic by construction, so
+  // DRAM bytes match the analytic row even under constrained bandwidth.
+  EXPECT_DOUBLE_EQ(results[0].step.dram_bytes, r.step.dram_bytes);
+}
+
+TEST(CacheStore, SystolicEntriesPersistAndWarmStartFromDisk) {
+  const std::string dir = test_cache_dir("sys_warm");
+  const std::string path = dir + "/evaluator.mbscache";
+  std::remove(path.c_str());
+
+  std::vector<Scenario> grid;
+  for (const char* net : {"alexnet", "vit_small"})
+    for (int dev = 0; dev < 2; ++dev) {
+      Scenario s = mbs2_scenario(net);
+      if (dev == 1) s.device = Device::kSystolic;
+      grid.push_back(s);
+    }
+
+  CacheStore cold_store(path);
+  Evaluator cold_eval(&cold_store);
+  const auto cold = SweepRunner().run(grid, cold_eval);
+  const EvaluatorStats cold_stats = cold_eval.stats();
+  EXPECT_EQ(cold_stats.systolic_misses, 2);
+  EXPECT_EQ(cold_stats.systolic_disk_hits, 0);
+  ASSERT_TRUE(cold_store.save());
+
+  // A fresh process-equivalent serves every systolic entry from disk,
+  // bit-identically, and computes nothing new.
+  CacheStore warm_store(path);
+  Evaluator warm_eval(&warm_store);
+  const auto warm = SweepRunner().run(grid, warm_eval);
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    EXPECT_TRUE(step_equal(warm[i].step, cold[i].step)) << "scenario " << i;
+    EXPECT_EQ(warm[i].systolic.stats.comp_cycles,
+              cold[i].systolic.stats.comp_cycles);
+    EXPECT_EQ(warm[i].systolic.stats.stall_cycles,
+              cold[i].systolic.stats.stall_cycles);
+    EXPECT_EQ(warm[i].systolic.stats.util, cold[i].systolic.stats.util);
+    EXPECT_EQ(warm[i].systolic.stats.mapping_eff,
+              cold[i].systolic.stats.mapping_eff);
+    EXPECT_EQ(warm[i].systolic.time_s, cold[i].systolic.time_s);
+    EXPECT_EQ(warm[i].systolic.dram_bytes, cold[i].systolic.dram_bytes);
+    EXPECT_EQ(warm[i].systolic.bw_ifmap, cold[i].systolic.bw_ifmap);
+    EXPECT_EQ(warm[i].systolic.bw_filter, cold[i].systolic.bw_filter);
+    EXPECT_EQ(warm[i].systolic.bw_ofmap, cold[i].systolic.bw_ofmap);
+  }
+  const EvaluatorStats warm_stats = warm_eval.stats();
+  EXPECT_EQ(warm_stats.systolic_disk_hits, warm_stats.systolic_misses);
+  EXPECT_GT(warm_stats.systolic_disk_hits, 0);
+  EXPECT_FALSE(warm_store.dirty());
+  std::remove(path.c_str());
+}
+
+TEST(CacheStore, LegacyPreSystolicStampStillLoadsWarm) {
+  const std::string dir = test_cache_dir("legacy");
+  const std::string path = dir + "/evaluator.mbscache";
+  std::remove(path.c_str());
+
+  const Scenario s = mbs2_scenario("alexnet");
+  sim::StepResult ref;
+  {
+    CacheStore store(path);
+    Evaluator eval(&store);
+    ref = eval.step(s);
+    ASSERT_TRUE(store.save());
+  }
+  // Rewind the stamp to its pre-systolic value (serde strings are
+  // length-prefixed, so splice prefix and payload together). The file then
+  // looks exactly like one written before the sys stage existed — no "sys"
+  // records, legacy stamp — and must still load warm, not start cold.
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream text;
+    text << in.rdbuf();
+    std::string doc = text.str();
+    const std::string current =
+        std::to_string(std::strlen(CacheStore::kSchemaStamp)) + ":" +
+        CacheStore::kSchemaStamp;
+    const std::string legacy =
+        std::to_string(std::strlen(CacheStore::kLegacySchemaStamp)) + ":" +
+        CacheStore::kLegacySchemaStamp;
+    const std::size_t pos = doc.find(current);
+    ASSERT_NE(pos, std::string::npos);
+    doc.replace(pos, current.size(), legacy);
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << doc;
+  }
+  CacheStore legacy_store(path);
+  Evaluator eval(&legacy_store);
+  const sim::StepResult& warm = eval.step(s);
+  EXPECT_TRUE(step_equal(warm, ref));
+  const EvaluatorStats stats = eval.stats();
+  EXPECT_EQ(stats.step_disk_hits, 1);
+  EXPECT_EQ(stats.step_misses, 1);
+  EXPECT_GT(legacy_store.loaded_entries(), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(Sharding, MixedBackendGridMergesByteIdenticallyToUnsharded) {
+  // The backend_compare bench shards its mixed analytic/cycle grid across
+  // CI jobs and merges the per-shard exports; this is the in-process
+  // version of that byte-identity contract.
+  std::vector<Scenario> grid;
+  for (const char* net : {"alexnet", "resnet50", "vit_small"})
+    for (int dev = 0; dev < 2; ++dev) {
+      Scenario s = mbs2_scenario(net);
+      if (dev == 1) s.device = Device::kSystolic;
+      grid.push_back(s);
+    }
+  Evaluator eval;
+  const auto full = SweepRunner().run(grid, eval);
+
+  const auto cells = [](const ScenarioResult& r) {
+    return std::vector<std::string>{
+        r.scenario.network, to_string(r.scenario.device),
+        std::to_string(r.step.time_s), std::to_string(r.step.dram_bytes),
+        std::to_string(r.systolic.stats.stall_cycles)};
+  };
+  ResultSink reference("backend compare: sharding test",
+                       {"network", "device", "time", "dram", "stalls"});
+  for (const ScenarioResult& r : full) reference.add_row(cells(r));
+  std::ostringstream ref_csv;
+  reference.write_csv(ref_csv);
+
+  for (int count : {2, 3}) {
+    std::vector<ResultSink::Parsed> shards;
+    for (int index = 0; index < count; ++index) {
+      const ShardPlan plan{index, count};
+      Evaluator shard_eval;
+      const SweepResults results =
+          SweepRunner().run_sharded(grid, shard_eval, plan);
+      ResultSink sink("backend compare: sharding test",
+                      {"network", "device", "time", "dram", "stalls"});
+      for (std::size_t i = 0; i < results.size(); ++i) {
+        if (!plan.owns(i)) continue;
+        sink.add_row(cells(results[i]));
+      }
+      std::ostringstream csv;
+      sink.write_csv(csv);
+      shards.push_back(ResultSink::parse_csv(csv.str()));
+    }
+    const ResultSink::Parsed merged = ResultSink::merge_shards(shards);
+    ResultSink merged_sink("", merged.headers);
+    for (const auto& row : merged.rows) merged_sink.add_row(row);
+    std::ostringstream csv;
+    merged_sink.write_csv(csv);
+    EXPECT_EQ(csv.str(), ref_csv.str()) << count << " shards";
   }
 }
 

@@ -6,6 +6,9 @@
 #include "arch/systolic.h"
 #include "core/block.h"
 #include "core/layer.h"
+#include "engine/evaluator.h"
+#include "engine/scenario.h"
+#include "engine/sweep_runner.h"
 #include "models/zoo.h"
 #include "sched/scheduler.h"
 #include "sched/traffic.h"
@@ -257,6 +260,125 @@ TEST(EdgeCases, GemmWithUnitDimensions) {
   EXPECT_GT(t.cycles, 0);
   EXPECT_EQ(t.macs, 1);
   EXPECT_LE(t.utilization, 1.0);
+}
+
+// ---- Cycle-backend (Device::kSystolic) properties ------------------------------
+
+arch::Dataflow random_dataflow(util::Rng& rng) {
+  const arch::Dataflow flows[] = {arch::Dataflow::kOutputStationary,
+                                  arch::Dataflow::kWeightStationary,
+                                  arch::Dataflow::kInputStationary};
+  return flows[rng.uniform_int(3)];
+}
+
+class CycleBackendProperties : public ::testing::TestWithParam<int> {
+ protected:
+  core::Network net_ = models::make_network(
+      models::evaluated_network_names()[static_cast<std::size_t>(
+          GetParam() - 1) % 6]);
+  sched::Schedule schedule_ =
+      sched::build_schedule(net_, sched::ExecConfig::kMbs2);
+  sched::Traffic traffic_ = sched::compute_traffic(net_, schedule_);
+};
+
+TEST_P(CycleBackendProperties, MoreBandwidthNeverIncreasesStalls) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 517);
+  for (int trial = 0; trial < 8; ++trial) {
+    arch::SystolicSimParams p;
+    p.options.dataflow = random_dataflow(rng);
+    p.options.scratchpad_bytes = std::int64_t{1}
+                                 << (10 + rng.uniform_int(14));  // 1K..8M
+    p.vector_flops = 2.87e12;
+    p.buffer_bw_bytes = 5e11;
+    p.dram_bw_bytes_per_s = (50.0 + static_cast<double>(rng.uniform_int(400))) * 1e9;
+    const auto slow =
+        arch::simulate_systolic_step(net_, schedule_, traffic_, p);
+    arch::SystolicSimParams fast = p;
+    fast.dram_bw_bytes_per_s *= 2;
+    const auto faster =
+        arch::simulate_systolic_step(net_, schedule_, traffic_, fast);
+    EXPECT_LE(faster.stats.stall_cycles, slow.stats.stall_cycles);
+    // Compute cycles are bandwidth-independent.
+    EXPECT_EQ(faster.stats.comp_cycles, slow.stats.comp_cycles);
+    // The unconstrained limit lower-bounds every finite bandwidth.
+    arch::SystolicSimParams nobw = p;
+    nobw.dram_bw_bytes_per_s = 0;
+    EXPECT_EQ(
+        arch::simulate_systolic_step(net_, schedule_, traffic_, nobw)
+            .stats.stall_cycles,
+        0);
+  }
+}
+
+TEST_P(CycleBackendProperties, LargerScratchpadNeverIncreasesCycleTime) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 991);
+  for (int trial = 0; trial < 8; ++trial) {
+    arch::SystolicSimParams p;
+    p.options.dataflow = random_dataflow(rng);
+    p.options.scratchpad_bytes = std::int64_t{1} << (8 + rng.uniform_int(12));
+    p.vector_flops = 2.87e12;
+    p.buffer_bw_bytes = 5e11;
+    p.dram_bw_bytes_per_s = (50.0 + static_cast<double>(rng.uniform_int(400))) * 1e9;
+    const auto small =
+        arch::simulate_systolic_step(net_, schedule_, traffic_, p);
+    arch::SystolicSimParams big = p;
+    big.options.scratchpad_bytes *= 2;
+    const auto bigger =
+        arch::simulate_systolic_step(net_, schedule_, traffic_, big);
+    EXPECT_LE(bigger.stats.total_cycles(), small.stats.total_cycles());
+    EXPECT_EQ(bigger.stats.comp_cycles, small.stats.comp_cycles);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CycleBackendProperties, ::testing::Range(1, 5));
+
+TEST(CycleBackendDeterminism, SweepInvariantUnderThreadsAndShards) {
+  // Cycle-backend sweep results are bit-identical whatever the thread count
+  // or shard plan — the same determinism contract the analytic backend has.
+  std::vector<engine::Scenario> grid;
+  for (const char* net : {"alexnet", "vit_small"})
+    for (engine::Device dev :
+         {engine::Device::kWaveCore, engine::Device::kSystolic})
+      for (double mib : {4.0, 10.0}) {
+        engine::Scenario s;
+        s.network = net;
+        s.config = sched::ExecConfig::kMbs2;
+        s.device = dev;
+        s.params.buffer_bytes = static_cast<std::int64_t>(mib * 1024 * 1024);
+        s.hw.global_buffer_bytes = s.params.buffer_bytes;
+        grid.push_back(std::move(s));
+      }
+
+  engine::Evaluator serial_eval;
+  engine::SweepRunner serial(engine::SweepOptions{1, true});
+  const auto reference = serial.run(grid, serial_eval);
+
+  engine::Evaluator threaded_eval;
+  engine::SweepRunner threaded(engine::SweepOptions{8, true});
+  const auto parallel = threaded.run(grid, threaded_eval);
+
+  engine::Evaluator shard_evals[2];
+  engine::SweepRunner runner{engine::SweepOptions{2, true}};
+  const auto shard0 =
+      runner.run_sharded(grid, shard_evals[0], engine::ShardPlan{0, 2});
+  const auto shard1 =
+      runner.run_sharded(grid, shard_evals[1], engine::ShardPlan{1, 2});
+
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    const auto& ref = reference[i];
+    for (const engine::ScenarioResult* other :
+         {&parallel[i], &(i % 2 == 0 ? shard0 : shard1)[i]}) {
+      EXPECT_EQ(ref.step.time_s, other->step.time_s) << i;
+      EXPECT_EQ(ref.step.dram_bytes, other->step.dram_bytes) << i;
+      EXPECT_EQ(ref.systolic.stats.comp_cycles,
+                other->systolic.stats.comp_cycles)
+          << i;
+      EXPECT_EQ(ref.systolic.stats.stall_cycles,
+                other->systolic.stats.stall_cycles)
+          << i;
+      EXPECT_EQ(ref.systolic.time_s, other->systolic.time_s) << i;
+    }
+  }
 }
 
 }  // namespace
