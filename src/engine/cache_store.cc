@@ -7,8 +7,11 @@
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <tuple>
 #include <utility>
+#include <vector>
 
+#include "util/fnv.h"
 #include "util/serde.h"
 
 namespace mbs::engine {
@@ -306,20 +309,101 @@ std::unique_ptr<CacheStore> CacheStore::from_env() {
                                       "/evaluator.mbscache");
 }
 
+namespace {
+
+bool read_text_file(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream text;
+  text << in.rdbuf();
+  *out = text.str();
+  return true;
+}
+
+// Writes `text` (plus a trailing newline) to `path` via a per-process temp
+// file + atomic rename, creating parent directories. Concurrent writers of
+// the same path cannot corrupt it: the rename is atomic and — for shard
+// entry files — equal keys always serialize to identical bytes, so the
+// last writer winning is harmless.
+bool write_file_atomic(const std::string& path, const std::string& text) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  const fs::path target(path);
+  if (target.has_parent_path())
+    fs::create_directories(target.parent_path(), ec);
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "CacheStore: cannot write %s\n", tmp.c_str());
+      return false;
+    }
+    out << text << '\n';
+    out.flush();
+    if (!out.good()) {
+      // A truncated write (e.g. disk full) must not replace a valid file.
+      std::fprintf(stderr, "CacheStore: short write to %s; keeping %s\n",
+                   tmp.c_str(), path.c_str());
+      out.close();
+      std::remove(tmp.c_str());
+      return false;
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::fprintf(stderr, "CacheStore: cannot rename %s -> %s\n", tmp.c_str(),
+                 path.c_str());
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+bool stamp_accepted(const std::string& stamp) {
+  return stamp == CacheStore::kSchemaStamp ||
+         stamp == CacheStore::kPreServiceSchemaStamp ||
+         stamp == CacheStore::kLegacySchemaStamp;
+}
+
+// Validates a shard entry file's header against the stage and key the
+// caller asked for. A key mismatch means an fnv1a64 collision (or a
+// foreign file): the entry reads as a miss and the value is recomputed.
+bool read_entry_header(Reader& r, const char* stage, const std::string& key) {
+  if (r.read_string() != "mbs-entry") return false;
+  if (r.read_int() != CacheStore::kFormatVersion) return false;
+  if (!stamp_accepted(r.read_string())) return false;
+  if (r.read_string() != stage) return false;
+  if (r.read_string() != key) return false;
+  return !r.fail();
+}
+
+char hex_digit(std::uint64_t v) {
+  return "0123456789abcdef"[v & 0xf];
+}
+
+}  // namespace
+
+std::string CacheStore::entry_file(const char* stage,
+                                   const std::string& key) const {
+  const std::uint64_t h = util::fnv1a64(key);
+  std::string name(16, '0');
+  for (int i = 0; i < 16; ++i) name[15 - i] = hex_digit(h >> (4 * i));
+  return shard_dir() + "/" + stage + "/" + name + ".rec";
+}
+
 void CacheStore::ensure_loaded() {
   std::call_once(load_once_, [&] {
-    std::ifstream in(path_, std::ios::binary);
-    if (!in) return;  // no file yet: cold start
-    std::ostringstream text;
-    text << in.rdbuf();
+    std::string text;
+    if (!read_text_file(path_, &text)) return;  // no legacy file: cold start
     std::lock_guard<std::mutex> lock(mu_);
-    if (!parse_file(text.str())) {
+    if (!parse_file(text)) {
       networks_.clear();
       schedules_.clear();
       traffics_.clear();
       steps_.clear();
       gpu_steps_.clear();
       systolic_steps_.clear();
+      dirty_.clear();
       loaded_ = 0;
       std::fprintf(stderr,
                    "CacheStore: %s is stale or malformed; starting cold\n",
@@ -332,11 +416,10 @@ bool CacheStore::parse_file(const std::string& text) {
   Reader r(text);
   if (r.read_string() != "mbs-cache") return false;
   if (r.read_int() != kFormatVersion) return false;
-  const std::string stamp = r.read_string();
-  // A legacy-stamp file predates the sys stage, so it cannot hold "sys"
-  // records; every record layout it can hold is unchanged. Accepting it
-  // keeps pre-existing warm caches valid across the upgrade.
-  if (stamp != kSchemaStamp && stamp != kLegacySchemaStamp) return false;
+  // Older stamps predate stages they cannot contain records of; every
+  // record layout they can hold is unchanged. Accepting them keeps
+  // pre-existing warm caches valid across upgrades.
+  if (!stamp_accepted(r.read_string())) return false;
   while (!r.at_end() && !r.fail()) {
     const std::string stage = r.read_string();
     const std::string key = r.read_string();
@@ -399,74 +482,109 @@ std::string CacheStore::serialize() const {
   return w.str();
 }
 
-// One lookup/insert pair per stage; all share the lazy load and the lock.
-#define MBS_CACHE_STORE_STAGE(Fn, PutFn, Map, Type)                     \
+// One lookup/insert pair per stage; all share the lazy legacy-file load
+// and the lock. A memory miss falls through to the per-entry shard file:
+// on a valid read the value is cached in memory (and counted as loaded),
+// so each key touches disk at most once per process.
+#define MBS_CACHE_STORE_STAGE(Fn, PutFn, Map, Type, Stage, ReadFn)      \
   bool CacheStore::Fn(const std::string& key, Type* out) {              \
     ensure_loaded();                                                    \
     std::lock_guard<std::mutex> lock(mu_);                              \
     const auto it = Map.find(key);                                      \
-    if (it == Map.end()) return false;                                  \
-    *out = it->second;                                                  \
+    if (it != Map.end()) {                                              \
+      *out = it->second;                                                \
+      return true;                                                      \
+    }                                                                   \
+    std::string text;                                                   \
+    if (!read_text_file(entry_file(Stage, key), &text)) return false;   \
+    Reader r(text);                                                     \
+    if (!read_entry_header(r, Stage, key)) return false;                \
+    Type v = ReadFn(r);                                                 \
+    if (r.fail() || !r.at_end()) return false;                          \
+    *out = v;                                                           \
+    Map.emplace(key, std::move(v));                                     \
+    ++loaded_;                                                          \
     return true;                                                        \
   }                                                                     \
   void CacheStore::PutFn(const std::string& key, const Type& v) {       \
     ensure_loaded();                                                    \
     std::lock_guard<std::mutex> lock(mu_);                              \
-    if (Map.emplace(key, v).second) dirty_ = true;                      \
+    if (Map.emplace(key, v).second) dirty_.emplace(Stage, key);         \
   }
 
-MBS_CACHE_STORE_STAGE(load_network, put_network, networks_, core::Network)
-MBS_CACHE_STORE_STAGE(load_schedule, put_schedule, schedules_, sched::Schedule)
-MBS_CACHE_STORE_STAGE(load_traffic, put_traffic, traffics_, sched::Traffic)
-MBS_CACHE_STORE_STAGE(load_step, put_step, steps_, sim::StepResult)
+MBS_CACHE_STORE_STAGE(load_network, put_network, networks_, core::Network,
+                      "net", read_network)
+MBS_CACHE_STORE_STAGE(load_schedule, put_schedule, schedules_,
+                      sched::Schedule, "sched", read_schedule)
+MBS_CACHE_STORE_STAGE(load_traffic, put_traffic, traffics_, sched::Traffic,
+                      "traffic", read_traffic)
+MBS_CACHE_STORE_STAGE(load_step, put_step, steps_, sim::StepResult, "step",
+                      read_step)
 MBS_CACHE_STORE_STAGE(load_gpu_step, put_gpu_step, gpu_steps_,
-                      arch::GpuStepResult)
+                      arch::GpuStepResult, "gpu", read_gpu_step)
 MBS_CACHE_STORE_STAGE(load_systolic_step, put_systolic_step, systolic_steps_,
-                      arch::SystolicStepResult)
+                      arch::SystolicStepResult, "sys", read_systolic_step)
 
 #undef MBS_CACHE_STORE_STAGE
 
 bool CacheStore::save() {
   ensure_loaded();
+  // Serialize dirty entries under the lock, write them outside it.
+  std::vector<std::tuple<std::string, std::string, std::string>> pending;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (dirty_.empty()) return true;
+    pending.reserve(dirty_.size());
+    for (const auto& [stage, key] : dirty_) {
+      Writer w;
+      w.put_string("mbs-entry");
+      w.put_int(kFormatVersion);
+      w.put_string(kSchemaStamp);
+      w.put_string(stage);
+      w.put_string(key);
+      if (stage == "net")
+        write_network(w, networks_.at(key));
+      else if (stage == "sched")
+        write_schedule(w, schedules_.at(key));
+      else if (stage == "traffic")
+        write_traffic(w, traffics_.at(key));
+      else if (stage == "step")
+        write_step(w, steps_.at(key));
+      else if (stage == "gpu")
+        write_gpu_step(w, gpu_steps_.at(key));
+      else
+        write_systolic_step(w, systolic_steps_.at(key));
+      pending.emplace_back(stage, key, w.str());
+    }
+  }
+  bool all_ok = true;
+  for (const auto& [stage, key, text] : pending) {
+    if (write_file_atomic(entry_file(stage.c_str(), key), text)) {
+      std::lock_guard<std::mutex> lock(mu_);
+      dirty_.erase({stage, key});
+    } else {
+      all_ok = false;
+      std::lock_guard<std::mutex> lock(mu_);
+      ++save_failures_;
+    }
+  }
+  return all_ok;
+}
+
+bool CacheStore::save_legacy_single_file() {
+  ensure_loaded();
   std::string text;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (!dirty_) return true;
     text = serialize();
   }
-  namespace fs = std::filesystem;
-  std::error_code ec;
-  const fs::path target(path_);
-  if (target.has_parent_path()) fs::create_directories(target.parent_path(), ec);
-  // Per-process temp name: concurrent shard processes sharing a cache
-  // directory each stage their own file; the rename is atomic, last wins.
-  const std::string tmp =
-      path_ + ".tmp." + std::to_string(static_cast<long>(::getpid()));
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) {
-      std::fprintf(stderr, "CacheStore: cannot write %s\n", tmp.c_str());
-      return false;
-    }
-    out << text << '\n';
-    out.flush();
-    if (!out.good()) {
-      // A truncated write (e.g. disk full) must not replace a valid store.
-      std::fprintf(stderr, "CacheStore: short write to %s; keeping %s\n",
-                   tmp.c_str(), path_.c_str());
-      out.close();
-      std::remove(tmp.c_str());
-      return false;
-    }
-  }
-  if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
-    std::fprintf(stderr, "CacheStore: cannot rename %s -> %s\n", tmp.c_str(),
-                 path_.c_str());
-    std::remove(tmp.c_str());
+  if (!write_file_atomic(path_, text)) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++save_failures_;
     return false;
   }
   std::lock_guard<std::mutex> lock(mu_);
-  dirty_ = false;
+  dirty_.clear();  // every entry is now persisted (in the legacy file)
   return true;
 }
 
@@ -483,7 +601,12 @@ std::size_t CacheStore::entry_count() const {
 
 bool CacheStore::dirty() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return dirty_;
+  return !dirty_.empty();
+}
+
+std::size_t CacheStore::save_failures() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return save_failures_;
 }
 
 }  // namespace mbs::engine

@@ -2,26 +2,42 @@
 //
 // The in-memory Evaluator caches die with the process, so every bench run
 // and every CI trajectory invocation starts cold. A CacheStore serializes
-// the memoized network / schedule / traffic / step / GPU-step values to one
-// versioned file, keyed by the same stable Scenario cache keys the
-// in-memory caches use. The Evaluator consults the store on an in-memory
-// miss and records fresh computations for the next save(), so a repeated
-// sweep starts warm and produces bit-identical output (values round-trip
-// exactly via util::serde's hex-float encoding).
+// the memoized network / schedule / traffic / step / GPU-step /
+// systolic-step values to disk, keyed by the same stable Scenario cache
+// keys the in-memory caches use. The Evaluator consults the store on an
+// in-memory miss and records fresh computations for the next save(), so a
+// repeated sweep starts warm and produces bit-identical output (values
+// round-trip exactly via util::serde's hex-float encoding).
 //
-// The backing file is loaded lazily on the first lookup. A header carries a
-// format version and a schema stamp covering every serialized struct; any
-// mismatch — or any malformed byte — discards the file and starts cold
-// (the store is a cache, never a source of truth). save() writes through a
-// temp file + rename, so concurrent shard processes sharing a cache
-// directory cannot corrupt it (last writer wins).
+// On-disk layout (since the sweep-service PR) is content-addressed and
+// sharded per entry: each record lives in its own file
+//
+//   <path>.d/<stage>/<fnv1a64(key) as 16 hex digits>.rec
+//
+// written via temp file + atomic rename. Because distinct keys land in
+// distinct files (each file embeds its full key; a hash collision reads as
+// a miss and recomputes) and equal keys always serialize to identical
+// bytes, any number of processes can read and write one warm cache
+// directory concurrently without clobbering each other — the failure mode
+// of the old single-file, last-writer-wins layout. save() is incremental:
+// only entries added since the last save touch disk.
+//
+// The legacy single-file layout (`<path>` holding every record) is still
+// read on the first lookup, so pre-existing warm caches keep working; new
+// writes always go to the sharded directory. A header in both layouts
+// carries a format version and a schema stamp covering every serialized
+// struct; any mismatch — or any malformed byte — discards that file and
+// treats its entries as cold (the store is a cache, never a source of
+// truth).
 #pragma once
 
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
 #include <unordered_map>
+#include <utility>
 
 #include "arch/gpu.h"
 #include "core/network.h"
@@ -33,17 +49,23 @@ namespace mbs::engine {
 
 class CacheStore {
  public:
-  /// Bumped when the token framing of the file itself changes.
+  /// Bumped when the token framing of a store file itself changes.
   static constexpr int kFormatVersion = 1;
   /// Bumped (per stage) when a serialized struct gains/loses fields.
   /// sched2: Group gained the `members` list (non-contiguous grouping).
-  /// sys1: the cycle-level systolic-step stage joined the file.
+  /// sys1: the cycle-level systolic-step stage joined the store.
+  /// svc1: the sharded per-entry layout (record layouts unchanged — the
+  ///       tag marks the store generation that writes `<path>.d/`).
   static constexpr const char* kSchemaStamp =
-      "net1;sched2;traffic1;step1;gpu1;sys1";
+      "net1;sched2;traffic1;step1;gpu1;sys1;svc1";
   /// Still-accepted older stamps. A stage tag bump invalidates only files
-  /// whose existing records changed layout; a file written before a brand-new
-  /// stage existed cannot contain records of that stage, so it stays valid
-  /// (warm starts survive the upgrade; only the new stage starts cold).
+  /// whose existing records changed layout; no record layout has changed
+  /// since these stamps were current, so files carrying them stay valid
+  /// (warm starts survive the upgrade).
+  static constexpr const char* kPreServiceSchemaStamp =
+      "net1;sched2;traffic1;step1;gpu1;sys1";
+  /// Pre-systolic stamp: such a file cannot contain "sys" records, and
+  /// every record it can hold is unchanged.
   static constexpr const char* kLegacySchemaStamp =
       "net1;sched2;traffic1;step1;gpu1";
 
@@ -54,7 +76,9 @@ class CacheStore {
   static std::unique_ptr<CacheStore> from_env();
 
   // Lookups copy the stored value into `out` and return true on a hit.
-  // The first lookup loads the backing file. All methods are thread-safe.
+  // The first lookup loads the legacy single file (if present); misses
+  // then fall through to the per-entry shard files. All methods are
+  // thread-safe.
   bool load_network(const std::string& key, core::Network* out);
   bool load_schedule(const std::string& key, sched::Schedule* out);
   bool load_traffic(const std::string& key, sched::Traffic* out);
@@ -71,23 +95,37 @@ class CacheStore {
   void put_systolic_step(const std::string& key,
                          const arch::SystolicStepResult& v);
 
-  /// Writes every entry back when new ones were added since load (temp file
-  /// + rename; creates the parent directory). Returns false on IO failure,
-  /// true otherwise (including the nothing-to-do case).
+  /// Writes every entry added since the last save to its own shard file
+  /// (temp file + atomic rename; creates directories as needed). Entries
+  /// that fail to write stay dirty and are retried by the next save().
+  /// Returns false if any write failed, true otherwise (including the
+  /// nothing-to-do case). Safe to call from many processes sharing one
+  /// cache directory: equal keys write identical bytes.
   bool save();
 
+  /// Writes ALL entries to the legacy single file at path() (temp file +
+  /// rename, old format). Kept for compatibility tooling and for tests
+  /// that exercise the legacy load path; normal operation never calls it.
+  bool save_legacy_single_file();
+
   const std::string& path() const { return path_; }
-  /// Entries read from the backing file (0 before the lazy load).
+  /// Directory holding the per-entry shard files.
+  std::string shard_dir() const { return path_ + ".d"; }
+  /// Entries read from disk so far (legacy file + lazy per-entry loads).
   std::size_t loaded_entries() const;
-  /// Current total entries across all stages.
+  /// Current total entries across all stages (in memory).
   std::size_t entry_count() const;
   /// True when save() has something new to write.
   bool dirty() const;
+  /// Cumulative count of entry writes that failed (disk full, unwritable
+  /// directory, ...). Surfaced by the Driver as a warning + stat.
+  std::size_t save_failures() const;
 
  private:
   void ensure_loaded();
   bool parse_file(const std::string& text);
   std::string serialize() const;  // callers hold mu_
+  std::string entry_file(const char* stage, const std::string& key) const;
 
   std::string path_;
   std::once_flag load_once_;
@@ -99,8 +137,11 @@ class CacheStore {
   std::unordered_map<std::string, sim::StepResult> steps_;
   std::unordered_map<std::string, arch::GpuStepResult> gpu_steps_;
   std::unordered_map<std::string, arch::SystolicStepResult> systolic_steps_;
+  /// (stage tag, key) pairs not yet persisted; ordered so save() writes
+  /// deterministically.
+  std::set<std::pair<std::string, std::string>> dirty_;
   std::size_t loaded_ = 0;
-  bool dirty_ = false;
+  std::size_t save_failures_ = 0;
 };
 
 }  // namespace mbs::engine

@@ -66,12 +66,15 @@ Driver::Driver(int argc, char** argv) {
       sweep.threads = parse_int_flag(v4, "threads");
     } else if (const char* v5 = flag_value(arg, "cache-dir")) {
       cache_dir = v5;
+    } else if (const char* v6 = flag_value(arg, "spool-dir")) {
+      sweep.spool_dir = v6;
     } else if (arg[0] == '-' && arg[1] == '-') {
       // A typo'd engine flag silently falling through to args() would make
       // the run quietly ignore what the user asked for.
       std::fprintf(stderr,
                    "unknown flag '%s' (expected --shard=I/N, --shard-index=I, "
-                   "--shard-count=N, --threads=T, or --cache-dir=DIR)\n",
+                   "--shard-count=N, --threads=T, --cache-dir=DIR, or "
+                   "--spool-dir=DIR)\n",
                    arg);
       std::abort();
     } else {
@@ -92,10 +95,20 @@ Driver::Driver(int argc, char** argv) {
   }
   if (!have_shard_flag) shard_ = ShardPlan::from_env();
 
+  if (sweep.spool_dir.empty())
+    if (const char* env = std::getenv("MBS_SPOOL_DIR"); env && *env)
+      sweep.spool_dir = env;
+
   if (!cache_dir.empty())
     store_ = std::make_unique<CacheStore>(cache_dir + "/evaluator.mbscache");
   else
     store_ = CacheStore::from_env();
+  // A spool without a store would share no results between workers;
+  // default the store into the spool directory so the drain composes out
+  // of the box (an explicit --cache-dir/MBS_CACHE_DIR still wins).
+  if (!store_ && !sweep.spool_dir.empty())
+    store_ = std::make_unique<CacheStore>(sweep.spool_dir +
+                                          "/cache/evaluator.mbscache");
 
   eval_ = std::make_unique<Evaluator>(store_.get());
   // One budget for both layers: the sweep pool and the kernel pool draw
@@ -107,7 +120,14 @@ Driver::Driver(int argc, char** argv) {
 }
 
 Driver::~Driver() {
-  if (store_) store_->save();
+  if (store_ && !store_->save())
+    // The run's numbers are unaffected (the store is a cache), but the
+    // next run will silently start cold for the lost entries — say so.
+    std::fprintf(stderr,
+                 "[mbs-engine] WARNING: cache-store save to %s failed "
+                 "(%zu entry write failures); the next run starts cold "
+                 "for those entries\n",
+                 store_->path().c_str(), store_->save_failures());
   const char* stats_env = std::getenv("MBS_ENGINE_STATS");
   if (!stats_env || std::strcmp(stats_env, "1") != 0) return;
   const EvaluatorStats s = eval_->stats();
@@ -120,9 +140,11 @@ Driver::~Driver() {
   print_stage("sys", s.systolic_misses, s.systolic_disk_hits);
   std::fprintf(stderr, "\n");
   if (store_)
-    std::fprintf(stderr, "[mbs-engine] cache-store %s: %zu loaded, %zu entries\n",
+    std::fprintf(stderr,
+                 "[mbs-engine] cache-store %s: %zu loaded, %zu entries, "
+                 "%zu save-failures\n",
                  store_->path().c_str(), store_->loaded_entries(),
-                 store_->entry_count());
+                 store_->entry_count(), store_->save_failures());
 
   // Kernel-time breakdown (outermost timers only, so the kinds sum to
   // total time spent in the training kernel layer).

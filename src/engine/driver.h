@@ -14,6 +14,13 @@
 //   --threads=T     sweep worker threads (env: MBS_THREADS; 0 = hardware)
 //   --cache-dir=D   persist the evaluator cache under D
 //                   (env: MBS_CACHE_DIR); repeated runs start warm
+//   --spool-dir=D   drain sweeps through a work-queue spool rooted at D
+//                   (env: MBS_SPOOL_DIR): concurrent worker processes
+//                   sharing D claim schedule-key groups dynamically and
+//                   share results through the cache store (defaulted to
+//                   D/cache when no --cache-dir/MBS_CACHE_DIR is given),
+//                   each producing byte-identical full output. See
+//                   engine/spool.h.
 //
 // Env only:
 //   MBS_RESULT_DIR    ResultSink CSV/JSON export directory
@@ -53,6 +60,9 @@ class Driver {
 
   const ShardPlan& shard() const { return shard_; }
   Evaluator& evaluator() { return *eval_; }
+  /// The disk cache store (nullptr when neither --cache-dir, MBS_CACHE_DIR,
+  /// nor a spool directory is configured).
+  CacheStore* store() { return store_.get(); }
   const SweepRunner& runner() const { return runner_; }
   /// Positional arguments, in order (flags stripped).
   const std::vector<std::string>& args() const { return args_; }

@@ -125,6 +125,11 @@ class Evaluator {
   /// Snapshot of the hit/miss counters.
   EvaluatorStats stats() const;
 
+  /// The disk store backing this evaluator (nullptr when purely
+  /// in-memory). Spool drains flush it per work unit so concurrent
+  /// workers see each other's results.
+  CacheStore* store() const { return store_; }
+
  private:
   CacheStore* store_ = nullptr;
 

@@ -1,6 +1,9 @@
 #include "engine/scenario.h"
 
 #include <cstdio>
+#include <cstdlib>
+
+#include "arch/dataflow.h"
 
 namespace mbs::engine {
 
@@ -115,6 +118,127 @@ std::string Scenario::cache_key() const {
     field(key, "spad", systolic.scratchpad_bytes);
   }
   return key;
+}
+
+namespace {
+
+bool parse_i64(const std::string& v, std::int64_t* out) {
+  if (v.empty()) return false;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(v.c_str(), &end, 10);
+  if (!end || *end != '\0') return false;
+  *out = parsed;
+  return true;
+}
+
+bool parse_bool(const std::string& v, bool* out) {
+  if (v == "0")
+    *out = false;
+  else if (v == "1")
+    *out = true;
+  else
+    return false;
+  return true;
+}
+
+std::string trim(const std::string& s) {
+  std::size_t a = 0, b = s.size();
+  while (a < b && (s[a] == ' ' || s[a] == '\t')) ++a;
+  while (b > a && (s[b - 1] == ' ' || s[b - 1] == '\t')) --b;
+  return s.substr(a, b - a);
+}
+
+}  // namespace
+
+bool parse_scenario(const std::string& spec, Scenario* out,
+                    std::string* error) {
+  Scenario s;
+  bool have_net = false;
+  const auto fail = [&](const std::string& msg) {
+    if (error) *error = msg;
+    return false;
+  };
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    std::size_t end = spec.find(';', pos);
+    if (end == std::string::npos) end = spec.size();
+    const std::string tok = trim(spec.substr(pos, end - pos));
+    pos = end + 1;
+    if (tok.empty()) continue;  // stray/trailing semicolons are fine
+    const std::size_t eq = tok.find('=');
+    if (eq == std::string::npos)
+      return fail("field '" + tok + "': expected key=value");
+    const std::string key = trim(tok.substr(0, eq));
+    const std::string value = trim(tok.substr(eq + 1));
+    std::int64_t i64 = 0;
+    bool b = false;
+    if (key == "net") {
+      s.network = value;
+      have_net = !value.empty();
+    } else if (key == "cfg") {
+      if (!sched::parse_exec_config(value.c_str(), &s.config))
+        return fail("unknown cfg '" + value +
+                    "' (Baseline|ArchOpt|IL|MBS-FS|MBS1|MBS2)");
+    } else if (key == "buf") {
+      if (!parse_i64(value, &i64) || i64 <= 0)
+        return fail("bad buf '" + value + "': expected bytes > 0");
+      s.params.buffer_bytes = i64;
+    } else if (key == "mb") {
+      if (!parse_i64(value, &i64) || i64 < 0)
+        return fail("bad mb '" + value + "'");
+      s.params.mini_batch = static_cast<int>(i64);
+    } else if (key == "opt") {
+      if (!parse_bool(value, &b)) return fail("bad opt '" + value + "'");
+      s.params.optimal_grouping = b;
+    } else if (key == "var") {
+      if (value == "contiguous")
+        s.params.variant = sched::GroupingVariant::kContiguous;
+      else if (value == "noncontiguous")
+        s.params.variant = sched::GroupingVariant::kNonContiguous;
+      else
+        return fail("bad var '" + value + "' (contiguous|noncontiguous)");
+    } else if (key == "dev") {
+      if (value == "wavecore")
+        s.device = Device::kWaveCore;
+      else if (value == "gpu")
+        s.device = Device::kGpu;
+      else if (value == "systolic")
+        s.device = Device::kSystolic;
+      else
+        return fail("bad dev '" + value + "' (wavecore|gpu|systolic)");
+    } else if (key == "df") {
+      if (!arch::parse_dataflow(value.c_str(), &s.systolic.dataflow))
+        return fail("bad df '" + value + "' (os|ws|is)");
+    } else if (key == "spad") {
+      if (!parse_i64(value, &i64) || i64 <= 0)
+        return fail("bad spad '" + value + "': expected bytes > 0");
+      s.systolic.scratchpad_bytes = i64;
+    } else if (key == "gmb") {
+      if (!parse_i64(value, &i64) || i64 <= 0)
+        return fail("bad gmb '" + value + "'");
+      s.gpu_mini_batch = static_cast<int>(i64);
+    } else if (key == "nobw") {
+      if (!parse_bool(value, &b)) return fail("bad nobw '" + value + "'");
+      s.hw.unlimited_dram_bw = b;
+    } else if (key == "stage") {
+      if (value == "network")
+        s.stage = Stage::kNetwork;
+      else if (value == "schedule")
+        s.stage = Stage::kSchedule;
+      else if (value == "traffic")
+        s.stage = Stage::kTraffic;
+      else if (value == "simulate")
+        s.stage = Stage::kSimulate;
+      else
+        return fail("bad stage '" + value +
+                    "' (network|schedule|traffic|simulate)");
+    } else {
+      return fail("unknown field '" + key + "'");
+    }
+  }
+  if (!have_net) return fail("missing required field net=<network>");
+  *out = s;
+  return true;
 }
 
 std::vector<Scenario> scenario_grid(

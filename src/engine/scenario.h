@@ -84,6 +84,23 @@ struct Scenario {
   std::string cache_key() const;
 };
 
+/// Parses a textual Scenario spec — the serve layer's query format — of
+/// semicolon-separated `key=value` fields:
+///
+///   net=resnet50;cfg=MBS2;buf=8388608;dev=systolic;df=ws;stage=simulate
+///
+/// Keys: net (required), cfg (Tab. 3 name), buf (bytes), mb, opt (0/1),
+/// var (contiguous|noncontiguous), dev (wavecore|gpu|systolic), df
+/// (systolic dataflow), spad (bytes), gmb (GPU mini-batch), nobw (0/1),
+/// stage (network|schedule|traffic|simulate). Unlisted fields keep their
+/// defaults, so a spec's cache_key matches the batch benches' default
+/// hardware point. Whitespace around fields is ignored. Returns false and
+/// fills *error (when non-null) on an unknown key, malformed value, or a
+/// missing net — the syntax check only; whether the network exists is the
+/// caller's lookup (models::all_network_names()).
+bool parse_scenario(const std::string& spec, Scenario* out,
+                    std::string* error);
+
 /// Cross product of networks x configs sharing `params` and `hw`, in
 /// row-major (network-major) order — the shape of Figs. 10 and 14.
 std::vector<Scenario> scenario_grid(

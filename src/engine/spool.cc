@@ -1,0 +1,228 @@
+#include "engine/spool.h"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/serde.h"
+
+namespace mbs::engine {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr int kManifestVersion = 1;
+
+/// Parses "u<k>" (optionally followed by `.`-anything); -1 when malformed.
+int unit_of(const std::string& name) {
+  if (name.size() < 2 || name[0] != 'u') return -1;
+  int k = 0;
+  std::size_t i = 1;
+  for (; i < name.size() && name[i] >= '0' && name[i] <= '9'; ++i)
+    k = k * 10 + (name[i] - '0');
+  if (i == 1) return -1;
+  if (i != name.size() && name[i] != '.') return -1;
+  return k;
+}
+
+/// Owner pid from a claim name "u<k>.<pid>"; -1 when malformed.
+long pid_of(const std::string& name) {
+  const std::size_t dot = name.rfind('.');
+  if (dot == std::string::npos || dot + 1 >= name.size()) return -1;
+  char* end = nullptr;
+  const long pid = std::strtol(name.c_str() + dot + 1, &end, 10);
+  return (end && *end == '\0' && pid > 0) ? pid : -1;
+}
+
+bool process_alive(long pid) {
+  // kill(pid, 0) probes existence without signaling. EPERM would mean
+  // "exists but not ours" — workers share a uid, so treat only ESRCH as
+  // dead and anything else as alive (never steal a live worker's claim).
+  return ::kill(static_cast<pid_t>(pid), 0) == 0 || errno != ESRCH;
+}
+
+/// Atomic file creation at `path` (content ignored by readers). Returns
+/// false when the path already exists or cannot be created.
+bool create_exclusive(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_EXCL, 0644);
+  if (fd < 0) return false;
+  ::close(fd);
+  return true;
+}
+
+/// Writes `text` to `path` via temp + atomic rename (clobbers).
+bool write_atomic(const std::string& path, const std::string& text) {
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return false;
+    out << text << '\n';
+    out.flush();
+    if (!out.good()) {
+      out.close();
+      std::remove(tmp.c_str());
+      return false;
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+SpoolQueue::SpoolQueue(std::string dir, std::uint64_t fingerprint,
+                       std::size_t units)
+    : dir_(std::move(dir)), fingerprint_(fingerprint), units_(units) {}
+
+void SpoolQueue::init() {
+  std::error_code ec;
+  fs::create_directories(dir_ + "/todo", ec);
+  fs::create_directories(dir_ + "/claimed", ec);
+  fs::create_directories(dir_ + "/done", ec);
+
+  const std::string manifest = dir_ + "/manifest";
+  {
+    std::ifstream in(manifest, std::ios::binary);
+    if (in) {
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      // Named string: Reader is a view over its argument and must not
+      // outlive it.
+      const std::string text = buf.str();
+      util::serde::Reader r(text);
+      const bool magic_ok = r.read_string() == "mbs-spool" &&
+                            r.read_int() == kManifestVersion;
+      const std::uint64_t fp = static_cast<std::uint64_t>(r.read_int());
+      const std::int64_t n = r.read_int();
+      if (!magic_ok || r.fail() || fp != fingerprint_ ||
+          n != static_cast<std::int64_t>(units_)) {
+        std::fprintf(stderr,
+                     "SpoolQueue: %s already holds a different grid "
+                     "(manifest says fingerprint %016llx over %lld units, "
+                     "this grid is %016llx over %zu); refusing to mix "
+                     "grids in one spool\n",
+                     dir_.c_str(), static_cast<unsigned long long>(fp),
+                     static_cast<long long>(n),
+                     static_cast<unsigned long long>(fingerprint_), units_);
+        std::abort();
+      }
+    } else {
+      util::serde::Writer w;
+      w.put_string("mbs-spool");
+      w.put_int(kManifestVersion);
+      w.put_int(static_cast<std::int64_t>(fingerprint_));
+      w.put_int(static_cast<std::int64_t>(units_));
+      // Racing workers write identical bytes; the atomic rename makes the
+      // last one a no-op.
+      if (!write_atomic(manifest, w.str())) {
+        std::fprintf(stderr, "SpoolQueue: cannot write %s\n",
+                     manifest.c_str());
+        std::abort();
+      }
+    }
+  }
+
+  // Seed todo/ with every unit not already claimed or done. The existence
+  // checks and the O_EXCL create are not one atomic step, so a unit that
+  // finishes in the gap can be re-created and re-executed — harmless: the
+  // work is deterministic and memoized, and mark_done is idempotent.
+  std::set<int> busy;
+  for (const char* sub : {"/claimed", "/done"}) {
+    std::error_code it_ec;
+    for (const auto& entry : fs::directory_iterator(dir_ + sub, it_ec)) {
+      const int k = unit_of(entry.path().filename().string());
+      if (k >= 0) busy.insert(k);
+    }
+  }
+  for (std::size_t k = 0; k < units_; ++k) {
+    if (busy.count(static_cast<int>(k))) continue;
+    create_exclusive(dir_ + "/todo/u" + std::to_string(k));
+  }
+}
+
+int SpoolQueue::claim() {
+  for (int pass = 0; pass < 2; ++pass) {
+    // Pass 0: whatever is in todo/. Pass 1: after reclaiming dead
+    // workers' claims back into todo/.
+    std::vector<int> candidates;
+    std::error_code ec;
+    for (const auto& entry : fs::directory_iterator(dir_ + "/todo", ec)) {
+      const int k = unit_of(entry.path().filename().string());
+      if (k >= 0 && static_cast<std::size_t>(k) < units_)
+        candidates.push_back(k);
+    }
+    for (int k : candidates) {
+      const std::string from = dir_ + "/todo/u" + std::to_string(k);
+      const std::string to = dir_ + "/claimed/u" + std::to_string(k) + "." +
+                             std::to_string(static_cast<long>(::getpid()));
+      // Atomic: exactly one racing worker's rename succeeds.
+      if (std::rename(from.c_str(), to.c_str()) == 0) return k;
+    }
+    if (pass == 1) break;
+
+    // Reclaim abandoned claims: owner dead and no done marker.
+    bool reclaimed = false;
+    for (const auto& entry : fs::directory_iterator(dir_ + "/claimed", ec)) {
+      const std::string name = entry.path().filename().string();
+      const int k = unit_of(name);
+      const long pid = pid_of(name);
+      if (k < 0 || pid < 0 || process_alive(pid)) continue;
+      const std::string claim = dir_ + "/claimed/" + name;
+      if (fs::exists(dir_ + "/done/u" + std::to_string(k), ec)) {
+        // Crashed after completing: results are already in the store;
+        // just drop the stale claim.
+        std::remove(claim.c_str());
+        continue;
+      }
+      std::fprintf(stderr,
+                   "SpoolQueue: reclaiming unit %d from dead worker %ld\n",
+                   k, pid);
+      const std::string back = dir_ + "/todo/u" + std::to_string(k);
+      // Racing reclaimers: one rename wins, the loser's just fails.
+      if (std::rename(claim.c_str(), back.c_str()) == 0) reclaimed = true;
+    }
+    if (!reclaimed) break;
+  }
+  return -1;
+}
+
+void SpoolQueue::mark_done(int unit) {
+  const std::string done = dir_ + "/done/u" + std::to_string(unit);
+  // Done marker first (temp + rename: atomic, idempotent), claim release
+  // second — the unit is never invisible, so a crash between the two at
+  // worst leaves a stale claim that the dead-owner sweep drops.
+  if (!write_atomic(done, std::string("done"))) {
+    std::fprintf(stderr, "SpoolQueue: cannot write %s\n", done.c_str());
+    return;  // keep the claim: the unit must not look claimable
+  }
+  const std::string claim = dir_ + "/claimed/u" + std::to_string(unit) + "." +
+                            std::to_string(static_cast<long>(::getpid()));
+  std::remove(claim.c_str());
+}
+
+std::size_t SpoolQueue::done_count() const {
+  std::size_t n = 0;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir_ + "/done", ec)) {
+    if (unit_of(entry.path().filename().string()) >= 0) ++n;
+  }
+  return n;
+}
+
+}  // namespace mbs::engine

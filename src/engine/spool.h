@@ -1,0 +1,75 @@
+// SpoolQueue: a filesystem work queue for multi-process sweep drains.
+//
+// Static sharding (MBS_SHARD) splits a grid round-robin at launch time; a
+// spool splits it dynamically. N independent worker processes point at one
+// spool directory (MBS_SPOOL_DIR) and claim work units — schedule-key
+// groups of the grid — whenever they go idle, so an unbalanced grid drains
+// at the speed of the fleet rather than of its slowest static shard.
+//
+// The protocol is files and atomic renames, the same trick
+// CacheStore::save uses — no server, no locks:
+//
+//   <dir>/manifest       grid fingerprint + unit count (rejects a worker
+//                        whose grid differs from the queue's)
+//   <dir>/todo/u<k>      unit k is unclaimed
+//   <dir>/claimed/u<k>.<pid>  unit k is being evaluated by <pid>
+//   <dir>/done/u<k>      unit k's results are in the shared cache store
+//
+// A claim is `rename(todo/u<k>, claimed/u<k>.<pid>)`: rename(2) is atomic,
+// so exactly one racing worker wins. Completion writes the done marker
+// (temp + rename) *before* unlinking the claim, so a unit is always
+// visible in at least one state. Crash recovery: a claim whose owner pid
+// no longer exists (kill(pid, 0) == ESRCH) is renamed back into todo/ by
+// whichever live worker notices first — again atomic, one winner.
+//
+// Workers share *results* through the concurrent CacheStore (flushed per
+// unit), not through the queue: after the drain each worker materializes
+// the full sweep warm from the store, so every worker's output is
+// byte-identical to a single-process, unsharded run. Rare races (a unit
+// re-created after a claim/done was concurrently erased by init) at worst
+// re-execute deterministic memoized work — never corrupt it.
+//
+// Liveness checks use pid probing, so all workers of one queue must run on
+// one machine (they share a filesystem and a pid namespace).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace mbs::engine {
+
+class SpoolQueue {
+ public:
+  /// A queue at `dir` for a grid with `units` work units and the given
+  /// content fingerprint (util::fnv1a64 over the units' member cache
+  /// keys). Callers normally embed the fingerprint in `dir` too, so
+  /// different grids sharing one MBS_SPOOL_DIR root get disjoint queues.
+  SpoolQueue(std::string dir, std::uint64_t fingerprint, std::size_t units);
+
+  /// Creates the directories, the manifest, and one todo file per unit not
+  /// already claimed or done. Idempotent, and safe to race with other
+  /// workers' init. Aborts with a message when `dir` already holds a queue
+  /// for a different grid (fingerprint or unit-count mismatch) — mixing
+  /// grids in one queue would corrupt both drains.
+  void init();
+
+  /// Claims one unit and returns its index, or -1 when nothing is
+  /// claimable right now (every remaining unit is done or held by a live
+  /// worker). Stale claims of dead workers are reclaimed first.
+  int claim();
+
+  /// Marks `unit` done and releases this process's claim. Idempotent.
+  void mark_done(int unit);
+
+  std::size_t done_count() const;
+  bool all_done() const { return done_count() >= units_; }
+  std::size_t unit_count() const { return units_; }
+  const std::string& dir() const { return dir_; }
+
+ private:
+  std::string dir_;
+  std::uint64_t fingerprint_ = 0;
+  std::size_t units_ = 0;
+};
+
+}  // namespace mbs::engine

@@ -1,8 +1,12 @@
 #include "engine/sweep_runner.h"
 
+#include <unistd.h>
+
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <exception>
 #include <mutex>
 #include <numeric>
@@ -11,6 +15,9 @@
 #include <utility>
 #include <vector>
 
+#include "engine/cache_store.h"
+#include "engine/spool.h"
+#include "util/fnv.h"
 #include "util/parallel.h"
 
 namespace mbs::engine {
@@ -217,8 +224,114 @@ void SweepRunner::evaluate_indices(const std::vector<Scenario>& scenarios,
   });
 }
 
+void SweepRunner::drain_spool(const std::vector<Scenario>& scenarios,
+                              Evaluator& eval) const {
+  if (opts_.spool_dir.empty() || scenarios.empty()) return;
+
+  // Work units mirror evaluate_indices' batching: scenarios that run the
+  // scheduler group by schedule cache key (one claim computes the shared
+  // schedule/traffic once); GPU and network-only scenarios are singleton
+  // units keyed by their full cache key. Every worker derives the same
+  // unit list from the same grid, in first-occurrence order.
+  std::vector<std::vector<std::size_t>> units;
+  std::unordered_map<std::string, std::size_t> unit_by_key;
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    const Scenario& s = scenarios[i];
+    const bool grouped =
+        s.device != Device::kGpu && s.stage >= Stage::kSchedule;
+    const std::string key =
+        grouped ? "g:" + s.schedule_key() : "s:" + s.cache_key();
+    const auto [it, inserted] = unit_by_key.emplace(key, units.size());
+    if (inserted) units.emplace_back();
+    units[it->second].push_back(i);
+  }
+
+  // Fingerprint the unit structure so two workers can only meet in one
+  // queue when they drain the same grid. Stage depth matters (a deeper
+  // stage evaluates more), so it joins each member's cache key.
+  std::string fp_src;
+  for (const std::vector<std::size_t>& unit : units) {
+    for (std::size_t i : unit) {
+      fp_src += scenarios[i].cache_key();
+      fp_src += '|';
+      fp_src += std::to_string(static_cast<int>(scenarios[i].stage));
+      fp_src += '\n';
+    }
+    fp_src += ";\n";
+  }
+  const std::uint64_t fp = util::fnv1a64(fp_src);
+  char fp_hex[17];
+  std::snprintf(fp_hex, sizeof fp_hex, "%016llx",
+                static_cast<unsigned long long>(fp));
+  // Per-grid subdirectory: benches that sweep several grids (or several
+  // binaries pointed at one spool root) get disjoint queues.
+  SpoolQueue queue(opts_.spool_dir + "/" + fp_hex, fp, units.size());
+  queue.init();
+
+  CacheStore* store = eval.store();
+  if (!store)
+    std::fprintf(stderr,
+                 "SweepRunner: spool drain without a cache store shares no "
+                 "results between workers (set MBS_CACHE_DIR)\n");
+
+  long timeout_ms = 60000;
+  if (const char* env = std::getenv("MBS_SPOOL_TIMEOUT_MS"); env && *env)
+    timeout_ms = std::strtol(env, nullptr, 10);
+  // Crash injection for the recovery tests: abandon the (n+1)-th claim by
+  // exiting hard, leaving a claim file owned by a dead pid.
+  long crash_after = -1;
+  if (const char* env = std::getenv("MBS_SPOOL_CRASH_AFTER"); env && *env)
+    crash_after = std::strtol(env, nullptr, 10);
+
+  long claims = 0;
+  auto last_progress = std::chrono::steady_clock::now();
+  std::size_t last_done = queue.done_count();
+  for (;;) {
+    const int u = queue.claim();
+    if (u >= 0) {
+      if (crash_after >= 0 && claims >= crash_after) {
+        std::fprintf(stderr,
+                     "SweepRunner: MBS_SPOOL_CRASH_AFTER=%ld — dying with "
+                     "unit %d claimed\n",
+                     crash_after, u);
+        std::_Exit(3);
+      }
+      ++claims;
+      const std::vector<std::size_t>& members =
+          units[static_cast<std::size_t>(u)];
+      std::vector<ScenarioResult> scratch(members.size());
+      evaluate_indices(scenarios, eval, members, scratch.data());
+      // Flush per unit so peers (and a successor after a crash) see the
+      // results immediately; the store write is incremental.
+      if (store) store->save();
+      queue.mark_done(u);
+      last_progress = std::chrono::steady_clock::now();
+      continue;
+    }
+    if (queue.all_done()) break;
+    // Nothing claimable: live peers hold the rest. Wait so the
+    // materialization below starts warm from their results; on stall
+    // (peer wedged, store unwritable) give up waiting — the eager pass
+    // recomputes locally and the output bytes are unaffected.
+    const std::size_t done = queue.done_count();
+    if (done != last_done) {
+      last_done = done;
+      last_progress = std::chrono::steady_clock::now();
+    } else if (std::chrono::steady_clock::now() - last_progress >
+               std::chrono::milliseconds(timeout_ms)) {
+      std::fprintf(stderr,
+                   "SweepRunner: spool %s stalled (%zu/%zu units done after "
+                   "%ld ms without progress); continuing without waiting\n",
+                   queue.dir().c_str(), done, queue.unit_count(), timeout_ms);
+      break;
+    }
+    ::usleep(20 * 1000);
+  }
+}
+
 std::vector<ScenarioResult> SweepRunner::run(
     const std::vector<Scenario>& scenarios, Evaluator& eval) const {
+  drain_spool(scenarios, eval);
   std::vector<ScenarioResult> out(scenarios.size());
   std::vector<std::size_t> all(scenarios.size());
   std::iota(all.begin(), all.end(), std::size_t{0});
@@ -229,6 +342,7 @@ std::vector<ScenarioResult> SweepRunner::run(
 SweepResults SweepRunner::run_sharded(
     const std::vector<Scenario>& scenarios, Evaluator& eval,
     const std::function<bool(std::size_t)>& needed) const {
+  drain_spool(scenarios, eval);
   SweepResults results(scenarios, eval);
   std::vector<std::size_t> owned;
   owned.reserve(scenarios.size());

@@ -79,6 +79,13 @@ struct SweepOptions {
   /// evaluator-cached ones). Disable for A/B timing with
   /// MBS_NO_SCHEDULE_GROUPS=1 (engine::Driver) or this flag.
   bool group_by_schedule = true;
+  /// When non-empty, run() / run_sharded() first drain the grid through a
+  /// SpoolQueue rooted here (env: MBS_SPOOL_DIR via engine::Driver): N
+  /// worker processes sharing the directory claim schedule-key groups
+  /// dynamically and share results through the evaluator's cache store,
+  /// then each materializes its own (full or sharded) output warm — byte
+  /// identical to a spool-less run. See engine/spool.h for the protocol.
+  std::string spool_dir;
 };
 
 /// Results of a (possibly sharded) sweep, indexed like the scenario grid.
@@ -179,6 +186,15 @@ class SweepRunner {
                         Evaluator& eval,
                         const std::vector<std::size_t>& indices,
                         ScenarioResult* out) const;
+
+  /// Work-queue drain of `scenarios` when opts_.spool_dir is set (no-op
+  /// otherwise): claims schedule-key groups from the spool, evaluates
+  /// them, and flushes the evaluator's cache store after each, then waits
+  /// (bounded by MBS_SPOOL_TIMEOUT_MS) for peers to finish so the caller's
+  /// subsequent materialization starts warm. Purely an evaluation-sharing
+  /// accelerator: results and output bytes are unaffected by it.
+  void drain_spool(const std::vector<Scenario>& scenarios,
+                   Evaluator& eval) const;
 
   SweepOptions opts_;
 };

@@ -1,6 +1,7 @@
 // Execution configurations evaluated in the paper (Tab. 3).
 #pragma once
 
+#include <string_view>
 #include <vector>
 
 namespace mbs::sched {
@@ -25,6 +26,22 @@ inline const char* to_string(ExecConfig c) {
     case ExecConfig::kMbs2: return "MBS2";
   }
   return "?";
+}
+
+/// Inverse of to_string: parses a Tab. 3 configuration name ("Baseline",
+/// "ArchOpt", "IL", "MBS-FS", "MBS1", "MBS2"). Returns false (out
+/// untouched) on an unknown name. Used by the serve layer's Scenario spec
+/// parser.
+inline bool parse_exec_config(const char* s, ExecConfig* out) {
+  for (ExecConfig c :
+       {ExecConfig::kBaseline, ExecConfig::kArchOpt, ExecConfig::kIL,
+        ExecConfig::kMbsFs, ExecConfig::kMbs1, ExecConfig::kMbs2}) {
+    if (std::string_view(s) == to_string(c)) {
+      *out = c;
+      return true;
+    }
+  }
+  return false;
 }
 
 /// All six execution configurations, in Tab. 3's presentation order.

@@ -1,0 +1,29 @@
+// FNV-1a 64-bit hashing.
+//
+// Used wherever the tree needs a stable, dependency-free content hash:
+// CacheStore derives per-entry shard file names from cache keys, the sweep
+// spool fingerprints grids so two workers cannot drain mismatched grids
+// through one queue, and serve_replay folds every served answer into one
+// fingerprint so runs at different thread counts can be compared with a
+// single string equality. The constants are the standard FNV-1a 64-bit
+// offset basis and prime; the function is NOT cryptographic and callers
+// that map hashes back to values must verify the preimage (CacheStore
+// stores the full key inside each entry file for exactly this reason).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace mbs::util {
+
+inline std::uint64_t fnv1a64(std::string_view data,
+                             std::uint64_t seed = 14695981039346656037ull) {
+  std::uint64_t h = seed;
+  for (unsigned char c : data) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace mbs::util

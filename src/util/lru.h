@@ -1,0 +1,66 @@
+// LruMap: a fixed-capacity map with least-recently-used eviction.
+//
+// The serve layer's in-memory hot set: queries for keys in the map return
+// without touching the disk store or the Evaluator, and the capacity bound
+// keeps a long-running daemon's footprint flat no matter how many distinct
+// keys the query stream visits. Intrusive list-over-map implementation —
+// O(1) get/put, no allocation on a hit.
+#pragma once
+
+#include <cstddef>
+#include <list>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+namespace mbs::util {
+
+template <typename V>
+class LruMap {
+ public:
+  /// A map that holds at most `capacity` entries (minimum 1).
+  explicit LruMap(std::size_t capacity)
+      : capacity_(capacity < 1 ? 1 : capacity) {}
+
+  /// The value for `key`, refreshed to most-recently-used; nullptr on a
+  /// miss. The pointer stays valid until the entry is evicted or replaced.
+  const V* get(const std::string& key) {
+    const auto it = index_.find(key);
+    if (it == index_.end()) return nullptr;
+    order_.splice(order_.begin(), order_, it->second);
+    return &it->second->second;
+  }
+
+  /// Inserts or refreshes `key`, evicting the least-recently-used entry
+  /// when at capacity.
+  void put(const std::string& key, V value) {
+    const auto it = index_.find(key);
+    if (it != index_.end()) {
+      it->second->second = std::move(value);
+      order_.splice(order_.begin(), order_, it->second);
+      return;
+    }
+    if (index_.size() >= capacity_) {
+      ++evictions_;
+      index_.erase(order_.back().first);
+      order_.pop_back();
+    }
+    order_.emplace_front(key, std::move(value));
+    index_[key] = order_.begin();
+  }
+
+  std::size_t size() const { return index_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  /// Entries dropped to make room (a daemon health metric).
+  std::size_t evictions() const { return evictions_; }
+
+ private:
+  std::size_t capacity_;
+  std::size_t evictions_ = 0;
+  std::list<std::pair<std::string, V>> order_;  ///< front = most recent
+  std::unordered_map<std::string,
+                     typename std::list<std::pair<std::string, V>>::iterator>
+      index_;
+};
+
+}  // namespace mbs::util

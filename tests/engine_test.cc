@@ -835,7 +835,9 @@ TEST(CacheStore, VersionStampMismatchStartsCold) {
     CacheStore store(path);
     Evaluator eval(&store);
     eval.step(s);
-    ASSERT_TRUE(store.save());
+    // The single-file writer: the splice below needs the whole document in
+    // one file (the sharded layout stamps each entry instead).
+    ASSERT_TRUE(store.save_legacy_single_file());
   }
   // Corrupt the schema stamp: same framing, different schema version.
   {
@@ -856,7 +858,8 @@ TEST(CacheStore, VersionStampMismatchStartsCold) {
   const EvaluatorStats stats = eval.stats();
   EXPECT_EQ(stats.step_disk_hits, 0);
   EXPECT_EQ(stats.step_misses, 1);
-  // The recomputed entries replace the stale file on save.
+  // The recomputed entries land in the shard directory on save; the stale
+  // single file is simply never consulted again.
   EXPECT_TRUE(stale.dirty());
   ASSERT_TRUE(stale.save());
   CacheStore reloaded(path);
@@ -1062,7 +1065,7 @@ TEST(CacheStore, LegacyPreSystolicStampStillLoadsWarm) {
     CacheStore store(path);
     Evaluator eval(&store);
     ref = eval.step(s);
-    ASSERT_TRUE(store.save());
+    ASSERT_TRUE(store.save_legacy_single_file());
   }
   // Rewind the stamp to its pre-systolic value (serde strings are
   // length-prefixed, so splice prefix and payload together). The file then
@@ -1094,6 +1097,114 @@ TEST(CacheStore, LegacyPreSystolicStampStillLoadsWarm) {
   EXPECT_EQ(stats.step_misses, 1);
   EXPECT_GT(legacy_store.loaded_entries(), 0u);
   std::remove(path.c_str());
+}
+
+TEST(CacheStore, PreServiceSingleFileStampStillLoadsWarm) {
+  const std::string dir = test_cache_dir("preservice");
+  const std::string path = dir + "/evaluator.mbscache";
+  std::remove(path.c_str());
+
+  const Scenario s = mbs2_scenario("alexnet");
+  sim::StepResult ref;
+  {
+    CacheStore store(path);
+    Evaluator eval(&store);
+    ref = eval.step(s);
+    ASSERT_TRUE(store.save_legacy_single_file());
+  }
+  // Rewind the stamp to its pre-service value: the file then looks exactly
+  // like a single-file store written before the sharded layout existed,
+  // and must load warm — upgrading the binary must not cold-start caches.
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream text;
+    text << in.rdbuf();
+    std::string doc = text.str();
+    const std::string current =
+        std::to_string(std::strlen(CacheStore::kSchemaStamp)) + ":" +
+        CacheStore::kSchemaStamp;
+    const std::string pre_service =
+        std::to_string(std::strlen(CacheStore::kPreServiceSchemaStamp)) +
+        ":" + CacheStore::kPreServiceSchemaStamp;
+    const std::size_t pos = doc.find(current);
+    ASSERT_NE(pos, std::string::npos);
+    doc.replace(pos, current.size(), pre_service);
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << doc;
+  }
+  CacheStore pre_store(path);
+  Evaluator eval(&pre_store);
+  const sim::StepResult& warm = eval.step(s);
+  EXPECT_TRUE(step_equal(warm, ref));
+  const EvaluatorStats stats = eval.stats();
+  EXPECT_EQ(stats.step_disk_hits, 1);
+  EXPECT_GT(pre_store.loaded_entries(), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(CacheStore, CorruptShardEntryMissesOnlyThatKey) {
+  const std::string dir = test_cache_dir("shard_corrupt");
+  const std::string path = dir + "/evaluator.mbscache";
+
+  const Scenario a = mbs2_scenario("alexnet");
+  const Scenario b = mbs2_scenario("resnet50");
+  {
+    CacheStore store(path);
+    Evaluator eval(&store);
+    eval.step(a);
+    eval.step(b);
+    ASSERT_TRUE(store.save());
+  }
+  // Truncate one per-entry file mid-token. The sharded layout must degrade
+  // per key: the mangled entry misses (and is recomputed), every other
+  // entry still loads warm — no single bad byte cold-starts the store.
+  {
+    const std::string victim = path + ".d/step/";
+    std::size_t mangled = 0;
+    for (const auto& entry : std::filesystem::directory_iterator(victim)) {
+      std::filesystem::resize_file(entry.path(), 24);
+      ++mangled;
+      break;
+    }
+    ASSERT_EQ(mangled, 1u);
+  }
+  CacheStore store(path);
+  sim::StepResult out_a, out_b;
+  const bool a_ok = store.load_step(a.cache_key(), &out_a);
+  const bool b_ok = store.load_step(b.cache_key(), &out_b);
+  // Exactly one of the two entries was truncated; the other must survive.
+  EXPECT_NE(a_ok, b_ok);
+  std::filesystem::remove_all(path + ".d");
+  std::remove(path.c_str());
+}
+
+TEST(CacheStore, TwoStoresOverOnePathShareEntriesThroughShardDir) {
+  const std::string dir = test_cache_dir("shared");
+  const std::string path = dir + "/evaluator.mbscache";
+
+  // Two store instances over one path — the in-process stand-in for two
+  // spool workers flushing to one shared store. Each computes a disjoint
+  // slice and saves; a third reader sees the union, warm.
+  const Scenario a = mbs2_scenario("alexnet");
+  const Scenario b = mbs2_scenario("resnet50");
+  sim::StepResult ref_a, ref_b;
+  {
+    CacheStore store_a(path);
+    CacheStore store_b(path);
+    Evaluator eval_a(&store_a);
+    Evaluator eval_b(&store_b);
+    ref_a = eval_a.step(a);
+    ref_b = eval_b.step(b);
+    ASSERT_TRUE(store_a.save());
+    ASSERT_TRUE(store_b.save());
+  }
+  CacheStore reader(path);
+  sim::StepResult out_a, out_b;
+  ASSERT_TRUE(reader.load_step(a.cache_key(), &out_a));
+  ASSERT_TRUE(reader.load_step(b.cache_key(), &out_b));
+  EXPECT_TRUE(step_equal(out_a, ref_a));
+  EXPECT_TRUE(step_equal(out_b, ref_b));
+  std::filesystem::remove_all(path + ".d");
 }
 
 TEST(Sharding, MixedBackendGridMergesByteIdenticallyToUnsharded) {

@@ -1,0 +1,65 @@
+// mbs_serve: a query daemon over the warm evaluator store.
+//
+// Reads one request per line on stdin, answers one line on stdout
+// (flushed per answer, so it composes with pipes and coprocesses):
+//
+//   <scenario spec>   e.g. net=resnet50;cfg=MBS2;buf=8388608
+//                     -> "ok <metrics>" or "err <message>"
+//   stats             -> "stats queries=... hot=... store=... computed=...
+//                         errors=..."
+//   quit              -> exits (EOF does too)
+//
+// Blank lines and lines starting with '#' are ignored. Answer payloads
+// are ServeCore::format_answer renderings: %.17g doubles, so an answer is
+// string-equal to the batch Evaluator's result if and only if every
+// double is bit-identical (the sweep-service CI job asserts this).
+//
+// Serving tiers: in-memory LRU hot set (capacity MBS_SERVE_HOT, default
+// 64) over the CacheStore (--cache-dir / MBS_CACHE_DIR; answers any key a
+// batch sweep already computed without recomputing it), with cold keys
+// evaluated on demand and written through to the store. Memory stays
+// bounded by the hot capacity regardless of how many keys the query
+// stream visits.
+//
+// Usage: mbs_serve [--cache-dir=DIR] [--threads=T]
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "engine/driver.h"
+#include "engine/serve.h"
+
+int main(int argc, char** argv) {
+  using namespace mbs;
+  engine::Driver driver(argc, argv);
+  if (!driver.store())
+    std::fprintf(stderr,
+                 "mbs_serve: no cache store (--cache-dir/MBS_CACHE_DIR); "
+                 "every cold key will be computed, none remembered on "
+                 "disk\n");
+
+  std::size_t hot_capacity = 64;
+  if (const char* env = std::getenv("MBS_SERVE_HOT"); env && *env)
+    hot_capacity = static_cast<std::size_t>(std::strtoul(env, nullptr, 10));
+  engine::ServeCore core(driver.store(), hot_capacity);
+
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    if (line == "quit") break;
+    if (line == "stats") {
+      const engine::ServeStats st = core.stats();
+      std::printf("stats queries=%zu hot=%zu store=%zu computed=%zu "
+                  "errors=%zu\n",
+                  st.queries, st.hot_hits, st.store_hits, st.computed,
+                  st.errors);
+      std::fflush(stdout);
+      continue;
+    }
+    const engine::ServeCore::Answer a = core.query(line);
+    std::printf("%s %s\n", a.ok ? "ok" : "err", a.text.c_str());
+    std::fflush(stdout);
+  }
+  return 0;
+}
