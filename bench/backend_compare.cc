@@ -29,6 +29,7 @@
 #include "arch/dataflow.h"
 #include "engine/engine.h"
 #include "models/zoo.h"
+#include "util/env.h"
 #include "util/units.h"
 
 int main(int argc, char** argv) {
@@ -45,9 +46,8 @@ int main(int argc, char** argv) {
       return 1;
     }
   }
-  std::int64_t spad = 512 * 1024;
-  if (const char* env = std::getenv("MBS_SYSTOLIC_SPAD"); env && *env)
-    spad = std::atoll(env);
+  const std::int64_t spad =
+      util::env_int("MBS_SYSTOLIC_SPAD", 512 * 1024, 1, 1LL << 40);
 
   const std::vector<std::string> networks = models::all_network_names();
   const double buffers_mib[] = {2, 10, 40};

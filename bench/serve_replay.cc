@@ -31,6 +31,7 @@
 #include "engine/engine.h"
 #include "engine/serve.h"
 #include "models/zoo.h"
+#include "util/env.h"
 #include "util/fnv.h"
 #include "util/rng.h"
 #include "util/units.h"
@@ -68,12 +69,10 @@ int main(int argc, char** argv) {
   using namespace mbs;
   engine::Driver driver(argc, argv);
 
-  long n_queries = 4000;
-  if (const char* env = std::getenv("MBS_REPLAY_QUERIES"); env && *env)
-    n_queries = std::strtol(env, nullptr, 10);
-  std::size_t hot_capacity = 32;
-  if (const char* env = std::getenv("MBS_SERVE_HOT"); env && *env)
-    hot_capacity = static_cast<std::size_t>(std::strtoul(env, nullptr, 10));
+  const long n_queries =
+      util::env_int("MBS_REPLAY_QUERIES", 4000, 1, 100000000);
+  const std::size_t hot_capacity = static_cast<std::size_t>(
+      util::env_int("MBS_SERVE_HOT", 32, 1, 1 << 24));
 
   // ---- Key space. Specs are the ground truth; the warm grid is parsed
   // from them so the served and batch sides share one Scenario per spec.

@@ -2,15 +2,17 @@
 
 #include <unistd.h>
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
-#include <fstream>
-#include <sstream>
+#include <thread>
 #include <tuple>
 #include <utility>
 #include <vector>
 
+#include "util/env.h"
+#include "util/fault.h"
 #include "util/fnv.h"
 #include "util/serde.h"
 
@@ -311,70 +313,43 @@ std::unique_ptr<CacheStore> CacheStore::from_env() {
 
 namespace {
 
-bool read_text_file(const std::string& path, std::string* out) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return false;
-  std::ostringstream text;
-  text << in.rdbuf();
-  *out = text.str();
-  return true;
-}
-
-// Writes `text` (plus a trailing newline) to `path` via a per-process temp
-// file + atomic rename, creating parent directories. Concurrent writers of
-// the same path cannot corrupt it: the rename is atomic and — for shard
-// entry files — equal keys always serialize to identical bytes, so the
-// last writer winning is harmless.
-bool write_file_atomic(const std::string& path, const std::string& text) {
-  namespace fs = std::filesystem;
-  std::error_code ec;
-  const fs::path target(path);
-  if (target.has_parent_path())
-    fs::create_directories(target.parent_path(), ec);
-  const std::string tmp =
-      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) {
-      std::fprintf(stderr, "CacheStore: cannot write %s\n", tmp.c_str());
-      return false;
-    }
-    out << text << '\n';
-    out.flush();
-    if (!out.good()) {
-      // A truncated write (e.g. disk full) must not replace a valid file.
-      std::fprintf(stderr, "CacheStore: short write to %s; keeping %s\n",
-                   tmp.c_str(), path.c_str());
-      out.close();
-      std::remove(tmp.c_str());
-      return false;
-    }
-  }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    std::fprintf(stderr, "CacheStore: cannot rename %s -> %s\n", tmp.c_str(),
-                 path.c_str());
-    std::remove(tmp.c_str());
-    return false;
-  }
-  return true;
-}
-
 bool stamp_accepted(const std::string& stamp) {
   return stamp == CacheStore::kSchemaStamp ||
+         stamp == CacheStore::kPreChecksumSchemaStamp ||
          stamp == CacheStore::kPreServiceSchemaStamp ||
          stamp == CacheStore::kLegacySchemaStamp;
 }
 
-// Validates a shard entry file's header against the stage and key the
-// caller asked for. A key mismatch means an fnv1a64 collision (or a
-// foreign file): the entry reads as a miss and the value is recomputed.
-bool read_entry_header(Reader& r, const char* stage, const std::string& key) {
-  if (r.read_string() != "mbs-entry") return false;
-  if (r.read_int() != CacheStore::kFormatVersion) return false;
-  if (!stamp_accepted(r.read_string())) return false;
-  if (r.read_string() != stage) return false;
-  if (r.read_string() != key) return false;
-  return !r.fail();
+// Outcome of validating one shard entry file against the stage and key the
+// caller asked for. The distinction matters because it decides the file's
+// fate: a kMiss leaves the file alone (it is someone else's valid data — an
+// fnv1a64 collision, or a newer writer whose stamp we don't know), while
+// kCorrupt quarantines it (it can never validate for anyone).
+enum class EntryStatus {
+  kChecksummed,  // current format: record body is in `*body`, verified
+  kInline,       // pre-checksum stamp: record tokens follow in the Reader
+  kMiss,
+  kCorrupt,
+};
+
+EntryStatus check_entry(Reader& r, const char* stage, const std::string& key,
+                        std::string* body) {
+  if (r.read_string() != "mbs-entry" || r.fail()) return EntryStatus::kCorrupt;
+  if (r.read_int() != CacheStore::kFormatVersion || r.fail())
+    return EntryStatus::kCorrupt;
+  const std::string stamp = r.read_string();
+  if (r.fail()) return EntryStatus::kCorrupt;
+  if (!stamp_accepted(stamp)) return EntryStatus::kMiss;
+  if (r.read_string() != stage || r.fail()) return EntryStatus::kCorrupt;
+  const std::string file_key = r.read_string();
+  if (r.fail()) return EntryStatus::kCorrupt;
+  if (file_key != key) return EntryStatus::kMiss;
+  if (stamp != CacheStore::kSchemaStamp) return EntryStatus::kInline;
+  const std::uint64_t want = static_cast<std::uint64_t>(r.read_int());
+  *body = r.read_string();
+  if (r.fail() || !r.at_end()) return EntryStatus::kCorrupt;
+  if (util::fnv1a64(*body) != want) return EntryStatus::kCorrupt;
+  return EntryStatus::kChecksummed;
 }
 
 char hex_digit(std::uint64_t v) {
@@ -391,10 +366,28 @@ std::string CacheStore::entry_file(const char* stage,
   return shard_dir() + "/" + stage + "/" + name + ".rec";
 }
 
+void CacheStore::quarantine_entry(const char* stage, const std::string& key) {
+  const std::string src = entry_file(stage, key);
+  const std::string qdir = shard_dir() + "/quarantine";
+  std::error_code ec;
+  std::filesystem::create_directories(qdir, ec);
+  const std::string name = src.substr(src.rfind('/') + 1);
+  const std::string dst = qdir + "/" + stage + "." + name;
+  if (!util::fs::rename_file(src, dst, "cache.quarantine.rename")) {
+    // Quarantine must never re-serve the bad bytes; if the move itself
+    // fails, removal is the fallback.
+    std::remove(src.c_str());
+  }
+  ++corrupt_entries_;
+  std::fprintf(stderr, "CacheStore: quarantined corrupt entry %s (stage %s)\n",
+               src.c_str(), stage);
+}
+
 void CacheStore::ensure_loaded() {
   std::call_once(load_once_, [&] {
     std::string text;
-    if (!read_text_file(path_, &text)) return;  // no legacy file: cold start
+    if (!util::fs::read_file(path_, &text, "cache.legacy.read"))
+      return;  // no legacy file: cold start
     std::lock_guard<std::mutex> lock(mu_);
     if (!parse_file(text)) {
       networks_.clear();
@@ -485,7 +478,10 @@ std::string CacheStore::serialize() const {
 // One lookup/insert pair per stage; all share the lazy legacy-file load
 // and the lock. A memory miss falls through to the per-entry shard file:
 // on a valid read the value is cached in memory (and counted as loaded),
-// so each key touches disk at most once per process.
+// so each key touches disk at most once per process. A file that fails
+// validation (torn write, bad checksum, wrong stage, parse failure) is
+// quarantined and the lookup is a miss; a key mismatch or unknown-newer
+// stamp is a plain miss that leaves the file alone.
 #define MBS_CACHE_STORE_STAGE(Fn, PutFn, Map, Type, Stage, ReadFn)      \
   bool CacheStore::Fn(const std::string& key, Type* out) {              \
     ensure_loaded();                                                    \
@@ -496,11 +492,24 @@ std::string CacheStore::serialize() const {
       return true;                                                      \
     }                                                                   \
     std::string text;                                                   \
-    if (!read_text_file(entry_file(Stage, key), &text)) return false;   \
+    if (!util::fs::read_file(entry_file(Stage, key), &text,             \
+                             "cache.entry.read"))                       \
+      return false;                                                     \
     Reader r(text);                                                     \
-    if (!read_entry_header(r, Stage, key)) return false;                \
-    Type v = ReadFn(r);                                                 \
-    if (r.fail() || !r.at_end()) return false;                          \
+    std::string body;                                                   \
+    const EntryStatus st = check_entry(r, Stage, key, &body);           \
+    if (st == EntryStatus::kMiss) return false;                         \
+    if (st == EntryStatus::kCorrupt) {                                  \
+      quarantine_entry(Stage, key);                                     \
+      return false;                                                     \
+    }                                                                   \
+    Reader br(body);                                                    \
+    Reader& pr = st == EntryStatus::kChecksummed ? br : r;              \
+    Type v = ReadFn(pr);                                                \
+    if (pr.fail() || !pr.at_end()) {                                    \
+      quarantine_entry(Stage, key);                                     \
+      return false;                                                     \
+    }                                                                   \
     *out = v;                                                           \
     Map.emplace(key, std::move(v));                                     \
     ++loaded_;                                                          \
@@ -536,36 +545,55 @@ bool CacheStore::save() {
     if (dirty_.empty()) return true;
     pending.reserve(dirty_.size());
     for (const auto& [stage, key] : dirty_) {
+      Writer body;
+      if (stage == "net")
+        write_network(body, networks_.at(key));
+      else if (stage == "sched")
+        write_schedule(body, schedules_.at(key));
+      else if (stage == "traffic")
+        write_traffic(body, traffics_.at(key));
+      else if (stage == "step")
+        write_step(body, steps_.at(key));
+      else if (stage == "gpu")
+        write_gpu_step(body, gpu_steps_.at(key));
+      else
+        write_systolic_step(body, systolic_steps_.at(key));
+      // The record tokens are wrapped as one length-prefixed string with
+      // an fnv1a64 checksum in front: a torn write breaks the length or
+      // the checksum, never silently yields a shorter-but-parseable body.
       Writer w;
       w.put_string("mbs-entry");
       w.put_int(kFormatVersion);
       w.put_string(kSchemaStamp);
       w.put_string(stage);
       w.put_string(key);
-      if (stage == "net")
-        write_network(w, networks_.at(key));
-      else if (stage == "sched")
-        write_schedule(w, schedules_.at(key));
-      else if (stage == "traffic")
-        write_traffic(w, traffics_.at(key));
-      else if (stage == "step")
-        write_step(w, steps_.at(key));
-      else if (stage == "gpu")
-        write_gpu_step(w, gpu_steps_.at(key));
-      else
-        write_systolic_step(w, systolic_steps_.at(key));
+      w.put_int(static_cast<std::int64_t>(util::fnv1a64(body.str())));
+      w.put_string(body.str());
       pending.emplace_back(stage, key, w.str());
     }
   }
+  const long retries = util::env_int("MBS_CACHE_SAVE_RETRIES", 3, 0, 100);
+  const long backoff_ms = util::env_int("MBS_CACHE_RETRY_MS", 10, 0, 60000);
   bool all_ok = true;
   for (const auto& [stage, key, text] : pending) {
-    if (write_file_atomic(entry_file(stage.c_str(), key), text)) {
-      std::lock_guard<std::mutex> lock(mu_);
+    bool ok = false;
+    for (long attempt = 0; attempt <= retries && !ok; ++attempt) {
+      if (attempt > 0 && backoff_ms > 0) {
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(backoff_ms * attempt));
+      }
+      ok = util::fs::write_atomic(entry_file(stage.c_str(), key), text + "\n",
+                                  "cache.entry.write");
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    if (ok) {
       dirty_.erase({stage, key});
     } else {
       all_ok = false;
-      std::lock_guard<std::mutex> lock(mu_);
       ++save_failures_;
+      std::fprintf(stderr,
+                   "CacheStore: giving up on %s/%s after %ld attempts\n",
+                   stage.c_str(), key.c_str(), retries + 1);
     }
   }
   return all_ok;
@@ -578,7 +606,7 @@ bool CacheStore::save_legacy_single_file() {
     std::lock_guard<std::mutex> lock(mu_);
     text = serialize();
   }
-  if (!write_file_atomic(path_, text)) {
+  if (!util::fs::write_atomic(path_, text + "\n", "cache.legacy.write")) {
     std::lock_guard<std::mutex> lock(mu_);
     ++save_failures_;
     return false;
@@ -607,6 +635,11 @@ bool CacheStore::dirty() const {
 std::size_t CacheStore::save_failures() const {
   std::lock_guard<std::mutex> lock(mu_);
   return save_failures_;
+}
+
+std::size_t CacheStore::corrupt_entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return corrupt_entries_;
 }
 
 }  // namespace mbs::engine

@@ -29,6 +29,15 @@
 // struct; any mismatch — or any malformed byte — discards that file and
 // treats its entries as cold (the store is a cache, never a source of
 // truth).
+//
+// Since svc2, each shard entry additionally carries an fnv1a64 checksum
+// over its length-prefixed record body, so a torn write (a crash or
+// injected fault that leaves a truncated file behind) is detected on load
+// rather than trusted. A file that fails validation is moved to
+// `<shard_dir>/quarantine/` — never re-read, never able to wedge the
+// store — and its key reads as a miss. All filesystem mutations route
+// through util::fs, whose named fault sites (MBS_FAULTS) make these
+// failure paths deterministically testable.
 #pragma once
 
 #include <cstdint>
@@ -54,14 +63,19 @@ class CacheStore {
   /// Bumped (per stage) when a serialized struct gains/loses fields.
   /// sched2: Group gained the `members` list (non-contiguous grouping).
   /// sys1: the cycle-level systolic-step stage joined the store.
-  /// svc1: the sharded per-entry layout (record layouts unchanged — the
-  ///       tag marks the store generation that writes `<path>.d/`).
+  /// svc2: shard entries carry a per-record fnv1a64 checksum over a
+  ///       length-prefixed body, so torn writes are detected on load
+  ///       (record layouts themselves unchanged).
   static constexpr const char* kSchemaStamp =
-      "net1;sched2;traffic1;step1;gpu1;sys1;svc1";
+      "net1;sched2;traffic1;step1;gpu1;sys1;svc2";
   /// Still-accepted older stamps. A stage tag bump invalidates only files
   /// whose existing records changed layout; no record layout has changed
   /// since these stamps were current, so files carrying them stay valid
   /// (warm starts survive the upgrade).
+  /// svc1: the first sharded per-entry layout — record tokens inline after
+  /// the header, no checksum.
+  static constexpr const char* kPreChecksumSchemaStamp =
+      "net1;sched2;traffic1;step1;gpu1;sys1;svc1";
   static constexpr const char* kPreServiceSchemaStamp =
       "net1;sched2;traffic1;step1;gpu1;sys1";
   /// Pre-systolic stamp: such a file cannot contain "sys" records, and
@@ -96,11 +110,13 @@ class CacheStore {
                          const arch::SystolicStepResult& v);
 
   /// Writes every entry added since the last save to its own shard file
-  /// (temp file + atomic rename; creates directories as needed). Entries
-  /// that fail to write stay dirty and are retried by the next save().
-  /// Returns false if any write failed, true otherwise (including the
-  /// nothing-to-do case). Safe to call from many processes sharing one
-  /// cache directory: equal keys write identical bytes.
+  /// (temp file + atomic rename; creates directories as needed). A failed
+  /// write is retried up to MBS_CACHE_SAVE_RETRIES times with a linear
+  /// MBS_CACHE_RETRY_MS backoff before the entry is left dirty for the
+  /// next save(). Returns false if any write failed after retries, true
+  /// otherwise (including the nothing-to-do case). Safe to call from many
+  /// processes sharing one cache directory: equal keys write identical
+  /// bytes.
   bool save();
 
   /// Writes ALL entries to the legacy single file at path() (temp file +
@@ -120,12 +136,21 @@ class CacheStore {
   /// Cumulative count of entry writes that failed (disk full, unwritable
   /// directory, ...). Surfaced by the Driver as a warning + stat.
   std::size_t save_failures() const;
+  /// Cumulative count of shard entry files that failed validation on load
+  /// (torn write, bad checksum, wrong stage, parse failure) and were moved
+  /// to `<shard_dir>/quarantine/`. Each such lookup reads as a miss and
+  /// the value is recomputed; ServeCore surfaces the delta per query as
+  /// the `degraded` stat.
+  std::size_t corrupt_entries() const;
 
  private:
   void ensure_loaded();
   bool parse_file(const std::string& text);
   std::string serialize() const;  // callers hold mu_
   std::string entry_file(const char* stage, const std::string& key) const;
+  /// Moves a failed-validation entry file out of the shard tree so it is
+  /// never re-read (callers hold mu_).
+  void quarantine_entry(const char* stage, const std::string& key);
 
   std::string path_;
   std::once_flag load_once_;
@@ -142,6 +167,7 @@ class CacheStore {
   std::set<std::pair<std::string, std::string>> dirty_;
   std::size_t loaded_ = 0;
   std::size_t save_failures_ = 0;
+  std::size_t corrupt_entries_ = 0;
 };
 
 }  // namespace mbs::engine

@@ -6,6 +6,7 @@
 #include <string_view>
 
 #include "train/gemm_microkernels.h"
+#include "util/env.h"
 #include "util/parallel.h"
 
 namespace mbs::engine {
@@ -45,8 +46,8 @@ Driver::Driver(int argc, char** argv) {
   std::string cache_dir;
   bool have_shard_flag = false;
 
-  if (const char* env = std::getenv("MBS_THREADS"); env && *env)
-    sweep.threads = parse_int_flag(env, "threads (MBS_THREADS)");
+  sweep.threads = static_cast<int>(
+      util::env_int("MBS_THREADS", sweep.threads, 0, 65536));
   // Schedule-group batching is on by default; MBS_NO_SCHEDULE_GROUPS=1 is
   // the A/B escape hatch (output is byte-identical either way).
   if (const char* env = std::getenv("MBS_NO_SCHEDULE_GROUPS");

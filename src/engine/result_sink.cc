@@ -4,7 +4,10 @@
 #include <cstdlib>
 #include <fstream>
 #include <ostream>
+#include <sstream>
 #include <utility>
+
+#include "util/fault.h"
 
 namespace mbs::engine {
 
@@ -210,24 +213,24 @@ bool ResultSink::export_files(const std::string& stem) const {
   const char* dir = std::getenv("MBS_RESULT_DIR");
   if (!dir || !*dir) return false;
   const std::string base = std::string(dir) + "/" + stem + export_suffix();
-  {
-    std::ofstream csv(base + ".csv");
-    if (!csv) {
-      std::fprintf(stderr, "ResultSink: cannot write %s.csv (MBS_RESULT_DIR)\n",
-                   base.c_str());
-      return false;
-    }
-    write_csv(csv);
+  // Atomic writes (tmp + rename via util::fs): a crash or injected fault
+  // mid-export can never leave a half-written file where a merge or a
+  // byte-identity check would read it.
+  std::ostringstream csv;
+  write_csv(csv);
+  if (!util::fs::write_atomic(base + ".csv", csv.str(),
+                              "sink.export.write")) {
+    std::fprintf(stderr, "ResultSink: cannot write %s.csv (MBS_RESULT_DIR)\n",
+                 base.c_str());
+    return false;
   }
-  {
-    std::ofstream json(base + ".json");
-    if (!json) {
-      std::fprintf(stderr,
-                   "ResultSink: cannot write %s.json (MBS_RESULT_DIR)\n",
-                   base.c_str());
-      return false;
-    }
-    write_json(json);
+  std::ostringstream json;
+  write_json(json);
+  if (!util::fs::write_atomic(base + ".json", json.str(),
+                              "sink.export.write")) {
+    std::fprintf(stderr, "ResultSink: cannot write %s.json (MBS_RESULT_DIR)\n",
+                 base.c_str());
+    return false;
   }
   return true;
 }

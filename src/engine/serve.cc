@@ -1,6 +1,7 @@
 #include "engine/serve.h"
 
 #include <cstdio>
+#include <exception>
 
 #include "engine/cache_store.h"
 #include "engine/evaluator.h"
@@ -118,8 +119,21 @@ ServeCore::Answer ServeCore::query(const std::string& spec) {
 
   // Short-lived evaluator: all cross-query reuse lives in the LRU and the
   // store, keeping the daemon's footprint bounded by the hot capacity.
+  // Any failure in here — including store corruption discovered mid-read,
+  // which quarantines the bad entry and recomputes — must stay confined
+  // to this query: the daemon answers it (or errors it) and lives on.
+  const std::size_t corrupt_before = store_ ? store_->corrupt_entries() : 0;
   Evaluator eval(store_);
-  const ScenarioResult r = evaluate_scenario(s, eval);
+  ScenarioResult r;
+  try {
+    r = evaluate_scenario(s, eval);
+  } catch (const std::exception& e) {
+    ++stats_.errors;
+    return {false, std::string("evaluation failed: ") + e.what(),
+            Source::kError};
+  }
+  if (store_ && store_->corrupt_entries() > corrupt_before)
+    ++stats_.degraded;
   const EvaluatorStats st = eval.stats();
   const std::int64_t misses = st.network_misses + st.schedule_misses +
                               st.traffic_misses + st.step_misses +

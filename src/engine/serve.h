@@ -42,6 +42,12 @@ struct ServeStats {
   std::size_t store_hits = 0; ///< every missing stage came from the store
   std::size_t computed = 0;   ///< at least one stage ran the pipeline
   std::size_t errors = 0;     ///< malformed spec or unknown network
+  /// Queries that hit store corruption mid-read (quarantined entries) and
+  /// degraded gracefully to fresh evaluation. The answer is still correct
+  /// — the store is a cache, never a source of truth — but the latency
+  /// tier was worse than it should have been; a rising count means the
+  /// disk under the store is eating writes.
+  std::size_t degraded = 0;
 };
 
 class ServeCore {

@@ -12,15 +12,32 @@
 //   <dir>/manifest       grid fingerprint + unit count (rejects a worker
 //                        whose grid differs from the queue's)
 //   <dir>/todo/u<k>      unit k is unclaimed
-//   <dir>/claimed/u<k>.<pid>  unit k is being evaluated by <pid>
+//   <dir>/claimed/u<k>.g<gen>.<host>.<pid>
+//                        unit k is being evaluated; <gen> counts how many
+//                        times the unit has been claimed, <host>.<pid>
+//                        identifies the owner
 //   <dir>/done/u<k>      unit k's results are in the shared cache store
+//   <dir>/failed/u<k>    unit k killed its owner <gen> times in a row and
+//                        is quarantined with diagnostics (poisoned unit)
 //
-// A claim is `rename(todo/u<k>, claimed/u<k>.<pid>)`: rename(2) is atomic,
-// so exactly one racing worker wins. Completion writes the done marker
-// (temp + rename) *before* unlinking the claim, so a unit is always
-// visible in at least one state. Crash recovery: a claim whose owner pid
-// no longer exists (kill(pid, 0) == ESRCH) is renamed back into todo/ by
-// whichever live worker notices first — again atomic, one winner.
+// A claim is `rename(todo/u<k>, claimed/u<k>.g1.<host>.<pid>)`: rename(2)
+// is atomic, so exactly one racing worker wins. Completion writes the done
+// marker (temp + rename) *before* unlinking the claim, so a unit is always
+// visible in at least one state.
+//
+// Crash recovery distinguishes owners by host. A same-host owner is probed
+// with kill(pid, 0); a cross-host pid is meaningless, so foreign claims are
+// declared dead only when their lease expires — the claim file's mtime is
+// older than MBS_SPOOL_LEASE_MS. Live owners refresh the mtime via
+// refresh_claim() heartbeats while a long unit evaluates, so a slow unit
+// is never falsely reclaimed. Reclaim is a *takeover*: the stale claim is
+// renamed directly to `u<k>.g<gen+1>.<newhost>.<newpid>` — one atomic
+// step, one winner, and the generation stamp means two reclaimers can
+// never both think they own the unit (the double-reclaim ABA of a
+// claim→todo→claim round trip). A unit whose generation would exceed
+// MBS_SPOOL_POISON_LIMIT moves to failed/ with diagnostics instead of
+// killing workers forever; failed units count toward all_done() so the
+// fleet drains past them.
 //
 // Workers share *results* through the concurrent CacheStore (flushed per
 // unit), not through the queue: after the drain each worker materializes
@@ -29,12 +46,15 @@
 // re-created after a claim/done was concurrently erased by init) at worst
 // re-execute deterministic memoized work — never corrupt it.
 //
-// Liveness checks use pid probing, so all workers of one queue must run on
-// one machine (they share a filesystem and a pid namespace).
+// Every mutation routes through util::fs named fault sites
+// (spool.claim.rename, spool.reclaim.rename, spool.done.write, ...), so
+// MBS_FAULTS can deterministically kill a worker at any protocol step.
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 #include <string>
+#include <unordered_map>
 
 namespace mbs::engine {
 
@@ -47,29 +67,47 @@ class SpoolQueue {
   SpoolQueue(std::string dir, std::uint64_t fingerprint, std::size_t units);
 
   /// Creates the directories, the manifest, and one todo file per unit not
-  /// already claimed or done. Idempotent, and safe to race with other
-  /// workers' init. Aborts with a message when `dir` already holds a queue
-  /// for a different grid (fingerprint or unit-count mismatch) — mixing
-  /// grids in one queue would corrupt both drains.
+  /// already claimed, done, or failed. Idempotent, and safe to race with
+  /// other workers' init. Aborts with a message when `dir` already holds a
+  /// queue for a different grid (fingerprint or unit-count mismatch) —
+  /// mixing grids in one queue would corrupt both drains.
   void init();
 
   /// Claims one unit and returns its index, or -1 when nothing is
-  /// claimable right now (every remaining unit is done or held by a live
-  /// worker). Stale claims of dead workers are reclaimed first.
+  /// claimable right now (every remaining unit is done, failed, or held
+  /// by a live worker). Stale claims — same-host owner dead by pid probe,
+  /// or foreign owner's lease expired — are taken over directly with a
+  /// bumped generation; a unit at the poison limit moves to failed/.
   int claim();
+
+  /// Heartbeat: bumps the mtime of this process's claim on `unit` so its
+  /// lease stays fresh while a long evaluation runs. Returns false when
+  /// this process holds no claim on `unit` (e.g. it was never claimed
+  /// here). Thread-safe against claim()/mark_done().
+  bool refresh_claim(int unit);
 
   /// Marks `unit` done and releases this process's claim. Idempotent.
   void mark_done(int unit);
 
   std::size_t done_count() const;
-  bool all_done() const { return done_count() >= units_; }
+  /// Units quarantined in failed/ (poisoned: killed too many workers).
+  std::size_t failed_count() const;
+  /// Done or failed — a poisoned unit must not livelock the fleet.
+  bool all_done() const { return done_count() + failed_count() >= units_; }
   std::size_t unit_count() const { return units_; }
   const std::string& dir() const { return dir_; }
 
  private:
+  std::string claim_name(int unit, long gen) const;
+
   std::string dir_;
   std::uint64_t fingerprint_ = 0;
   std::size_t units_ = 0;
+  std::string host_;
+
+  mutable std::mutex mu_;
+  /// unit -> full path of the claim this process currently holds.
+  std::unordered_map<int, std::string> claim_paths_;
 };
 
 }  // namespace mbs::engine

@@ -2,6 +2,7 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -17,6 +18,8 @@
 
 #include "engine/cache_store.h"
 #include "engine/spool.h"
+#include "util/env.h"
+#include "util/fault.h"
 #include "util/fnv.h"
 #include "util/parallel.h"
 
@@ -274,36 +277,45 @@ void SweepRunner::drain_spool(const std::vector<Scenario>& scenarios,
                  "SweepRunner: spool drain without a cache store shares no "
                  "results between workers (set MBS_CACHE_DIR)\n");
 
-  long timeout_ms = 60000;
-  if (const char* env = std::getenv("MBS_SPOOL_TIMEOUT_MS"); env && *env)
-    timeout_ms = std::strtol(env, nullptr, 10);
-  // Crash injection for the recovery tests: abandon the (n+1)-th claim by
-  // exiting hard, leaving a claim file owned by a dead pid.
-  long crash_after = -1;
-  if (const char* env = std::getenv("MBS_SPOOL_CRASH_AFTER"); env && *env)
-    crash_after = std::strtol(env, nullptr, 10);
+  const long timeout_ms =
+      util::env_int("MBS_SPOOL_TIMEOUT_MS", 60000, 0, 86400000);
+  const long lease_ms =
+      util::env_int("MBS_SPOOL_LEASE_MS", 60000, 100, 86400000);
 
-  long claims = 0;
   auto last_progress = std::chrono::steady_clock::now();
   std::size_t last_done = queue.done_count();
   for (;;) {
     const int u = queue.claim();
     if (u >= 0) {
-      if (crash_after >= 0 && claims >= crash_after) {
-        std::fprintf(stderr,
-                     "SweepRunner: MBS_SPOOL_CRASH_AFTER=%ld — dying with "
-                     "unit %d claimed\n",
-                     crash_after, u);
-        std::_Exit(3);
-      }
-      ++claims;
+      // Crash injection for the recovery tests (MBS_FAULTS=
+      // spool.unit.start:crash@N): abandon the Nth claimed unit by exiting
+      // hard, leaving a claim file owned by a dead pid.
+      util::fault_point("spool.unit.start");
       const std::vector<std::size_t>& members =
           units[static_cast<std::size_t>(u)];
+      // Heartbeat: refresh the claim's lease while the unit evaluates, so
+      // a unit that legitimately takes longer than MBS_SPOOL_LEASE_MS is
+      // not reclaimed out from under us by a cross-host peer.
+      std::atomic<bool> evaluating{true};
+      std::thread heartbeat([&queue, &evaluating, u, lease_ms] {
+        const auto interval =
+            std::chrono::milliseconds(std::max(lease_ms / 3, 50L));
+        auto next = std::chrono::steady_clock::now() + interval;
+        while (evaluating.load(std::memory_order_acquire)) {
+          if (std::chrono::steady_clock::now() >= next) {
+            queue.refresh_claim(u);
+            next = std::chrono::steady_clock::now() + interval;
+          }
+          std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        }
+      });
       std::vector<ScenarioResult> scratch(members.size());
       evaluate_indices(scenarios, eval, members, scratch.data());
       // Flush per unit so peers (and a successor after a crash) see the
       // results immediately; the store write is incremental.
       if (store) store->save();
+      evaluating.store(false, std::memory_order_release);
+      heartbeat.join();
       queue.mark_done(u);
       last_progress = std::chrono::steady_clock::now();
       continue;

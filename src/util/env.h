@@ -1,0 +1,40 @@
+// Validated environment-variable parsing.
+//
+// Numeric env vars used to be read with bare strtol, so MBS_SPOOL_TIMEOUT_MS=abc
+// or a negative thread count silently became 0 and changed behavior without a
+// trace. env_int is the one way the tree reads an integer from the
+// environment: unset/empty returns the fallback silently; garbage, trailing
+// junk, or out-of-range values warn on stderr and return the fallback, so a
+// typo'd knob is loud but never fatal and never surprising.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace mbs::util {
+
+/// Integer env var `name`, constrained to [lo, hi]. Unset or empty returns
+/// `fallback`. Non-numeric text, trailing junk, or an out-of-range value
+/// warns on stderr and returns `fallback` — a bad knob must not silently
+/// become 0.
+inline long env_int(const char* name, long fallback, long lo, long hi) {
+  const char* raw = std::getenv(name);
+  if (!raw || !*raw) return fallback;
+  char* end = nullptr;
+  const long v = std::strtol(raw, &end, 10);
+  if (end == raw || *end != '\0') {
+    std::fprintf(stderr,
+                 "env: %s='%s' is not an integer; using default %ld\n", name,
+                 raw, fallback);
+    return fallback;
+  }
+  if (v < lo || v > hi) {
+    std::fprintf(stderr,
+                 "env: %s=%ld is outside [%ld, %ld]; using default %ld\n",
+                 name, v, lo, hi, fallback);
+    return fallback;
+  }
+  return v;
+}
+
+}  // namespace mbs::util

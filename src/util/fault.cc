@@ -1,0 +1,298 @@
+#include "util/fault.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <string.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace mbs::util {
+
+namespace {
+
+struct SiteSpec {
+  enum Kind { kFailNth, kEveryK, kTorn, kCrash } kind = kFailNth;
+  long n = 0;           // target call number (fail@N, torn@N, crash@N) or K
+  long torn_bytes = 0;  // torn@N/B truncation offset
+};
+
+struct SiteState {
+  std::vector<SiteSpec> specs;
+  long calls = 0;
+};
+
+std::mutex g_mu;
+std::unordered_map<std::string, SiteState>& registry() {
+  static std::unordered_map<std::string, SiteState> r;
+  return r;
+}
+std::atomic<bool> g_armed{false};
+std::atomic<long> g_injected{0};
+std::once_flag g_env_once;
+
+// One "site:kind@args" entry. Returns false on parse failure.
+bool parse_entry(const std::string& entry) {
+  const size_t colon = entry.find(':');
+  const size_t at = entry.find('@', colon == std::string::npos ? 0 : colon);
+  if (colon == std::string::npos || at == std::string::npos || colon == 0) {
+    return false;
+  }
+  const std::string site = entry.substr(0, colon);
+  const std::string kind = entry.substr(colon + 1, at - colon - 1);
+  const std::string args = entry.substr(at + 1);
+
+  SiteSpec spec;
+  char* end = nullptr;
+  if (kind == "fail") {
+    spec.kind = SiteSpec::kFailNth;
+  } else if (kind == "every") {
+    spec.kind = SiteSpec::kEveryK;
+  } else if (kind == "torn") {
+    spec.kind = SiteSpec::kTorn;
+  } else if (kind == "crash") {
+    spec.kind = SiteSpec::kCrash;
+  } else {
+    return false;
+  }
+  spec.n = strtol(args.c_str(), &end, 10);
+  if (end == args.c_str() || spec.n <= 0) return false;
+  if (spec.kind == SiteSpec::kTorn) {
+    if (*end != '/') return false;
+    const char* b = end + 1;
+    spec.torn_bytes = strtol(b, &end, 10);
+    if (end == b || spec.torn_bytes < 0) return false;
+  }
+  if (*end != '\0') return false;
+
+  std::lock_guard<std::mutex> lock(g_mu);
+  registry()[site].specs.push_back(spec);
+  g_armed.store(true, std::memory_order_release);
+  return true;
+}
+
+bool arm_from_string(const std::string& spec) {
+  bool ok = true;
+  size_t pos = 0;
+  while (pos <= spec.size()) {
+    size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string entry = spec.substr(pos, comma - pos);
+    if (!entry.empty() && !parse_entry(entry)) {
+      std::fprintf(stderr, "fault: bad MBS_FAULTS entry '%s' (ignored)\n",
+                   entry.c_str());
+      ok = false;
+    }
+    pos = comma + 1;
+  }
+  return ok;
+}
+
+void init_from_env() {
+  const char* env = std::getenv("MBS_FAULTS");
+  if (env && *env) arm_from_string(env);
+}
+
+bool fsync_enabled() {
+  static const bool on = [] {
+    const char* v = std::getenv("MBS_FSYNC");
+    return v && *v && strcmp(v, "0") != 0;
+  }();
+  return on;
+}
+
+// Plain POSIX write of the whole buffer to an already-open fd.
+bool write_all(int fd, const char* data, size_t len) {
+  size_t off = 0;
+  while (off < len) {
+    const ssize_t w = write(fd, data + off, len - off);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<size_t>(w);
+  }
+  return true;
+}
+
+void make_parent_dirs(const std::string& path) {
+  for (size_t i = 1; i < path.size(); ++i) {
+    if (path[i] == '/') {
+      mkdir(path.substr(0, i).c_str(), 0777);  // EEXIST is fine
+    }
+  }
+}
+
+// Write `text` straight to `path` (no tmp file) — used to materialize a
+// torn write at the final path, exactly as a crash mid-write would leave it.
+bool write_direct(const std::string& path, const char* data, size_t len) {
+  make_parent_dirs(path);
+  const int fd = open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0666);
+  if (fd < 0) return false;
+  const bool ok = write_all(fd, data, len);
+  close(fd);
+  return ok;
+}
+
+}  // namespace
+
+FaultDecision fault_point(const char* site) {
+  std::call_once(g_env_once, init_from_env);
+  FaultDecision d;
+  if (!g_armed.load(std::memory_order_acquire)) return d;
+
+  std::unique_lock<std::mutex> lock(g_mu);
+  auto it = registry().find(site);
+  if (it == registry().end()) return d;
+  SiteState& st = it->second;
+  st.calls++;
+  for (const SiteSpec& spec : st.specs) {
+    const bool hit = spec.kind == SiteSpec::kEveryK
+                         ? (st.calls % spec.n == 0)
+                         : (st.calls == spec.n);
+    if (!hit) continue;
+    switch (spec.kind) {
+      case SiteSpec::kFailNth:
+      case SiteSpec::kEveryK:
+        d.fail = true;
+        break;
+      case SiteSpec::kTorn:
+        d.torn = true;
+        d.torn_bytes = spec.torn_bytes;
+        break;
+      case SiteSpec::kCrash:
+        lock.unlock();
+        std::fprintf(stderr, "fault: crash at site %s (call %ld)\n", site,
+                     spec.n);
+        std::fflush(nullptr);
+        std::_Exit(3);
+    }
+  }
+  if (d.fail || d.torn) {
+    g_injected.fetch_add(1, std::memory_order_relaxed);
+  }
+  return d;
+}
+
+bool fault_arm(const std::string& spec) {
+  std::call_once(g_env_once, init_from_env);
+  return arm_from_string(spec);
+}
+
+void fault_clear() {
+  std::call_once(g_env_once, init_from_env);
+  std::lock_guard<std::mutex> lock(g_mu);
+  registry().clear();
+  g_armed.store(false, std::memory_order_release);
+  g_injected.store(0, std::memory_order_relaxed);
+}
+
+long fault_injection_count() {
+  return g_injected.load(std::memory_order_relaxed);
+}
+
+namespace fs {
+
+bool write_atomic(const std::string& path, const std::string& text,
+                  const char* site) {
+  const FaultDecision d = fault_point(site);
+  if (d.fail) {
+    errno = EIO;
+    return false;
+  }
+  if (d.torn) {
+    // Leave a truncated file at the final path and report success: this is
+    // what an acknowledged-but-torn write looks like to the next reader.
+    const size_t n = static_cast<size_t>(d.torn_bytes) < text.size()
+                         ? static_cast<size_t>(d.torn_bytes)
+                         : text.size();
+    write_direct(path, text.data(), n);
+    return true;
+  }
+
+  make_parent_dirs(path);
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long>(getpid()));
+  const int fd = open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0666);
+  if (fd < 0) return false;
+  bool ok = write_all(fd, text.data(), text.size());
+  if (ok && fsync_enabled() && fsync(fd) != 0) ok = false;
+  if (close(fd) != 0) ok = false;
+  if (ok && rename(tmp.c_str(), path.c_str()) != 0) ok = false;
+  if (!ok) unlink(tmp.c_str());
+  return ok;
+}
+
+bool read_file(const std::string& path, std::string* out, const char* site) {
+  const FaultDecision d = fault_point(site);
+  if (d.fail) {
+    errno = EIO;
+    return false;
+  }
+  const int fd = open(path.c_str(), O_RDONLY);
+  if (fd < 0) return false;
+  std::string buf;
+  char chunk[1 << 16];
+  for (;;) {
+    const ssize_t r = read(fd, chunk, sizeof(chunk));
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      close(fd);
+      return false;
+    }
+    if (r == 0) break;
+    buf.append(chunk, static_cast<size_t>(r));
+  }
+  close(fd);
+  if (d.torn && static_cast<size_t>(d.torn_bytes) < buf.size()) {
+    buf.resize(static_cast<size_t>(d.torn_bytes));
+  }
+  *out = std::move(buf);
+  return true;
+}
+
+bool rename_file(const std::string& from, const std::string& to,
+                 const char* site) {
+  const FaultDecision d = fault_point(site);
+  if (d.fail || d.torn) {
+    errno = EIO;
+    return false;
+  }
+  return rename(from.c_str(), to.c_str()) == 0;
+}
+
+bool remove_file(const std::string& path, const char* site) {
+  const FaultDecision d = fault_point(site);
+  if (d.fail || d.torn) {
+    errno = EIO;
+    return false;
+  }
+  return unlink(path.c_str()) == 0 || errno == ENOENT;
+}
+
+bool create_exclusive(const std::string& path, const std::string& text,
+                      const char* site) {
+  const FaultDecision d = fault_point(site);
+  if (d.fail || d.torn) {
+    errno = EIO;
+    return false;
+  }
+  const int fd = open(path.c_str(), O_WRONLY | O_CREAT | O_EXCL, 0666);
+  if (fd < 0) return false;
+  const bool ok = write_all(fd, text.data(), text.size());
+  close(fd);
+  if (!ok) unlink(path.c_str());
+  return ok;
+}
+
+}  // namespace fs
+
+}  // namespace mbs::util

@@ -1,5 +1,7 @@
 #include "util/parallel.h"
 
+#include "util/env.h"
+
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -18,14 +20,9 @@ thread_local bool t_in_parallel_region = false;
 std::atomic<int> g_budget_override{-1};  // -1 = unset, fall back to env
 
 int env_budget() {
-  static const int value = [] {
-    if (const char* env = std::getenv("MBS_THREADS"); env && *env) {
-      char* end = nullptr;
-      const long v = std::strtol(env, &end, 10);
-      if (end != env && *end == '\0' && v >= 0) return static_cast<int>(v);
-    }
-    return 0;
-  }();
+  // 0 = unset: fall back to hardware concurrency in resolve_budget.
+  static const int value =
+      static_cast<int>(env_int("MBS_THREADS", 0, 0, 65536));
   return value;
 }
 

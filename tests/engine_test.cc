@@ -1178,6 +1178,204 @@ TEST(CacheStore, CorruptShardEntryMissesOnlyThatKey) {
   std::remove(path.c_str());
 }
 
+TEST(CacheStore, BadChecksumEntryIsQuarantinedAndMissesOnlyThatKey) {
+  const std::string dir = test_cache_dir("cks_corrupt");
+  const std::string path = dir + "/evaluator.mbscache";
+
+  const Scenario a = mbs2_scenario("alexnet");
+  const Scenario b = mbs2_scenario("resnet50");
+  {
+    CacheStore store(path);
+    Evaluator eval(&store);
+    eval.step(a);
+    eval.step(b);
+    ASSERT_TRUE(store.save());
+  }
+  // Flip one byte deep inside a record body: the length prefix still
+  // parses, the tokens may even still parse — only the checksum can catch
+  // this. The damaged entry must miss AND be quarantined, not deleted.
+  std::string victim;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(path + ".d/step")) {
+    victim = entry.path().string();
+    break;
+  }
+  ASSERT_FALSE(victim.empty());
+  {
+    std::ifstream in(victim, std::ios::binary);
+    std::ostringstream text;
+    text << in.rdbuf();
+    std::string bytes = text.str();
+    ASSERT_GT(bytes.size(), 60u);
+    bytes[bytes.size() - 20] ^= 0x01;
+    std::ofstream(victim, std::ios::binary | std::ios::trunc) << bytes;
+  }
+  CacheStore store(path);
+  sim::StepResult out_a, out_b;
+  const bool a_ok = store.load_step(a.cache_key(), &out_a);
+  const bool b_ok = store.load_step(b.cache_key(), &out_b);
+  EXPECT_NE(a_ok, b_ok);  // exactly the damaged key misses
+  EXPECT_EQ(store.corrupt_entries(), 1u);
+  EXPECT_FALSE(std::filesystem::exists(victim));  // moved, not left behind
+  std::size_t quarantined = 0;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(path + ".d/quarantine"))
+    if (entry.is_regular_file()) ++quarantined;
+  EXPECT_EQ(quarantined, 1u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(CacheStore, WrongStageHeaderIsQuarantined) {
+  const std::string dir = test_cache_dir("stage_corrupt");
+  const std::string path = dir + "/evaluator.mbscache";
+
+  const Scenario s = mbs2_scenario("alexnet");
+  {
+    CacheStore store(path);
+    Evaluator eval(&store);
+    evaluate_scenario(s, eval);  // warms every stage incl. traffic
+    ASSERT_TRUE(store.save());
+  }
+  // Cross-wire the tiers: drop a step-stage record where a traffic-stage
+  // record should be (a misdirected rename / cosmic rename target). The
+  // stage token in the header disagrees with the directory — quarantine,
+  // never deserialize a step body as traffic.
+  std::string step_rec;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(path + ".d/step")) {
+    step_rec = entry.path().string();
+    break;
+  }
+  ASSERT_FALSE(step_rec.empty());
+  std::string traffic_rec;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(path + ".d/traffic")) {
+    traffic_rec = entry.path().string();
+    break;
+  }
+  ASSERT_FALSE(traffic_rec.empty());
+  std::filesystem::copy_file(
+      step_rec, traffic_rec,
+      std::filesystem::copy_options::overwrite_existing);
+
+  CacheStore store(path);
+  sched::Traffic out;
+  EXPECT_FALSE(store.load_traffic(s.schedule_key(), &out));
+  EXPECT_EQ(store.corrupt_entries(), 1u);
+  EXPECT_TRUE(std::filesystem::exists(path + ".d/quarantine"));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(CacheStore, ZeroLengthShardFileMissesCleanly) {
+  const std::string dir = test_cache_dir("zero_len");
+  const std::string path = dir + "/evaluator.mbscache";
+
+  const Scenario s = mbs2_scenario("alexnet");
+  {
+    CacheStore store(path);
+    Evaluator eval(&store);
+    eval.step(s);
+    ASSERT_TRUE(store.save());
+  }
+  // A crash between open and first write leaves a zero-length file (the
+  // one layout the tmp+rename discipline cannot rule out under torn-write
+  // injection). It must read as a clean miss and recompute warm.
+  for (const auto& entry :
+       std::filesystem::directory_iterator(path + ".d/step"))
+    std::filesystem::resize_file(entry.path(), 0);
+
+  CacheStore store(path);
+  Evaluator eval(&store);
+  const sim::StepResult recomputed = eval.step(s);
+  EXPECT_GT(recomputed.time_s, 0.0);
+  EXPECT_EQ(eval.stats().step_disk_hits, 0);
+  EXPECT_EQ(eval.stats().step_misses, 1);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(CacheStore, PreChecksumShardEntriesStillLoadWarm) {
+  const std::string dir = test_cache_dir("svc1");
+  const std::string path = dir + "/evaluator.mbscache";
+
+  const Scenario s = mbs2_scenario("alexnet");
+  sim::StepResult ref;
+  {
+    CacheStore store(path);
+    Evaluator eval(&store);
+    ref = eval.step(s);
+    ASSERT_TRUE(store.save());
+  }
+  // Rewrite every shard record to the pre-checksum (svc1) layout: same
+  // header minus the checksum token, record tokens inline instead of
+  // length-prefixed. Stores written before checksums shipped must still
+  // load warm — upgrading the binary must not cold-start fleet caches.
+  std::size_t rewritten = 0;
+  for (const auto& entry :
+       std::filesystem::recursive_directory_iterator(path + ".d")) {
+    if (!entry.is_regular_file()) continue;
+    std::ifstream in(entry.path(), std::ios::binary);
+    std::ostringstream text;
+    text << in.rdbuf();
+    const std::string doc = text.str();  // Reader views, must outlive it
+    util::serde::Reader r(doc);
+    ASSERT_EQ(r.read_string(), "mbs-entry");
+    const std::int64_t version = r.read_int();
+    r.read_string();  // svc2 stamp, replaced below
+    const std::string stage = r.read_string();
+    const std::string key = r.read_string();
+    r.read_int();  // checksum, dropped
+    const std::string body = r.read_string();
+    ASSERT_FALSE(r.fail());
+    util::serde::Writer w;
+    w.put_string("mbs-entry");
+    w.put_int(version);
+    w.put_string(CacheStore::kPreChecksumSchemaStamp);
+    w.put_string(stage);
+    w.put_string(key);
+    std::ofstream out(entry.path(), std::ios::binary | std::ios::trunc);
+    out << w.str() << body << "\n";
+    ++rewritten;
+  }
+  ASSERT_GT(rewritten, 0u);
+
+  CacheStore store(path);
+  Evaluator eval(&store);
+  const sim::StepResult& warm = eval.step(s);
+  EXPECT_TRUE(step_equal(warm, ref));
+  EXPECT_EQ(eval.stats().step_disk_hits, 1);
+  EXPECT_EQ(store.corrupt_entries(), 0u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(CacheStore, OverlappingWritersLastRenameWinsCleanly) {
+  const std::string dir = test_cache_dir("overlap");
+  const std::string path = dir + "/evaluator.mbscache";
+
+  // Two workers race to save the SAME key (both computed it before either
+  // flushed — the common spool interleaving). Each write is tmp+rename,
+  // so whichever rename lands last must leave a complete, loadable record
+  // — never a spliced one.
+  const Scenario s = mbs2_scenario("alexnet");
+  sim::StepResult ref;
+  {
+    CacheStore store_a(path);
+    CacheStore store_b(path);
+    Evaluator eval_a(&store_a);
+    Evaluator eval_b(&store_b);
+    ref = eval_a.step(s);
+    const sim::StepResult dup = eval_b.step(s);
+    ASSERT_TRUE(step_equal(dup, ref));
+    ASSERT_TRUE(store_a.save());
+    ASSERT_TRUE(store_b.save());
+  }
+  CacheStore reader(path);
+  sim::StepResult out;
+  ASSERT_TRUE(reader.load_step(s.cache_key(), &out));
+  EXPECT_TRUE(step_equal(out, ref));
+  EXPECT_EQ(reader.corrupt_entries(), 0u);
+  std::filesystem::remove_all(dir);
+}
+
 TEST(CacheStore, TwoStoresOverOnePathShareEntriesThroughShardDir) {
   const std::string dir = test_cache_dir("shared");
   const std::string path = dir + "/evaluator.mbscache";

@@ -6,12 +6,15 @@
 // eviction policy, cache-store save-failure propagation, and the
 // merge_results tool's edge cases (empty shards, missing shard files,
 // mixed-backend rows).
+#include <fcntl.h>
 #include <gtest/gtest.h>
+#include <sys/stat.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
 #include <cstdio>
 #include <cstdlib>
+#include <ctime>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -23,6 +26,8 @@
 #include "engine/spool.h"
 #include "models/zoo.h"
 #include "sched/config.h"
+#include "util/env.h"
+#include "util/fault.h"
 #include "util/fnv.h"
 #include "util/lru.h"
 
@@ -44,6 +49,44 @@ Scenario mbs2_scenario(const std::string& net = "resnet50") {
   s.network = net;
   s.config = sched::ExecConfig::kMbs2;
   return s;
+}
+
+/// This host's name as SpoolQueue spells it in claim files.
+std::string this_host() {
+  char buf[256] = {0};
+  if (::gethostname(buf, sizeof buf - 1) != 0 || buf[0] == '\0')
+    return "localhost";
+  return buf;
+}
+
+/// A claim file name as the spool protocol spells it:
+/// u<unit>.g<generation>.<host>.<pid>.
+std::string claim_name(int unit, long gen, const std::string& host, long pid) {
+  return "u" + std::to_string(unit) + ".g" + std::to_string(gen) + "." + host +
+         "." + std::to_string(pid);
+}
+
+/// Backdates a file's mtime by `ms` milliseconds (simulates a claim whose
+/// owner stopped heartbeating that long ago).
+void age_file(const std::string& path, long ms) {
+  struct timespec now;
+  ASSERT_EQ(clock_gettime(CLOCK_REALTIME, &now), 0);
+  struct timespec stale = now;
+  stale.tv_sec -= ms / 1000;
+  stale.tv_nsec -= (ms % 1000) * 1000000L;
+  if (stale.tv_nsec < 0) {
+    stale.tv_nsec += 1000000000L;
+    --stale.tv_sec;
+  }
+  const struct timespec times[2] = {stale, stale};
+  ASSERT_EQ(::utimensat(AT_FDCWD, path.c_str(), times, 0), 0);
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream text;
+  text << in.rdbuf();
+  return text.str();
 }
 
 bool step_equal(const sim::StepResult& a, const sim::StepResult& b) {
@@ -118,17 +161,92 @@ TEST(SpoolQueue, DeadOwnersClaimIsReclaimed) {
   const std::string dir = test_dir("spool_reclaim");
   SpoolQueue q(dir, 0x77u, 1);
   q.init();
-  // Simulate a crashed worker: move the unit into claimed/ under a pid that
-  // cannot exist (far above any kernel pid limit), as if the owner died
-  // mid-evaluation.
-  ASSERT_EQ(std::rename((dir + "/todo/u0").c_str(),
-                        (dir + "/claimed/u0.999999999").c_str()),
-            0);
+  // Simulate a crashed same-host worker: move the unit into claimed/ under
+  // a pid that cannot exist (far above any kernel pid limit), as if the
+  // owner died mid-evaluation. Same host => the pid probe detects death
+  // immediately, no lease wait.
+  ASSERT_EQ(
+      std::rename(
+          (dir + "/todo/u0").c_str(),
+          (dir + "/claimed/" + claim_name(0, 1, this_host(), 999999999))
+              .c_str()),
+      0);
   EXPECT_EQ(q.done_count(), 0u);
-  const int u = q.claim();  // reclaims, then wins the re-claim
+  const int u = q.claim();  // takeover-renames the dead claim to itself
   EXPECT_EQ(u, 0);
   q.mark_done(0);
   EXPECT_TRUE(q.all_done());
+  fs::remove_all(dir);
+}
+
+TEST(SpoolQueue, CrossHostStaleClaimWaitsForLeaseExpiry) {
+  const std::string dir = test_dir("spool_xhost");
+  ::setenv("MBS_SPOOL_LEASE_MS", "120", 1);
+  SpoolQueue q(dir, 0x79u, 1);
+  q.init();
+  // A claim from another machine: the pid is meaningless here (pid 1 is
+  // alive on every Linux box — that must NOT make the claim look alive),
+  // so only the mtime lease can decide.
+  const std::string stale =
+      dir + "/claimed/" + claim_name(0, 1, "builder-07.example.com", 1);
+  ASSERT_EQ(std::rename((dir + "/todo/u0").c_str(), stale.c_str()), 0);
+  // Fresh mtime: the remote owner could still be heartbeating.
+  EXPECT_EQ(q.claim(), -1);
+  // Backdate past the lease: now it is reclaimable.
+  age_file(stale, 1000);
+  EXPECT_EQ(q.claim(), 0);
+  q.mark_done(0);
+  EXPECT_TRUE(q.all_done());
+  ::unsetenv("MBS_SPOOL_LEASE_MS");
+  fs::remove_all(dir);
+}
+
+TEST(SpoolQueue, PoisonedUnitIsQuarantinedInFailed) {
+  const std::string dir = test_dir("spool_poison");
+  SpoolQueue q(dir, 0x7au, 2);
+  q.init();
+  // A unit whose claim generation already reached the poison limit
+  // (default 3): three workers died holding it. It must move to failed/
+  // rather than be handed to a fourth victim.
+  ASSERT_EQ(
+      std::rename(
+          (dir + "/todo/u0").c_str(),
+          (dir + "/claimed/" + claim_name(0, 3, this_host(), 999999999))
+              .c_str()),
+      0);
+  const int u = q.claim();  // todo/ first: the healthy unit
+  EXPECT_EQ(u, 1);
+  q.mark_done(1);
+  // The next claim finds todo/ empty and sweeps claimed/: the poisoned
+  // unit moves to failed/ instead of being handed out.
+  EXPECT_EQ(q.claim(), -1);
+  EXPECT_TRUE(fs::exists(dir + "/failed/u0"));
+  EXPECT_EQ(q.failed_count(), 1u);
+  EXPECT_EQ(q.done_count(), 1u);
+  // failed counts toward completion: the drain terminates instead of
+  // spinning forever on a unit that kills every owner.
+  EXPECT_TRUE(q.all_done());
+  fs::remove_all(dir);
+}
+
+TEST(SpoolQueue, RefreshClaimAdvancesTheLease) {
+  const std::string dir = test_dir("spool_lease");
+  SpoolQueue q(dir, 0x7bu, 1);
+  q.init();
+  ASSERT_EQ(q.claim(), 0);
+  // Find the claim file and backdate it as if the heartbeat had stalled.
+  std::string claim;
+  for (const auto& e : fs::directory_iterator(dir + "/claimed"))
+    claim = e.path().string();
+  ASSERT_FALSE(claim.empty());
+  age_file(claim, 10000);
+  struct stat before;
+  ASSERT_EQ(::stat(claim.c_str(), &before), 0);
+  EXPECT_TRUE(q.refresh_claim(0));
+  struct stat after;
+  ASSERT_EQ(::stat(claim.c_str(), &after), 0);
+  EXPECT_GT(after.st_mtim.tv_sec, before.st_mtim.tv_sec);
+  q.mark_done(0);
   fs::remove_all(dir);
 }
 
@@ -142,9 +260,11 @@ TEST(SpoolQueue, DoneMarkerOutranksStaleClaim) {
   const int u = q.claim();
   ASSERT_EQ(u, 0);
   q.mark_done(0);
-  std::ofstream(dir + "/claimed/u0.999999999") << "stale";
+  const std::string stale =
+      dir + "/claimed/" + claim_name(0, 1, this_host(), 999999999);
+  std::ofstream(stale) << "stale";
   EXPECT_EQ(q.claim(), -1);
-  EXPECT_FALSE(fs::exists(dir + "/claimed/u0.999999999"));
+  EXPECT_FALSE(fs::exists(stale));
   EXPECT_TRUE(q.all_done());
   fs::remove_all(dir);
 }
@@ -372,6 +492,169 @@ TEST(CacheStoreSave, UnwritableDirectoryPropagatesFailure) {
   fs::remove_all(dir);
 }
 
+// ---- Fault registry ---------------------------------------------------------
+
+class FaultTest : public testing::Test {
+ protected:
+  void TearDown() override { util::fault_clear(); }
+};
+
+TEST_F(FaultTest, FailNthFiresExactlyOnce) {
+  ASSERT_TRUE(util::fault_arm("x.site:fail@2"));
+  EXPECT_FALSE(util::fault_point("x.site").fail);  // call 1
+  EXPECT_TRUE(util::fault_point("x.site").fail);   // call 2: the injection
+  EXPECT_FALSE(util::fault_point("x.site").fail);  // call 3
+  EXPECT_FALSE(util::fault_point("other.site").fail);  // unarmed site
+  EXPECT_EQ(util::fault_injection_count(), 1);
+}
+
+TEST_F(FaultTest, EveryKthFiresPeriodically) {
+  ASSERT_TRUE(util::fault_arm("y.site:every@3"));
+  int failures = 0;
+  for (int i = 0; i < 9; ++i)
+    if (util::fault_point("y.site").fail) ++failures;
+  EXPECT_EQ(failures, 3);  // calls 3, 6, 9
+}
+
+TEST_F(FaultTest, TornCarriesTheByteBudget) {
+  ASSERT_TRUE(util::fault_arm("z.site:torn@1/17"));
+  const util::FaultDecision d = util::fault_point("z.site");
+  EXPECT_FALSE(d.fail);
+  EXPECT_TRUE(d.torn);
+  EXPECT_EQ(d.torn_bytes, 17);
+  EXPECT_FALSE(util::fault_point("z.site").torn);  // only the 1st call
+}
+
+TEST_F(FaultTest, MalformedSpecsAreRejected) {
+  EXPECT_FALSE(util::fault_arm("nosep"));
+  EXPECT_FALSE(util::fault_arm("s:unknown@1"));
+  EXPECT_FALSE(util::fault_arm("s:fail@0"));      // counts are 1-based
+  EXPECT_FALSE(util::fault_arm("s:fail@abc"));
+  EXPECT_FALSE(util::fault_arm("s:torn@1"));      // torn needs /bytes
+  EXPECT_TRUE(util::fault_arm("s:fail@1,t:every@2"));  // list form parses
+}
+
+TEST_F(FaultTest, TornWriteLeavesTruncatedFileButReportsSuccess) {
+  const std::string dir = test_dir("fault_torn");
+  ASSERT_TRUE(util::fault_arm("w.site:torn@1/5"));
+  // The torn write must land on the FINAL path (bypassing the tmp+rename
+  // protection — that is the failure mode being simulated) and still
+  // report success, exactly like a kernel that acked a write it then lost.
+  EXPECT_TRUE(util::fs::write_atomic(dir + "/f", "0123456789", "w.site"));
+  std::ifstream in(dir + "/f", std::ios::binary);
+  std::ostringstream got;
+  got << in.rdbuf();
+  EXPECT_EQ(got.str(), "01234");
+  // Next write is clean and atomic again.
+  EXPECT_TRUE(util::fs::write_atomic(dir + "/f", "0123456789", "w.site"));
+  fs::remove_all(dir);
+}
+
+TEST_F(FaultTest, InjectedEioFailsTheOperationCleanly) {
+  const std::string dir = test_dir("fault_eio");
+  ASSERT_TRUE(util::fs::write_atomic(dir + "/a", "x", "q.site"));
+  ASSERT_TRUE(util::fault_arm("q.site:fail@1"));
+  EXPECT_FALSE(util::fs::write_atomic(dir + "/b", "y", "q.site"));
+  EXPECT_FALSE(fs::exists(dir + "/b"));  // EIO means nothing was written
+  EXPECT_TRUE(fs::exists(dir + "/a"));
+  fs::remove_all(dir);
+}
+
+TEST_F(FaultTest, SaveRetriesPastATransientWriteFailure) {
+  const std::string dir = test_dir("fault_retry");
+  ::setenv("MBS_CACHE_RETRY_MS", "1", 1);
+  // First write attempt per entry can fail: the bounded retry must land
+  // the entry anyway, and a reload must see it.
+  ASSERT_TRUE(util::fault_arm("cache.entry.write:fail@1"));
+  const Scenario s = mbs2_scenario("alexnet");
+  {
+    CacheStore store(dir + "/evaluator.mbscache");
+    Evaluator eval(&store);
+    eval.step(s);
+    EXPECT_TRUE(store.save());
+    EXPECT_EQ(store.save_failures(), 0u);
+  }
+  EXPECT_GT(util::fault_injection_count(), 0);
+  util::fault_clear();
+  CacheStore reload(dir + "/evaluator.mbscache");
+  Evaluator eval(&reload);
+  eval.step(s);
+  EXPECT_GT(reload.loaded_entries(), 0u);
+  ::unsetenv("MBS_CACHE_RETRY_MS");
+  fs::remove_all(dir);
+}
+
+// ---- env_int ----------------------------------------------------------------
+
+TEST(EnvInt, ParsesValidatesAndFallsBack) {
+  ::setenv("MBS_TEST_ENV_INT", "42", 1);
+  EXPECT_EQ(util::env_int("MBS_TEST_ENV_INT", 7, 0, 100), 42);
+  ::setenv("MBS_TEST_ENV_INT", "1x", 1);  // trailing junk
+  EXPECT_EQ(util::env_int("MBS_TEST_ENV_INT", 7, 0, 100), 7);
+  ::setenv("MBS_TEST_ENV_INT", "banana", 1);
+  EXPECT_EQ(util::env_int("MBS_TEST_ENV_INT", 7, 0, 100), 7);
+  ::setenv("MBS_TEST_ENV_INT", "101", 1);  // above hi
+  EXPECT_EQ(util::env_int("MBS_TEST_ENV_INT", 7, 0, 100), 7);
+  ::setenv("MBS_TEST_ENV_INT", "-1", 1);  // below lo
+  EXPECT_EQ(util::env_int("MBS_TEST_ENV_INT", 7, 0, 100), 7);
+  ::setenv("MBS_TEST_ENV_INT", "", 1);  // empty string == unset
+  EXPECT_EQ(util::env_int("MBS_TEST_ENV_INT", 7, 0, 100), 7);
+  ::unsetenv("MBS_TEST_ENV_INT");
+  EXPECT_EQ(util::env_int("MBS_TEST_ENV_INT", 7, 0, 100), 7);
+  ::setenv("MBS_TEST_ENV_INT", "100", 1);  // bounds are inclusive
+  EXPECT_EQ(util::env_int("MBS_TEST_ENV_INT", 7, 0, 100), 100);
+  ::unsetenv("MBS_TEST_ENV_INT");
+}
+
+// ---- ServeCore degradation --------------------------------------------------
+
+TEST(ServeCore, CorruptStoreEntryDegradesGracefullyToRecompute) {
+  const std::string dir = test_dir("serve_degraded");
+  const std::string path = dir + "/evaluator.mbscache";
+  const std::string spec = "net=alexnet;cfg=MBS2;buf=8388608";
+  Scenario s;
+  std::string error;
+  ASSERT_TRUE(parse_scenario(spec, &s, &error));
+
+  Evaluator batch;
+  const std::string expected =
+      ServeCore::format_answer(s, evaluate_scenario(s, batch));
+
+  {
+    CacheStore store(path);
+    Evaluator eval(&store);
+    evaluate_scenario(s, eval);
+    ASSERT_TRUE(store.save());
+  }
+  // Flip a byte in every step-stage record: the serve path must detect the
+  // damage (checksum), quarantine, recompute, and still answer correctly.
+  std::size_t flipped = 0;
+  for (const auto& e : fs::recursive_directory_iterator(path + ".d/step")) {
+    if (!e.is_regular_file()) continue;
+    std::string bytes = slurp(e.path().string());
+    ASSERT_GT(bytes.size(), 40u);
+    // Near the end: inside the record body, where only the checksum (not a
+    // header token mismatch) can catch the damage.
+    bytes[bytes.size() - 20] ^= 0x01;
+    std::ofstream(e.path(), std::ios::binary | std::ios::trunc) << bytes;
+    ++flipped;
+  }
+  ASSERT_GT(flipped, 0u);
+
+  CacheStore store(path);
+  ServeCore core(&store, 4);
+  const ServeCore::Answer a = core.query(spec);
+  EXPECT_TRUE(a.ok);
+  EXPECT_EQ(a.text, expected);
+  const ServeStats st = core.stats();
+  EXPECT_EQ(st.errors, 0u);
+  EXPECT_EQ(st.degraded, 1u);
+  EXPECT_GT(store.corrupt_entries(), 0u);
+  // The damaged record was quarantined, not deleted or left in place.
+  EXPECT_TRUE(fs::exists(path + ".d/quarantine"));
+  fs::remove_all(dir);
+}
+
 // ---- merge_results tool edge cases ------------------------------------------
 
 /// Locates the merge_results binary: $MBS_MERGE_RESULTS when set (the CMake
@@ -387,13 +670,6 @@ std::string merge_results_binary() {
 int run_tool(const std::string& cmd) {
   const int rc = std::system(cmd.c_str());
   return WIFEXITED(rc) ? WEXITSTATUS(rc) : -1;
-}
-
-std::string slurp(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  std::ostringstream text;
-  text << in.rdbuf();
-  return text.str();
 }
 
 /// Writes `rows` sharded N ways into `dir` as <stem>.shard<i>of<N>.{csv,json}

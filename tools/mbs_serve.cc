@@ -6,7 +6,7 @@
 //   <scenario spec>   e.g. net=resnet50;cfg=MBS2;buf=8388608
 //                     -> "ok <metrics>" or "err <message>"
 //   stats             -> "stats queries=... hot=... store=... computed=...
-//                         errors=..."
+//                         errors=... degraded=..."
 //   quit              -> exits (EOF does too)
 //
 // Blank lines and lines starting with '#' are ignored. Answer payloads
@@ -21,14 +21,32 @@
 // bounded by the hot capacity regardless of how many keys the query
 // stream visits.
 //
+// Per-query failures never kill the daemon (they answer "err ..." and
+// count in the errors stat); store corruption discovered mid-read degrades
+// that query to fresh evaluation (the degraded stat). SIGTERM/SIGINT shut
+// down cleanly: the read loop exits and dirty store entries are flushed
+// before the process does.
+//
 // Usage: mbs_serve [--cache-dir=DIR] [--threads=T]
+#include <signal.h>
+
+#include <csignal>
 #include <cstdio>
-#include <cstdlib>
 #include <iostream>
 #include <string>
 
+#include "engine/cache_store.h"
 #include "engine/driver.h"
 #include "engine/serve.h"
+#include "util/env.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_shutdown = 0;
+
+void on_shutdown_signal(int) { g_shutdown = 1; }
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace mbs;
@@ -39,27 +57,40 @@ int main(int argc, char** argv) {
                  "every cold key will be computed, none remembered on "
                  "disk\n");
 
-  std::size_t hot_capacity = 64;
-  if (const char* env = std::getenv("MBS_SERVE_HOT"); env && *env)
-    hot_capacity = static_cast<std::size_t>(std::strtoul(env, nullptr, 10));
+  // No SA_RESTART: the signal must interrupt the blocking stdin read so
+  // the loop observes g_shutdown instead of waiting for the next line.
+  struct sigaction sa = {};
+  sa.sa_handler = on_shutdown_signal;
+  ::sigemptyset(&sa.sa_mask);
+  ::sigaction(SIGTERM, &sa, nullptr);
+  ::sigaction(SIGINT, &sa, nullptr);
+
+  const std::size_t hot_capacity = static_cast<std::size_t>(
+      util::env_int("MBS_SERVE_HOT", 64, 1, 1 << 24));
   engine::ServeCore core(driver.store(), hot_capacity);
 
   std::string line;
-  while (std::getline(std::cin, line)) {
+  while (!g_shutdown && std::getline(std::cin, line)) {
     if (line.empty() || line[0] == '#') continue;
     if (line == "quit") break;
     if (line == "stats") {
       const engine::ServeStats st = core.stats();
       std::printf("stats queries=%zu hot=%zu store=%zu computed=%zu "
-                  "errors=%zu\n",
+                  "errors=%zu degraded=%zu\n",
                   st.queries, st.hot_hits, st.store_hits, st.computed,
-                  st.errors);
+                  st.errors, st.degraded);
       std::fflush(stdout);
       continue;
     }
     const engine::ServeCore::Answer a = core.query(line);
     std::printf("%s %s\n", a.ok ? "ok" : "err", a.text.c_str());
     std::fflush(stdout);
+  }
+  if (g_shutdown) {
+    // Flush write-through results the dtor would also catch — doing it
+    // here makes the shutdown path explicit and loggable.
+    if (driver.store() && driver.store()->dirty()) driver.store()->save();
+    std::fprintf(stderr, "mbs_serve: caught signal, flushed store, bye\n");
   }
   return 0;
 }

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "engine/result_sink.h"
+#include "util/fault.h"
 
 namespace fs = std::filesystem;
 using mbs::engine::ResultSink;
@@ -144,16 +145,19 @@ int main(int argc, char** argv) {
     ResultSink sink(merged.title, merged.headers);
     for (const auto& row : merged.rows) sink.add_row(row);
     const fs::path out_path = fs::path(dir) / (stem + "." + ext);
-    std::ofstream out(out_path, std::ios::binary | std::ios::trunc);
-    if (!out) {
-      std::fprintf(stderr, "merge_results: cannot write %s\n",
-                   out_path.string().c_str());
-      return 1;
-    }
+    std::ostringstream out;
     if (ext == "csv")
       sink.write_csv(out);
     else
       sink.write_json(out);
+    // Atomic (tmp + rename): a crash mid-merge leaves the previous output
+    // intact instead of a truncated file.
+    if (!mbs::util::fs::write_atomic(out_path.string(), out.str(),
+                                     "merge.output.write")) {
+      std::fprintf(stderr, "merge_results: cannot write %s\n",
+                   out_path.string().c_str());
+      return 1;
+    }
     std::printf("merged %d shards x %zu rows -> %s\n", group.count,
                 merged.rows.size(), out_path.string().c_str());
   }
