@@ -10,9 +10,13 @@
 // trains at most as fast, with at least one strict improvement — i.e. the
 // set of memory provisionings a rational designer would pick from.
 //
-// Usage: pareto_sweep [network]
+// Usage: pareto_sweep [network] [seq]
 //   network: any models::all_network_names() entry (default resnet50),
 //            e.g. resnet50, alexnet, vit_base, transformer_base.
+//   seq:     optional sequence-length override for Transformer-family
+//            networks (tokens; ViTs need a perfect square). The frontier
+//            moves with seq because the attention score matrix B*H*S*S
+//            scales quadratically where every other footprint is linear.
 //
 // Composes with the engine plumbing like every bench: --shard=i/N gates
 // output rows (frontier dominance is computed over the full grid via lazy
@@ -43,6 +47,14 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "\n");
     return 1;
   }
+  int seq = 0;
+  if (args.size() > 1) seq = std::atoi(args[1].c_str());
+  std::string seq_why;
+  if (!models::valid_sequence_length(net_name, seq, &seq_why)) {
+    std::fprintf(stderr, "bad seq '%s': %s\n",
+                 args.size() > 1 ? args[1].c_str() : "", seq_why.c_str());
+    return 1;
+  }
 
   const sched::GroupingVariant variants[] = {
       sched::GroupingVariant::kContiguous,
@@ -59,6 +71,7 @@ int main(int argc, char** argv) {
       for (double scale : bw_scales) {
         engine::Scenario s;
         s.network = net_name;
+        s.seq = seq;
         s.config = sched::ExecConfig::kMbs2;
         s.params.variant = variant;
         s.params.buffer_bytes =
@@ -102,9 +115,12 @@ int main(int argc, char** argv) {
     return false;
   };
 
-  std::printf("=== Pareto sweep: %s under MBS2, buffer x DRAM bandwidth x "
+  // The seq tag is appended only when overridden, keeping the default
+  // stdout byte-identical to the pre-seq era.
+  std::printf("=== Pareto sweep: %s%s under MBS2, buffer x DRAM bandwidth x "
               "grouping variant ===\n\n",
-              results[0].network->name.c_str());
+              results[0].network->name.c_str(),
+              seq > 0 ? (" (seq=" + std::to_string(seq) + ")").c_str() : "");
 
   engine::ResultSink sink(
       "buffer/bandwidth Pareto front (frontier = non-dominated in its "

@@ -50,6 +50,25 @@ GemmShape gemm_shape(const core::Layer& layer, int sub_batch, GemmPass pass) {
   return s;
 }
 
+std::vector<GemmShape> attention_gemm_shapes(const core::Layer& layer,
+                                             GemmPass pass) {
+  assert(layer.is_attention());
+  const std::int64_t s = static_cast<std::int64_t>(layer.in.h) * layer.in.w;
+  const std::int64_t dh = (layer.in.c / 3) / layer.heads;
+  switch (pass) {
+    case GemmPass::kForward:
+      // scores[S x S] = Q[S x dh] . K^T; ctx[S x dh] = P[S x S] . V.
+      return {{s, s, dh}, {s, dh, s}};
+    case GemmPass::kDataGrad:
+      // dP[S x S] = dCtx . V^T; dV[S x dh] = P^T . dCtx;
+      // dQ[S x dh] = dS . K;    dK[S x dh] = dS^T . Q.
+      return {{s, s, dh}, {s, dh, s}, {s, dh, s}, {s, dh, s}};
+    case GemmPass::kWeightGrad:
+      return {};
+  }
+  return {};
+}
+
 GemmTiming simulate_gemm(const SystolicConfig& cfg, const GemmShape& shape) {
   assert(shape.gh > 0 && shape.gw > 0 && shape.k > 0);
   const std::int64_t m = cfg.tile_m();
@@ -215,6 +234,15 @@ double vector_ops_bwd(const Layer& l) {
   }
 }
 
+/// Softmax ops of one attention layer, per sample per direction (~4 ops per
+/// score-matrix element: max, exp-subtract, sum, divide — and the backward
+/// Jacobian-vector product costs the same). Duplicated in sim/simulator.cc;
+/// keep in lock step.
+double attention_softmax_ops(const Layer& l) {
+  const double s = static_cast<double>(l.in.h) * l.in.w;
+  return 4.0 * l.heads * s * s;
+}
+
 /// ceil(bytes / per-cycle rate) as whole cycles; 0 when the rate is
 /// unconstrained (rate <= 0 models infinite bandwidth).
 std::int64_t transfer_cycles(double bytes, double bytes_per_cycle) {
@@ -287,6 +315,35 @@ SystolicStepResult simulate_systolic_step(const core::Network& net,
           run(c, GemmPass::kForward, 0);
           run(c, GemmPass::kWeightGrad, 1);
           if (!skip_dgrad) run(c, GemmPass::kDataGrad, 1);
+        }
+      } else if (l.is_attention()) {
+        // Attention GEMMs run on the array too; shapes are per (sample,
+        // head), so one simulation per distinct shape scales exactly by
+        // mini_batch * heads (chunking changes nothing: the shapes carry no
+        // batch dimension). The softmax runs on the vector unit.
+        gate_on_scratchpad = true;
+        const std::int64_t scale =
+            static_cast<std::int64_t>(schedule.mini_batch) * l.heads;
+        auto run_attention = [&](GemmPass pass, int phase) {
+          for (const GemmShape& sh : attention_gemm_shapes(l, pass)) {
+            const GemmCycles gc = simulate_gemm_cycles(cfg, df, sh);
+            comp[phase] += gc.comp_cycles * scale;
+            gemm_macs += gc.macs * scale;
+            folds_total += gc.folds * scale;
+            mapped_pe_total += gc.mapped_pe_folds * scale;
+            stream.a += gc.bytes.a * scale;
+            stream.b += gc.bytes.b * scale;
+            stream.c += gc.bytes.c * scale;
+            max_fold_bytes = std::max(max_fold_bytes, gc.max_fold_bytes);
+          }
+        };
+        run_attention(GemmPass::kForward, 0);
+        run_attention(GemmPass::kDataGrad, 1);
+        if (vec_opc > 0) {
+          const double soft =
+              attention_softmax_ops(l) * schedule.mini_batch;
+          comp[0] += static_cast<std::int64_t>(std::ceil(soft / vec_opc));
+          comp[1] += static_cast<std::int64_t>(std::ceil(soft / vec_opc));
         }
       } else {
         // Vector layers: op throughput, floored by global-buffer bandwidth

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "arch/dataflow.h"
 #include "core/layer.h"
@@ -61,6 +62,14 @@ const char* to_string(GemmPass p);
 /// Tab. 1: GEMM dimensions of an im2col convolution (or FC layer) for the
 /// given training pass and sub-batch size.
 GemmShape gemm_shape(const core::Layer& layer, int sub_batch, GemmPass pass);
+
+/// GEMM dimensions of one attention layer per (sample, head): both operands
+/// are streamed activations, so unlike gemm_shape the batch does not fold
+/// into the shapes — callers scale results by sub_batch * heads. kForward is
+/// {Q.K^T, P.V}; kDataGrad is {dP = dCtx.V^T, dV = P^T.dCtx, dQ = dS.K,
+/// dK = dS^T.Q}; kWeightGrad is empty (attention owns no weights).
+std::vector<GemmShape> attention_gemm_shapes(const core::Layer& layer,
+                                             GemmPass pass);
 
 /// Result of running one GEMM through the array.
 struct GemmTiming {

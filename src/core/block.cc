@@ -21,7 +21,10 @@ namespace {
 std::int64_t layer_working_set(const Layer& l, DataType t) {
   if (l.kind == LayerKind::kAdd) return 2 * l.out.bytes(t);
   if (l.kind == LayerKind::kConcat) return l.out.bytes(t);
-  return l.input_bytes_per_sample(t) + l.output_bytes_per_sample(t);
+  // Attention materializes the heads x S x S score matrix between its two
+  // GEMMs, on top of the streamed QKV input and context output.
+  return l.input_bytes_per_sample(t) + l.output_bytes_per_sample(t) +
+         l.attention_score_bytes_per_sample(t);
 }
 
 }  // namespace

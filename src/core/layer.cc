@@ -13,6 +13,7 @@ const char* to_string(LayerKind kind) {
     case LayerKind::kAct: return "act";
     case LayerKind::kAdd: return "add";
     case LayerKind::kConcat: return "concat";
+    case LayerKind::kAttention: return "attention";
   }
   return "?";
 }
@@ -58,8 +59,23 @@ std::int64_t Layer::flops_per_sample() const {
       return in.elements();
     case LayerKind::kConcat:
       return 0;  // pure data movement
+    case LayerKind::kAttention: {
+      // Forward GEMMs: scores = Q.K^T (2*S*S*d_h MACs per head, summing to
+      // 2*S*S*d over heads) and context = P.V (another 2*S*S*d), plus the
+      // softmax over each heads x S x S score matrix (~4 ops per element:
+      // max, exp-subtract, sum, divide).
+      const std::int64_t s = static_cast<std::int64_t>(in.h) * in.w;
+      const std::int64_t d = in.c / 3;
+      return 4 * s * s * d + 4 * heads * s * s;
+    }
   }
   return 0;
+}
+
+std::int64_t Layer::attention_score_bytes_per_sample(DataType t) const {
+  if (kind != LayerKind::kAttention) return 0;
+  const std::int64_t s = static_cast<std::int64_t>(in.h) * in.w;
+  return bytes_for(heads * s * s, t);
 }
 
 std::int64_t Layer::input_bytes_per_sample(DataType t) const {
@@ -177,6 +193,19 @@ Layer make_concat(std::string name, FeatureShape in, int out_c) {
   l.name = std::move(name);
   l.in = in;
   l.out = FeatureShape{out_c, in.h, in.w};
+  return l;
+}
+
+Layer make_attention(std::string name, FeatureShape in, int heads) {
+  Layer l;
+  l.kind = LayerKind::kAttention;
+  l.name = std::move(name);
+  l.in = in;
+  assert(in.c % 3 == 0);  // packed QKV input
+  const int d = in.c / 3;
+  assert(heads > 0 && d % heads == 0);
+  l.heads = heads;
+  l.out = FeatureShape{d, in.h, in.w};
   return l;
 }
 

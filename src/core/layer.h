@@ -13,13 +13,14 @@ namespace mbs::core {
 
 /// Kinds of layers appearing in the evaluated CNNs.
 enum class LayerKind {
-  kConv,   ///< 2-D convolution (im2col GEMM on WaveCore)
-  kFc,     ///< fully connected (GEMM)
-  kPool,   ///< max / average / global-average pooling
-  kNorm,   ///< feature normalization (BN in the baseline, GN under MBS)
-  kAct,    ///< ReLU activation
-  kAdd,    ///< element-wise sum at a residual merge point
-  kConcat, ///< channel concatenation at an inception merge point
+  kConv,      ///< 2-D convolution (im2col GEMM on WaveCore)
+  kFc,        ///< fully connected (GEMM)
+  kPool,      ///< max / average / global-average pooling
+  kNorm,      ///< feature normalization (BN in the baseline, GN under MBS)
+  kAct,       ///< ReLU activation
+  kAdd,       ///< element-wise sum at a residual merge point
+  kConcat,    ///< channel concatenation at an inception merge point
+  kAttention, ///< multi-head softmax attention (activation-activation GEMMs)
 };
 
 const char* to_string(LayerKind kind);
@@ -52,6 +53,10 @@ struct Layer {
   NormKind norm_kind = NormKind::kGroup;
   bool has_bias = false;
 
+  /// Attention head count (kAttention only). The per-sample score matrix is
+  /// heads x S x S with S = in.h * in.w tokens.
+  int heads = 1;
+
   /// Number of learnable parameters (0 for pool/act/add/concat).
   std::int64_t param_count() const;
 
@@ -62,8 +67,18 @@ struct Layer {
   std::int64_t flops_per_sample() const;
 
   /// True for layers executed on the systolic array (conv, fc); the rest run
-  /// on WaveCore's vector/scalar units (Sec. 4.2).
+  /// on WaveCore's vector/scalar units (Sec. 4.2). Attention is NOT in this
+  /// set: its Q.K^T / P.V GEMMs have no resident weight operand, so the
+  /// simulators charge them through a dedicated path rather than the
+  /// weight-stationary gemm_shape mapping.
   bool is_gemm() const { return kind == LayerKind::kConv || kind == LayerKind::kFc; }
+
+  /// True for multi-head attention layers.
+  bool is_attention() const { return kind == LayerKind::kAttention; }
+
+  /// Per-sample bytes of the softmax score/probability matrix (kAttention
+  /// only: heads * S * S values at `t`); 0 for every other kind.
+  std::int64_t attention_score_bytes_per_sample(DataType t = DataType::kF16) const;
 
   /// Per-sample bytes read by this layer's forward pass, counting Add's two
   /// operands and Concat's branch inputs.
@@ -111,5 +126,13 @@ Layer make_add(std::string name, FeatureShape in);
 
 /// Channel concatenation producing `out_c` channels at `in`'s spatial size.
 Layer make_concat(std::string name, FeatureShape in, int out_c);
+
+/// Multi-head softmax attention over a packed QKV input. `in` holds the
+/// concatenated Q, K, V projections (3*d channels over the token grid), so
+/// in.c must be divisible by 3 and the model dimension d = in.c / 3 by
+/// `heads`. Output is the d-channel context over the same token grid. The
+/// layer owns no parameters: both GEMMs (Q.K^T and P.V) consume streamed
+/// activations only.
+Layer make_attention(std::string name, FeatureShape in, int heads);
 
 }  // namespace mbs::core

@@ -11,6 +11,7 @@
 #include <utility>
 #include <vector>
 
+#include "models/zoo.h"
 #include "util/env.h"
 #include "util/fault.h"
 #include "util/fnv.h"
@@ -53,6 +54,9 @@ void write_layer(Writer& w, const core::Layer& l) {
   w.put_int(static_cast<int>(l.pool_kind));
   w.put_int(static_cast<int>(l.norm_kind));
   w.put_int(l.has_bias ? 1 : 0);
+  // net2: attention layers append their head count; every other kind keeps
+  // the net1 byte layout, so CNN records round-trip unchanged.
+  if (l.kind == core::LayerKind::kAttention) w.put_int(l.heads);
 }
 
 core::Layer read_layer(Reader& r) {
@@ -69,6 +73,8 @@ core::Layer read_layer(Reader& r) {
   l.pool_kind = static_cast<core::PoolKind>(r.read_int());
   l.norm_kind = static_cast<core::NormKind>(r.read_int());
   l.has_bias = r.read_int() != 0;
+  if (l.kind == core::LayerKind::kAttention)
+    l.heads = static_cast<int>(r.read_int());
   return l;
 }
 
@@ -315,9 +321,42 @@ namespace {
 
 bool stamp_accepted(const std::string& stamp) {
   return stamp == CacheStore::kSchemaStamp ||
+         stamp == CacheStore::kPreAttentionSchemaStamp ||
          stamp == CacheStore::kPreChecksumSchemaStamp ||
          stamp == CacheStore::kPreServiceSchemaStamp ||
          stamp == CacheStore::kLegacySchemaStamp;
+}
+
+/// The network name a record key refers to: the key itself for the
+/// network stage (minus any ";seq=" suffix), the value of the `net=`
+/// field otherwise (which leads the key, or follows the `dev=` tag for
+/// GPU/systolic keys). Empty when the key carries no network.
+std::string key_network(const char* stage, const std::string& key) {
+  if (std::string(stage) == "net") return key.substr(0, key.find(';'));
+  std::size_t pos = 0;
+  if (key.compare(0, 4, "dev=") == 0) {
+    const std::size_t semi = key.find(';');
+    if (semi == std::string::npos) return "";
+    pos = semi + 1;
+  }
+  if (key.compare(pos, 4, "net=") != 0) return "";
+  const std::size_t start = pos + 4;
+  const std::size_t end = key.find(';', start);
+  return key.substr(start,
+                    end == std::string::npos ? std::string::npos : end - start);
+}
+
+/// True for records whose stored content predates the real-attention
+/// rework: Transformer-family keys kept their exact bytes while the
+/// networks behind them changed (stand-in GEMM towers -> a real attention
+/// layer), so the stamp is the only way to tell stale transformer content
+/// from fresh. Such records read as a miss; the entry file is left alone
+/// and is simply overwritten when the recomputed value saves under the
+/// current stamp.
+bool stale_transformer_record(const std::string& stamp, const char* stage,
+                              const std::string& key) {
+  if (stamp == CacheStore::kSchemaStamp) return false;
+  return models::is_transformer_network(key_network(stage, key));
 }
 
 // Outcome of validating one shard entry file against the stage and key the
@@ -344,7 +383,13 @@ EntryStatus check_entry(Reader& r, const char* stage, const std::string& key,
   const std::string file_key = r.read_string();
   if (r.fail()) return EntryStatus::kCorrupt;
   if (file_key != key) return EntryStatus::kMiss;
-  if (stamp != CacheStore::kSchemaStamp) return EntryStatus::kInline;
+  if (stale_transformer_record(stamp, stage, file_key))
+    return EntryStatus::kMiss;
+  // Checksummed framing arrived with svc2 (pre-attention stamp included);
+  // earlier stamps carry the record tokens inline.
+  if (stamp != CacheStore::kSchemaStamp &&
+      stamp != CacheStore::kPreAttentionSchemaStamp)
+    return EntryStatus::kInline;
   const std::uint64_t want = static_cast<std::uint64_t>(r.read_int());
   *body = r.read_string();
   if (r.fail() || !r.at_end()) return EntryStatus::kCorrupt;
@@ -411,25 +456,37 @@ bool CacheStore::parse_file(const std::string& text) {
   if (r.read_int() != kFormatVersion) return false;
   // Older stamps predate stages they cannot contain records of; every
   // record layout they can hold is unchanged. Accepting them keeps
-  // pre-existing warm caches valid across upgrades.
-  if (!stamp_accepted(r.read_string())) return false;
+  // pre-existing warm caches valid across upgrades. The exception is
+  // Transformer-family records under a pre-net2 stamp (stale stand-in
+  // content, see stale_transformer_record): those are parsed past but not
+  // retained, so their keys read as misses and recompute.
+  const std::string stamp = r.read_string();
+  if (!stamp_accepted(stamp)) return false;
   while (!r.at_end() && !r.fail()) {
     const std::string stage = r.read_string();
     const std::string key = r.read_string();
-    if (stage == "net")
-      networks_[key] = read_network(r);
-    else if (stage == "sched")
-      schedules_[key] = read_schedule(r);
-    else if (stage == "traffic")
-      traffics_[key] = read_traffic(r);
-    else if (stage == "step")
-      steps_[key] = read_step(r);
-    else if (stage == "gpu")
-      gpu_steps_[key] = read_gpu_step(r);
-    else if (stage == "sys")
-      systolic_steps_[key] = read_systolic_step(r);
-    else
+    const bool stale = stale_transformer_record(stamp, stage.c_str(), key);
+    if (stage == "net") {
+      core::Network v = read_network(r);
+      if (!stale) networks_[key] = std::move(v);
+    } else if (stage == "sched") {
+      sched::Schedule v = read_schedule(r);
+      if (!stale) schedules_[key] = std::move(v);
+    } else if (stage == "traffic") {
+      sched::Traffic v = read_traffic(r);
+      if (!stale) traffics_[key] = std::move(v);
+    } else if (stage == "step") {
+      sim::StepResult v = read_step(r);
+      if (!stale) steps_[key] = v;
+    } else if (stage == "gpu") {
+      arch::GpuStepResult v = read_gpu_step(r);
+      if (!stale) gpu_steps_[key] = v;
+    } else if (stage == "sys") {
+      arch::SystolicStepResult v = read_systolic_step(r);
+      if (!stale) systolic_steps_[key] = v;
+    } else {
       return false;
+    }
   }
   if (r.fail()) return false;
   loaded_ = networks_.size() + schedules_.size() + traffics_.size() +

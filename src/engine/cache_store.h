@@ -61,17 +61,28 @@ class CacheStore {
   /// Bumped when the token framing of a store file itself changes.
   static constexpr int kFormatVersion = 1;
   /// Bumped (per stage) when a serialized struct gains/loses fields.
+  /// net2: attention layers append a `heads` field (real-attention rework;
+  ///       every other layer kind keeps the net1 byte layout).
   /// sched2: Group gained the `members` list (non-contiguous grouping).
   /// sys1: the cycle-level systolic-step stage joined the store.
   /// svc2: shard entries carry a per-record fnv1a64 checksum over a
   ///       length-prefixed body, so torn writes are detected on load
   ///       (record layouts themselves unchanged).
   static constexpr const char* kSchemaStamp =
-      "net1;sched2;traffic1;step1;gpu1;sys1;svc2";
+      "net2;sched2;traffic1;step1;gpu1;sys1;svc2";
   /// Still-accepted older stamps. A stage tag bump invalidates only files
   /// whose existing records changed layout; no record layout has changed
   /// since these stamps were current, so files carrying them stay valid
-  /// (warm starts survive the upgrade).
+  /// (warm starts survive the upgrade) — with one carve-out: records keyed
+  /// by a Transformer-family network read as a miss under every pre-net2
+  /// stamp, because the attention rework changed those networks' contents
+  /// without changing their keys (the stand-in GEMM towers became a real
+  /// attention layer). CNN-keyed records are untouched by the rework and
+  /// stay warm.
+  /// Pre-attention: the net1 era's current stamp — checksummed shard
+  /// entries, stand-in transformers.
+  static constexpr const char* kPreAttentionSchemaStamp =
+      "net1;sched2;traffic1;step1;gpu1;sys1;svc2";
   /// svc1: the first sharded per-entry layout — record tokens inline after
   /// the header, no checksum.
   static constexpr const char* kPreChecksumSchemaStamp =

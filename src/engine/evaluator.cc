@@ -51,11 +51,20 @@ const core::Network& Evaluator::network(const std::string& name) {
       &EvaluatorStats::network_misses, &EvaluatorStats::network_disk_hits);
 }
 
+const core::Network& Evaluator::network(const Scenario& s) {
+  return stage(
+      networks_, s.network_key(), &CacheStore::load_network,
+      &CacheStore::put_network,
+      [&] { return models::make_network(s.network, s.seq); },
+      &EvaluatorStats::network_hits, &EvaluatorStats::network_misses,
+      &EvaluatorStats::network_disk_hits);
+}
+
 const sched::Schedule& Evaluator::schedule(const Scenario& s) {
   return stage(
       schedules_, s.schedule_key(), &CacheStore::load_schedule,
       &CacheStore::put_schedule,
-      [&] { return sched::build_schedule(network(s.network), s.config, s.params); },
+      [&] { return sched::build_schedule(network(s), s.config, s.params); },
       &EvaluatorStats::schedule_hits, &EvaluatorStats::schedule_misses,
       &EvaluatorStats::schedule_disk_hits);
 }
@@ -64,7 +73,7 @@ const sched::Traffic& Evaluator::traffic(const Scenario& s) {
   return stage(
       traffics_, s.schedule_key(), &CacheStore::load_traffic,
       &CacheStore::put_traffic,
-      [&] { return sched::compute_traffic(network(s.network), schedule(s)); },
+      [&] { return sched::compute_traffic(network(s), schedule(s)); },
       &EvaluatorStats::traffic_hits, &EvaluatorStats::traffic_misses,
       &EvaluatorStats::traffic_disk_hits);
 }
@@ -73,7 +82,7 @@ const sim::StepResult& Evaluator::step(const Scenario& s) {
   assert(s.device == Device::kWaveCore);
   return stage(
       steps_, s.cache_key(), &CacheStore::load_step, &CacheStore::put_step,
-      [&] { return sim::simulate_step(network(s.network), schedule(s), s.hw); },
+      [&] { return sim::simulate_step(network(s), schedule(s), s.hw); },
       &EvaluatorStats::step_hits, &EvaluatorStats::step_misses,
       &EvaluatorStats::step_disk_hits);
 }
@@ -84,8 +93,7 @@ const arch::GpuStepResult& Evaluator::gpu_step(const Scenario& s) {
       gpu_steps_, s.cache_key(), &CacheStore::load_gpu_step,
       &CacheStore::put_gpu_step,
       [&] {
-        return arch::simulate_gpu_step(s.gpu, network(s.network),
-                                       s.gpu_mini_batch);
+        return arch::simulate_gpu_step(s.gpu, network(s), s.gpu_mini_batch);
       },
       &EvaluatorStats::gpu_hits, &EvaluatorStats::gpu_misses,
       &EvaluatorStats::gpu_disk_hits);
@@ -106,7 +114,7 @@ const arch::SystolicStepResult& Evaluator::systolic_step(const Scenario& s) {
         p.buffer_bw_bytes = s.hw.buffer_bw_bytes;
         p.vector_flops = s.hw.vector_flops;
         p.cores = s.hw.cores;
-        return arch::simulate_systolic_step(network(s.network), schedule(s),
+        return arch::simulate_systolic_step(network(s), schedule(s),
                                             traffic(s), p);
       },
       &EvaluatorStats::systolic_hits, &EvaluatorStats::systolic_misses,

@@ -101,6 +101,11 @@ class Evaluator {
   /// models::make_network, memoized by name.
   const core::Network& network(const std::string& name);
 
+  /// models::make_network with the scenario's sequence-length override,
+  /// memoized by Scenario::network_key() (identical to the name-keyed
+  /// overload when seq == 0, so default scenarios share its entries).
+  const core::Network& network(const Scenario& s);
+
   /// sched::build_schedule for the scenario's (network, config, params),
   /// memoized by Scenario::schedule_key().
   const sched::Schedule& schedule(const Scenario& s);

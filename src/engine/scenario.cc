@@ -51,7 +51,12 @@ const char* to_string(Device d) {
   return "?";
 }
 
-std::string Scenario::network_key() const { return network; }
+std::string Scenario::network_key() const {
+  // The bare name at the default sequence length, so every pre-seq network
+  // key keeps its exact bytes.
+  if (seq == 0) return network;
+  return network + ";seq=" + std::to_string(seq);
+}
 
 std::string Scenario::schedule_key() const {
   std::string key;
@@ -67,6 +72,7 @@ std::string Scenario::schedule_key() const {
   // var field.
   if (params.variant != sched::GroupingVariant::kContiguous)
     field(key, "var", static_cast<int>(params.variant));
+  if (seq != 0) field(key, "seq", seq);
   return key;
 }
 
@@ -75,6 +81,7 @@ std::string Scenario::cache_key() const {
     std::string key;
     field(key, "dev", std::string("gpu"));
     field(key, "net", network);
+    if (seq != 0) field(key, "seq", seq);
     field(key, "gmb", gpu_mini_batch);
     field(key, "flops", gpu.peak_flops);
     field(key, "bw", gpu.mem_bw_bytes);
@@ -175,6 +182,10 @@ bool parse_scenario(const std::string& spec, Scenario* out,
     if (key == "net") {
       s.network = value;
       have_net = !value.empty();
+    } else if (key == "seq") {
+      if (!parse_i64(value, &i64) || i64 < 0)
+        return fail("bad seq '" + value + "': expected tokens >= 0");
+      s.seq = static_cast<int>(i64);
     } else if (key == "cfg") {
       if (!sched::parse_exec_config(value.c_str(), &s.config))
         return fail("unknown cfg '" + value +

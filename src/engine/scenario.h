@@ -47,6 +47,11 @@ struct Scenario {
   /// "alexnet") or a Transformer-family addition ("vit_small", "vit_base",
   /// "transformer_base"); see models::all_network_names().
   std::string network;
+  /// Sequence-length override for Transformer-family networks: 0 keeps the
+  /// network's default token count (and every key byte-identical to the
+  /// pre-seq era); > 0 rebuilds the network at that many tokens (ViTs need
+  /// a perfect square). CNNs reject non-zero values.
+  int seq = 0;
   /// Tab. 3 execution configuration (Baseline ... MBS2).
   sched::ExecConfig config = sched::ExecConfig::kBaseline;
   /// Scheduler inputs: buffer capacity, mini-batch override, greedy-vs-DP
@@ -71,7 +76,8 @@ struct Scenario {
 
   std::string label;  ///< free-form tag carried through to results
 
-  /// Key of the network-construction stage (models::make_network input).
+  /// Key of the network-construction stage (models::make_network input;
+  /// carries the seq override only when non-default).
   std::string network_key() const;
   /// Key of the scheduling stage: network + config + every ScheduleParams
   /// field. Scenarios differing only in `hw` share this key. Fields added
@@ -89,10 +95,11 @@ struct Scenario {
 ///
 ///   net=resnet50;cfg=MBS2;buf=8388608;dev=systolic;df=ws;stage=simulate
 ///
-/// Keys: net (required), cfg (Tab. 3 name), buf (bytes), mb, opt (0/1),
-/// var (contiguous|noncontiguous), dev (wavecore|gpu|systolic), df
-/// (systolic dataflow), spad (bytes), gmb (GPU mini-batch), nobw (0/1),
-/// stage (network|schedule|traffic|simulate). Unlisted fields keep their
+/// Keys: net (required), seq (Transformer token count, 0 = default), cfg
+/// (Tab. 3 name), buf (bytes), mb, opt (0/1), var
+/// (contiguous|noncontiguous), dev (wavecore|gpu|systolic), df (systolic
+/// dataflow), spad (bytes), gmb (GPU mini-batch), nobw (0/1), stage
+/// (network|schedule|traffic|simulate). Unlisted fields keep their
 /// defaults, so a spec's cache_key matches the batch benches' default
 /// hardware point. Whitespace around fields is ignored. Returns false and
 /// fills *error (when non-null) on an unknown key, malformed value, or a

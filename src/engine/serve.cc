@@ -107,6 +107,13 @@ ServeCore::Answer ServeCore::query(const std::string& spec) {
     ++stats_.errors;
     return {false, "unknown network '" + s.network + "'", Source::kError};
   }
+  // Same for the sequence-length override: seq on a CNN or a non-square
+  // ViT grid would assert inside the model zoo.
+  std::string seq_why;
+  if (!models::valid_sequence_length(s.network, s.seq, &seq_why)) {
+    ++stats_.errors;
+    return {false, "bad query: " + seq_why, Source::kError};
+  }
 
   // The stage is not part of cache_key (stages memoize independently), but
   // two queries differing only in depth have different answers.

@@ -89,7 +89,7 @@ void simulate_into(ScenarioResult& r, const Scenario& s, Evaluator& eval) {
 ScenarioResult evaluate_scenario(const Scenario& s, Evaluator& eval) {
   ScenarioResult r;
   r.scenario = s;
-  r.network = &eval.network(s.network);
+  r.network = &eval.network(s);
   if (s.device == Device::kGpu) {
     r.gpu = eval.gpu_step(s);
     r.step.time_s = r.gpu.time_s;
@@ -219,7 +219,7 @@ void SweepRunner::evaluate_indices(const std::vector<Scenario>& scenarios,
         group_of[static_cast<std::size_t>(k)])];
     ScenarioResult r;
     r.scenario = s;
-    r.network = &eval.network(s.network);
+    r.network = &eval.network(s);
     if (s.stage >= Stage::kSchedule) r.schedule = sh.schedule;
     if (s.stage >= Stage::kTraffic) r.traffic = sh.traffic;
     if (s.stage >= Stage::kSimulate) simulate_into(r, s, eval);

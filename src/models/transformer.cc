@@ -39,17 +39,15 @@ Layer token_linear(const std::string& name, FeatureShape in, int out_c) {
 }
 
 /// Self-attention block over a {d, gh, gw} token grid (tokens = gh * gw):
-/// pre-norm, packed QKV projection, the score/softmax/context stand-ins
-/// (see transformer.h for the modeling notes), and the output projection.
-Block make_attention_block(const std::string& name, FeatureShape in) {
+/// pre-norm, packed QKV projection, the multi-head attention layer (real
+/// Q.K^T / softmax / P.V, no resident weights), and the output projection.
+Block make_attention_block(const std::string& name, FeatureShape in,
+                           int heads) {
   const int d = in.c;
-  const int tokens = in.h * in.w;
   std::vector<Layer> main;
   main.push_back(core::make_norm(name + ".norm", in));
   main.push_back(token_linear(name + ".qkv", in, 3 * d));
-  main.push_back(token_linear(name + ".score", main.back().out, tokens));
-  main.push_back(core::make_act(name + ".softmax", main.back().out));
-  main.push_back(token_linear(name + ".context", main.back().out, d));
+  main.push_back(core::make_attention(name + ".attn", main.back().out, heads));
   main.push_back(token_linear(name + ".proj", main.back().out, d));
   return make_pre_norm_residual(name, in, std::move(main));
 }
@@ -69,6 +67,7 @@ Block make_mlp_block(const std::string& name, FeatureShape in, int ratio) {
 
 core::Network make_transformer(const TransformerConfig& cfg) {
   assert(cfg.d_model > 0 && cfg.depth > 0 && cfg.mlp_ratio > 0);
+  assert(cfg.heads > 0 && cfg.d_model % cfg.heads == 0);
 
   core::Network net;
   net.name = cfg.name;
@@ -94,7 +93,8 @@ core::Network make_transformer(const TransformerConfig& cfg) {
 
   for (int layer = 0; layer < cfg.depth; ++layer) {
     const std::string prefix = "enc" + std::to_string(layer);
-    net.blocks.push_back(make_attention_block(prefix + ".attn", cur));
+    net.blocks.push_back(
+        make_attention_block(prefix + ".attn", cur, cfg.heads));
     net.blocks.push_back(make_mlp_block(prefix + ".mlp", cur, cfg.mlp_ratio));
   }
 
@@ -113,26 +113,45 @@ core::Network make_transformer(const TransformerConfig& cfg) {
   return net;
 }
 
-core::Network make_vit_base() {
+namespace {
+
+/// Applies a ViT sequence-length override: `seq` must be a perfect square
+/// g*g, and the raw input grows/shrinks to patch*g x patch*g so the patch
+/// stem emits exactly `seq` tokens.
+void apply_vit_seq(TransformerConfig* cfg, int seq) {
+  if (seq <= 0) return;
+  int g = 1;
+  while (g * g < seq) ++g;
+  assert(g * g == seq && "ViT sequence length must be a perfect square");
+  cfg->input = FeatureShape{3, cfg->patch * g, cfg->patch * g};
+}
+
+}  // namespace
+
+core::Network make_vit_base(int seq) {
   TransformerConfig cfg;
   cfg.name = "ViT-Base/16";
+  apply_vit_seq(&cfg, seq);
   return make_transformer(cfg);
 }
 
-core::Network make_vit_small() {
+core::Network make_vit_small(int seq) {
   TransformerConfig cfg;
   cfg.name = "ViT-Small/16";
   cfg.d_model = 384;
+  cfg.heads = 6;
+  apply_vit_seq(&cfg, seq);
   return make_transformer(cfg);
 }
 
-core::Network make_transformer_base() {
+core::Network make_transformer_base(int seq) {
   TransformerConfig cfg;
   cfg.name = "TransformerBase";
-  cfg.input = FeatureShape{512, 192, 1};
+  cfg.input = FeatureShape{512, seq > 0 ? seq : 192, 1};
   cfg.patch = 0;
   cfg.d_model = 512;
   cfg.depth = 6;
+  cfg.heads = 8;
   cfg.num_classes = 0;
   return make_transformer(cfg);
 }

@@ -11,16 +11,15 @@
 //  * Each encoder layer is two pre-norm residual Blocks merged by Add
 //    (no post-add ReLU — the blocks are built without the CNN helper's
 //    trailing activation): an attention block [norm, qkv 1x1 conv d->3d,
-//    score 1x1 conv 3d->tokens, softmax stand-in act, context 1x1 conv
-//    tokens->d, output 1x1 conv d->d] and an MLP block [norm, 1x1 conv
-//    d->ratio*d, act, 1x1 conv ratio*d->d].
-//  * Approximations, deliberate and small: the score/context convolutions
-//    stand in for the QK^T and A*V activation-activation GEMMs, so their
-//    "weights" (4*d*tokens per layer, a few percent of real layer
-//    parameters) model the K/V operands, and the score GEMM's FLOPs are
-//    3x the real QK^T (it consumes the packed 3d query row). Softmax
-//    backward is modeled like a ReLU mask. All projection/MLP parameter
-//    counts and FLOPs are exact.
+//    multi-head attention (core::LayerKind::kAttention), output 1x1 conv
+//    d->d] and an MLP block [norm, 1x1 conv d->ratio*d, act, 1x1 conv
+//    ratio*d->d].
+//  * The attention layer is the real thing: Q.K^T and softmax(P).V are
+//    activation-activation GEMMs with no resident weights, the per-sample
+//    heads x S x S score matrix is a first-class footprint/traffic term,
+//    and the softmax runs on the vector unit. Parameter counts and FLOPs
+//    are exact (the pre-PR-10 stand-in carried ~3x QK^T phantom FLOPs and
+//    4*d*S phantom params per layer).
 #pragma once
 
 #include <string>
@@ -40,6 +39,7 @@ struct TransformerConfig {
   int patch = 16;
   int d_model = 768;    ///< token embedding width
   int depth = 12;       ///< encoder layers (each = attention + MLP block)
+  int heads = 12;       ///< attention heads (d_model must divide evenly)
   int mlp_ratio = 4;    ///< MLP hidden width as a multiple of d_model
   /// Classification head: > 0 emits [norm, global-avg-pool, fc]; 0 emits a
   /// final norm only (text-style encoder).
@@ -51,14 +51,19 @@ struct TransformerConfig {
 /// on inconsistent configurations.
 core::Network make_transformer(const TransformerConfig& cfg);
 
-/// ViT-B/16 on 224x224: d=768, 12 layers, 196 tokens (~93M modeled params).
-core::Network make_vit_base();
+/// ViT-B/16 on 224x224: d=768, 12 layers, 12 heads, 196 tokens (86.3M
+/// params, matching the reference 86.6M to within 1%). `seq` > 0 overrides
+/// the token count (must be a perfect square g*g; the input becomes
+/// 16g x 16g); 0 keeps the 224x224 default.
+core::Network make_vit_base(int seq = 0);
 
-/// ViT-S/16 on 224x224: d=384, 12 layers, 196 tokens (~25M modeled params).
-core::Network make_vit_small();
+/// ViT-S/16 on 224x224: d=384, 12 layers, 6 heads, 196 tokens (~22M
+/// params). `seq` as in make_vit_base.
+core::Network make_vit_small(int seq = 0);
 
-/// Text-style post-embedding encoder: d=512, 6 layers over a 192-token
-/// sequence, no patch stem, final-norm head.
-core::Network make_transformer_base();
+/// Text-style post-embedding encoder: d=512, 6 layers, 8 heads over a
+/// 192-token sequence, no patch stem, final-norm head. `seq` > 0 overrides
+/// the sequence length directly; 0 keeps 192.
+core::Network make_transformer_base(int seq = 0);
 
 }  // namespace mbs::models

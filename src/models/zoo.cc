@@ -12,17 +12,57 @@
 namespace mbs::models {
 
 core::Network make_network(const std::string& name) {
+  return make_network(name, 0);
+}
+
+core::Network make_network(const std::string& name, int seq) {
+  if (name == "vit_small") return make_vit_small(seq);
+  if (name == "vit_base") return make_vit_base(seq);
+  if (name == "transformer_base") return make_transformer_base(seq);
+  if (seq > 0) {
+    std::fprintf(stderr, "network '%s' has no sequence-length axis\n",
+                 name.c_str());
+    std::abort();
+  }
   if (name == "resnet50") return make_resnet(50);
   if (name == "resnet101") return make_resnet(101);
   if (name == "resnet152") return make_resnet(152);
   if (name == "inception_v3") return make_inception_v3();
   if (name == "inception_v4") return make_inception_v4();
   if (name == "alexnet") return make_alexnet();
-  if (name == "vit_small") return make_vit_small();
-  if (name == "vit_base") return make_vit_base();
-  if (name == "transformer_base") return make_transformer_base();
   std::fprintf(stderr, "unknown network '%s'\n", name.c_str());
   std::abort();
+}
+
+bool is_transformer_network(const std::string& name) {
+  for (const std::string& t : transformer_network_names())
+    if (name == t) return true;
+  return false;
+}
+
+bool valid_sequence_length(const std::string& name, int seq,
+                           std::string* why) {
+  if (seq == 0) return true;
+  if (seq < 0) {
+    if (why) *why = "seq must be >= 0";
+    return false;
+  }
+  if (!is_transformer_network(name)) {
+    if (why) *why = "network '" + name + "' has no sequence-length axis";
+    return false;
+  }
+  if (name == "vit_small" || name == "vit_base") {
+    int g = 0;
+    while ((g + 1) * (g + 1) <= seq) ++g;
+    if (g * g != seq) {
+      if (why)
+        *why = "seq for '" + name +
+               "' must be a perfect square (tokens form a patch grid), got " +
+               std::to_string(seq);
+      return false;
+    }
+  }
+  return true;
 }
 
 std::vector<std::string> evaluated_network_names() {

@@ -16,6 +16,26 @@ namespace mbs::models {
 /// "vit_small", "vit_base", "transformer_base". Aborts on unknown names.
 core::Network make_network(const std::string& name);
 
+/// Builds a network by name with a sequence-length override. `seq` == 0 is
+/// exactly make_network(name); `seq` > 0 is only valid for the Transformer
+/// family (ViTs additionally require a perfect square) and aborts for CNNs,
+/// which have no sequence axis.
+core::Network make_network(const std::string& name, int seq);
+
+/// True for the Transformer-family names (the networks that accept a
+/// sequence-length override and whose modeled content changed when real
+/// attention replaced the PR-5 stand-ins).
+bool is_transformer_network(const std::string& name);
+
+/// Whether `seq` is a sequence-length override make_network(name, seq)
+/// accepts: 0 always (the default length), > 0 only for the Transformer
+/// family, and for ViTs only perfect squares (the tokens form a patch
+/// grid). Returns false and fills *why (when non-null) otherwise — the
+/// abort-free precheck for query paths (serve, sweep binaries) where
+/// make_network's assert would kill the process.
+bool valid_sequence_length(const std::string& name, int seq,
+                           std::string* why);
+
 /// Names of the six networks the paper evaluates, in its presentation
 /// order. This list feeds the paper-figure grids, so it never grows —
 /// additions go to transformer_network_names() / all_network_names().

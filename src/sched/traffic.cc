@@ -118,15 +118,18 @@ Dataflow build_dataflow(const Network& net) {
 }
 
 /// True when this layer's backward pass needs its 16b forward input
-/// (convolution/FC weight gradients, normalization gradients).
+/// (convolution/FC weight gradients, normalization gradients, attention's
+/// Q/K/V operands).
 bool needs_input_stash(const Layer& l) {
   return l.kind == LayerKind::kConv || l.kind == LayerKind::kFc ||
-         l.kind == LayerKind::kNorm;
+         l.kind == LayerKind::kNorm || l.kind == LayerKind::kAttention;
 }
 
-/// Per-sample working-set bytes of a layer viewed in isolation.
+/// Per-sample working-set bytes of a layer viewed in isolation. Attention
+/// additionally holds its heads x S x S score matrix between the two GEMMs.
 std::int64_t layer_ws(const Layer& l) {
-  return l.input_bytes_per_sample(kFeat) + l.output_bytes_per_sample(kFeat);
+  return l.input_bytes_per_sample(kFeat) + l.output_bytes_per_sample(kFeat) +
+         l.attention_score_bytes_per_sample(kFeat);
 }
 
 class TrafficBuilder {
@@ -361,10 +364,51 @@ class TrafficBuilder {
     }
   }
 
+  /// Emits the movement of the score/probability matrix internal to an
+  /// attention layer. P = softmax(Q.K^T) sits between the two
+  /// activation-activation GEMMs; it is always stashed to DRAM for the
+  /// backward pass (the softmax gradient and dV both consume it), and the
+  /// remaining intermediate passes stay on chip only while a sub-batch of
+  /// score matrices fits in the global buffer. Because the schedule's
+  /// per-sample block footprint includes the score matrix, serialized
+  /// configs always fit; the unserialized configs spill once B*H*S*S
+  /// outgrows the buffer — exactly the reuse pattern MBS is meant to keep
+  /// on chip.
+  void emit_attention(int fi) {
+    const FlatLayer& fl = df_.layers[static_cast<std::size_t>(fi)];
+    const Layer& l = *fl.l;
+    const std::int64_t score_ps = l.attention_score_bytes_per_sample(kFeat);
+    const double p = static_cast<double>(score_ps) * n_;
+
+    add(fi, Phase::kForward, TrafficClass::kStash, 0, p, 0, 0);
+    add(fi, Phase::kBackward, TrafficClass::kStash, p, 0, 0, 0);
+
+    const int g = sched_.group_of_block(fl.block);
+    const std::int64_t sub = sched_.groups[static_cast<std::size_t>(g)].sub_batch;
+    if (sub * score_ps <= sched_.buffer_bytes) {
+      // Scores/P shuttle through the buffer: GEMM1 writes scores, the
+      // softmax reads them in place; backward re-reads P (for dV and the
+      // softmax gradient) and streams dP/dS without leaving the chip.
+      add(fi, Phase::kForward, TrafficClass::kFeature, 0, 0, p, p);
+      add(fi, Phase::kBackward, TrafficClass::kFeature, 0, 0, 3 * p, p);
+    } else {
+      // A sub-batch of score matrices overflows the buffer: forward, the
+      // softmax re-reads the spilled scores and GEMM2 re-reads P (its spill
+      // is the stash write above); backward, dP and dS are materialized in
+      // DRAM (dS read twice, for dQ and dK) and P is re-read for dV.
+      add(fi, Phase::kForward, TrafficClass::kFeature, 2 * p, p, 0, 0);
+      add(fi, Phase::kBackward, TrafficClass::kFeature, 4 * p, 2 * p, 0, 0);
+    }
+  }
+
   /// Emits weight and weight-gradient traffic for one layer.
   void emit_layer(int fi) {
     const FlatLayer& fl = df_.layers[static_cast<std::size_t>(fi)];
     const Layer& l = *fl.l;
+    if (l.kind == LayerKind::kAttention) {
+      emit_attention(fi);
+      return;
+    }
     const double w = static_cast<double>(l.param_bytes(kFeat));
     if (w == 0) return;
     const int it = sched_.iterations_of_block(fl.block);

@@ -41,10 +41,20 @@ double vector_ops_bwd(const Layer& l) {
   }
 }
 
-/// Fig. 12 category of a layer.
+/// Softmax ops of one attention layer, per sample per direction (~4 ops per
+/// score-matrix element). Duplicated in arch/systolic.cc; keep in lock step.
+double attention_softmax_ops(const Layer& l) {
+  const double s = static_cast<double>(l.in.h) * l.in.w;
+  return 4.0 * l.heads * s * s;
+}
+
+/// Fig. 12 category of a layer. Attention is GEMM-dominated compute and
+/// reports under the conv slot (LayerTypeTimes' layout is
+/// serialization-frozen, so it cannot grow a field).
 double* type_slot(LayerTypeTimes& t, LayerKind kind) {
   switch (kind) {
     case LayerKind::kConv: return &t.conv;
+    case LayerKind::kAttention: return &t.conv;
     case LayerKind::kFc: return &t.fc;
     case LayerKind::kNorm: return &t.norm;
     case LayerKind::kPool: return &t.pool;
@@ -125,6 +135,30 @@ StepResult simulate_step(const core::Network& net,
             compute_bwd += dgrad.seconds(systolic);
           }
         }
+      } else if (l.is_attention()) {
+        // Attention's Q.K^T / P.V GEMMs run on the array; shapes are per
+        // (sample, head), so one simulation per distinct shape scales
+        // exactly by mini_batch * heads regardless of the chunking. The
+        // softmax runs on the vector unit.
+        const double scale =
+            static_cast<double>(schedule.mini_batch) * l.heads;
+        auto run_attention = [&](arch::GemmPass pass, double* compute) {
+          for (const arch::GemmShape& sh : arch::attention_gemm_shapes(l, pass)) {
+            const arch::GemmTiming t = arch::simulate_gemm(systolic, sh);
+            gemm_cycles += scale * static_cast<double>(t.cycles);
+            gemm_macs += scale * static_cast<double>(t.macs);
+            gemm_buf_bytes += scale * static_cast<double>(t.buf_read_bytes +
+                                                          t.buf_write_bytes);
+            *compute += scale * t.seconds(systolic);
+          }
+        };
+        run_attention(arch::GemmPass::kForward, &compute_fwd);
+        run_attention(arch::GemmPass::kDataGrad, &compute_bwd);
+        const double soft =
+            attention_softmax_ops(l) * schedule.mini_batch;
+        vector_ops_total += 2 * soft;
+        compute_fwd += soft / hw.vector_flops;
+        compute_bwd += soft / hw.vector_flops;
       } else {
         const double n = schedule.mini_batch;
         const double ops_f = vector_ops_fwd(l) * n;

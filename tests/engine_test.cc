@@ -102,6 +102,42 @@ TEST(Scenario, TransformerNetworksFormDistinctKeys) {
   }
 }
 
+TEST(Scenario, SeqAxisExtendsKeysBackwardCompatibly) {
+  // Default seq emits no token, so every pre-seq key — and with it every
+  // warm cache written before the axis existed — stays byte-frozen. The
+  // override stamps all three key kinds.
+  const Scenario base = mbs2_scenario("vit_small");
+  EXPECT_EQ(base.network_key(), "vit_small");
+  EXPECT_EQ(base.schedule_key().find("seq="), std::string::npos);
+  EXPECT_EQ(base.cache_key().find("seq="), std::string::npos);
+
+  Scenario longer = mbs2_scenario("vit_small");
+  longer.seq = 256;
+  EXPECT_EQ(longer.network_key(), "vit_small;seq=256");
+  EXPECT_NE(longer.schedule_key(), base.schedule_key());
+  EXPECT_NE(longer.cache_key(), base.cache_key());
+  EXPECT_NE(longer.schedule_key().find("seq=256;"), std::string::npos);
+
+  Scenario gpu = longer;
+  gpu.device = Device::kGpu;
+  EXPECT_NE(gpu.cache_key().find("seq=256;"), std::string::npos);
+  EXPECT_NE(gpu.cache_key(), longer.cache_key());
+}
+
+TEST(Scenario, SeqRoundTripsThroughParseAndRejectsGarbage) {
+  Scenario s;
+  std::string err;
+  ASSERT_TRUE(parse_scenario("net=vit_small;seq=256;cfg=MBS2;", &s, &err))
+      << err;
+  EXPECT_EQ(s.seq, 256);
+  EXPECT_EQ(s.network_key(), "vit_small;seq=256");
+  ASSERT_TRUE(parse_scenario("net=vit_small;cfg=MBS2;", &s, &err)) << err;
+  EXPECT_EQ(s.seq, 0);
+  EXPECT_FALSE(parse_scenario("net=vit_small;seq=banana;", &s, &err));
+  EXPECT_NE(err.find("bad seq"), std::string::npos);
+  EXPECT_FALSE(parse_scenario("net=vit_small;seq=-4;", &s, &err));
+}
+
 TEST(Scenario, GpuKeyIsDisjointFromWaveCoreKey) {
   Scenario wave = mbs2_scenario();
   Scenario gpu = mbs2_scenario();
@@ -845,7 +881,7 @@ TEST(CacheStore, VersionStampMismatchStartsCold) {
     std::ostringstream text;
     text << in.rdbuf();
     std::string doc = text.str();
-    const std::size_t pos = doc.find("net1");
+    const std::size_t pos = doc.find("net2");
     ASSERT_NE(pos, std::string::npos);
     doc.replace(pos, 4, "net0");
     std::ofstream out(path, std::ios::binary | std::ios::trunc);
@@ -1139,6 +1175,104 @@ TEST(CacheStore, PreServiceSingleFileStampStillLoadsWarm) {
   const EvaluatorStats stats = eval.stats();
   EXPECT_EQ(stats.step_disk_hits, 1);
   EXPECT_GT(pre_store.loaded_entries(), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(CacheStore, PreAttentionStampStillLoadsWarmForCnns) {
+  const std::string dir = test_cache_dir("preattn_cnn");
+  const std::string path = dir + "/evaluator.mbscache";
+  std::remove(path.c_str());
+
+  const Scenario s = mbs2_scenario("alexnet");
+  sim::StepResult ref;
+  {
+    CacheStore store(path);
+    Evaluator eval(&store);
+    ref = eval.step(s);
+    ASSERT_TRUE(store.save_legacy_single_file());
+  }
+  // Rewind the stamp to its pre-attention (net1) value: a CNN cache
+  // written before the attention kind landed. Nothing in a CNN record
+  // changed, so it must load warm — the real-attention PR must not
+  // cold-start the CNN caches in the wild.
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream text;
+    text << in.rdbuf();
+    std::string doc = text.str();
+    const std::string current =
+        std::to_string(std::strlen(CacheStore::kSchemaStamp)) + ":" +
+        CacheStore::kSchemaStamp;
+    const std::string pre_attention =
+        std::to_string(std::strlen(CacheStore::kPreAttentionSchemaStamp)) +
+        ":" + CacheStore::kPreAttentionSchemaStamp;
+    const std::size_t pos = doc.find(current);
+    ASSERT_NE(pos, std::string::npos);
+    doc.replace(pos, current.size(), pre_attention);
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << doc;
+  }
+  CacheStore pre_store(path);
+  Evaluator eval(&pre_store);
+  const sim::StepResult& warm = eval.step(s);
+  EXPECT_TRUE(step_equal(warm, ref));
+  const EvaluatorStats stats = eval.stats();
+  EXPECT_EQ(stats.step_disk_hits, 1);
+  EXPECT_GT(pre_store.loaded_entries(), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(CacheStore, PreAttentionTransformerRecordsAreStale) {
+  const std::string dir = test_cache_dir("preattn_vit");
+  const std::string path = dir + "/evaluator.mbscache";
+  std::remove(path.c_str());
+
+  // One CNN and one transformer scenario share the store.
+  const Scenario cnn = mbs2_scenario("alexnet");
+  const Scenario vit = mbs2_scenario("vit_small");
+  sim::StepResult cnn_ref;
+  {
+    CacheStore store(path);
+    Evaluator eval(&store);
+    cnn_ref = eval.step(cnn);
+    eval.step(vit);
+    ASSERT_TRUE(store.save_legacy_single_file());
+  }
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream text;
+    text << in.rdbuf();
+    std::string doc = text.str();
+    const std::string current =
+        std::to_string(std::strlen(CacheStore::kSchemaStamp)) + ":" +
+        CacheStore::kSchemaStamp;
+    const std::string pre_attention =
+        std::to_string(std::strlen(CacheStore::kPreAttentionSchemaStamp)) +
+        ":" + CacheStore::kPreAttentionSchemaStamp;
+    const std::size_t pos = doc.find(current);
+    ASSERT_NE(pos, std::string::npos);
+    doc.replace(pos, current.size(), pre_attention);
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << doc;
+  }
+  // Under the pre-attention stamp the transformer entries describe the
+  // stand-in convs, not real attention — serving them would resurrect the
+  // phantom flops. They must miss (and recompute); the CNN entries in the
+  // very same file must still hit.
+  CacheStore pre_store(path);
+  Evaluator eval(&pre_store);
+  EXPECT_TRUE(step_equal(eval.step(cnn), cnn_ref));
+  eval.step(vit);
+  const EvaluatorStats stats = eval.stats();
+  EXPECT_EQ(stats.step_disk_hits, 1);  // the CNN
+  EXPECT_EQ(stats.step_misses, 2);
+  // Re-saving upgrades the store: a third process now loads the
+  // transformer entry warm under the current stamp.
+  ASSERT_TRUE(pre_store.dirty());
+  ASSERT_TRUE(pre_store.save());
+  CacheStore upgraded(path);
+  sim::StepResult out;
+  EXPECT_TRUE(upgraded.load_step(vit.cache_key(), &out));
   std::remove(path.c_str());
 }
 

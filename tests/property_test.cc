@@ -381,5 +381,171 @@ TEST(CycleBackendDeterminism, SweepInvariantUnderThreadsAndShards) {
   }
 }
 
+// ---- Attention traffic properties ----------------------------------------------
+
+/// Total DRAM bytes (read + write) of attention-layer records of one class.
+double attention_dram(const sched::Traffic& t, sched::TrafficClass cls) {
+  double sum = 0;
+  for (const sched::TrafficRecord& r : t.records)
+    if (r.kind == core::LayerKind::kAttention && r.cls == cls)
+      sum += r.dram_read + r.dram_write;
+  return sum;
+}
+
+/// One-way score-stash bytes: sum over attention layers of B * H * S * S
+/// feature-precision bytes — what one full pass must move per step.
+double score_stash_bytes(const core::Network& net) {
+  double total = 0;
+  for (const core::Block& b : net.blocks)
+    b.for_each_layer([&](const core::Layer& l, int) {
+      if (l.kind == core::LayerKind::kAttention)
+        total += static_cast<double>(l.attention_score_bytes_per_sample()) *
+                 net.mini_batch_per_core;
+    });
+  return total;
+}
+
+TEST(AttentionTraffic, ScoreStashConservedAcrossSubBatchSplits) {
+  // P = softmax(Q.K^T) is written once forward and read once backward —
+  // exactly B*H*S*S feature-precision bytes each way — no matter how the
+  // schedule splits the mini-batch. Serialization relocates reuse; it
+  // cannot change what backward must remember. The attention layer's total
+  // stash also carries its Q/K/V operand stash, whose policy depends on
+  // the config but never on the sub-batch split — so per config, the total
+  // is exactly invariant across buffer sizes (and the splits they induce),
+  // and always at least the two-way score bytes.
+  for (const char* name : {"vit_small", "transformer_base"}) {
+    const core::Network net = models::make_network(name);
+    const double score_two_way = 2 * score_stash_bytes(net);
+    ASSERT_GT(score_two_way, 0) << name;
+    for (auto cfg : {sched::ExecConfig::kBaseline, sched::ExecConfig::kMbsFs,
+                     sched::ExecConfig::kMbs1, sched::ExecConfig::kMbs2}) {
+      double reference = -1;
+      for (double mib : {2.0, 8.0, 32.0}) {
+        sched::ScheduleParams p;
+        p.buffer_bytes = static_cast<std::int64_t>(mib * 1024 * 1024);
+        const sched::Schedule s = sched::build_schedule(net, cfg, p);
+        ASSERT_EQ(s.validate(net), "") << name;
+        const double stash =
+            attention_dram(compute_traffic(net, s), sched::TrafficClass::kStash);
+        EXPECT_GE(stash, score_two_way)
+            << name << " " << sched::to_string(cfg) << " " << mib << " MiB";
+        if (reference < 0) reference = stash;
+        EXPECT_DOUBLE_EQ(stash, reference)
+            << name << " " << sched::to_string(cfg) << " " << mib << " MiB";
+      }
+    }
+  }
+}
+
+TEST(AttentionTraffic, MonotoneInSequenceLength) {
+  // Longer sequences strictly increase total step traffic (the score
+  // footprint grows quadratically while everything else is at worst
+  // linear) under every configuration.
+  const core::Network shorter = models::make_network("vit_small");
+  const core::Network longer = models::make_network("vit_small", 256);
+  for (auto cfg : {sched::ExecConfig::kBaseline, sched::ExecConfig::kMbs1,
+                   sched::ExecConfig::kMbs2}) {
+    const double t_short = sched::dram_traffic_bytes(
+        shorter, sched::build_schedule(shorter, cfg));
+    const double t_long =
+        sched::dram_traffic_bytes(longer, sched::build_schedule(longer, cfg));
+    EXPECT_GT(t_long, t_short) << sched::to_string(cfg);
+  }
+  EXPECT_GT(score_stash_bytes(longer), score_stash_bytes(shorter));
+}
+
+TEST(AttentionTraffic, BufferGateMonotoneWithExactEndpoints) {
+  // The unserialized baseline keeps a full mini-batch of score matrices per
+  // group: spilling charges 9x the one-way stash bytes in intermediate
+  // feature traffic, fitting charges none, and growing the buffer can only
+  // move layers from spill to fit.
+  const core::Network net = models::make_network("vit_small");
+  const double p = score_stash_bytes(net);
+  // Under baseline every inter-layer edge moves through DRAM, so the
+  // attention layers carry a buffer-independent edge term (Q/K/V in, ctx
+  // out) on top of the gated score intermediates.
+  double edge = 0;
+  for (const core::Block& b : net.blocks)
+    b.for_each_layer([&](const core::Layer& l, int) {
+      if (l.kind == core::LayerKind::kAttention)
+        edge += static_cast<double>(l.input_bytes_per_sample(core::DataType::kF16) +
+                                    l.output_bytes_per_sample(core::DataType::kF16)) *
+                net.mini_batch_per_core;
+    });
+  double prev = -1;
+  bool first = true;
+  for (double mib : {1.0, 2.0, 4.0, 8.0, 16.0, 64.0}) {
+    sched::ScheduleParams sp;
+    sp.buffer_bytes = static_cast<std::int64_t>(mib * 1024 * 1024);
+    const sched::Schedule s =
+        sched::build_schedule(net, sched::ExecConfig::kBaseline, sp);
+    const double feat =
+        attention_dram(compute_traffic(net, s), sched::TrafficClass::kFeature);
+    if (!first) {
+      EXPECT_LE(feat, prev) << mib << " MiB";
+    }
+    prev = feat;
+    first = false;
+    if (mib == 1.0) {
+      EXPECT_DOUBLE_EQ(feat, edge + 9 * p);  // every layer spills
+    }
+    if (mib == 64.0) {
+      EXPECT_DOUBLE_EQ(feat, edge);  // every layer fits: only edges remain
+    }
+  }
+  // Serialized MBS schedules shrink sub-batches until block footprints —
+  // which include the score matrix — fit, so their attention intermediates
+  // never touch DRAM even at a small buffer.
+  sched::ScheduleParams sp;
+  sp.buffer_bytes = 4 * 1024 * 1024;
+  const sched::Schedule mbs =
+      sched::build_schedule(net, sched::ExecConfig::kMbs2, sp);
+  EXPECT_DOUBLE_EQ(
+      attention_dram(compute_traffic(net, mbs), sched::TrafficClass::kFeature),
+      0.0);
+}
+
+TEST(AttentionTraffic, SweepInvariantUnderThreadsAndShardsWithSeq) {
+  // The determinism contract extends to the seq axis and both backends:
+  // results are bit-identical whatever the thread count or shard plan.
+  std::vector<engine::Scenario> grid;
+  for (int seq : {0, 256})
+    for (engine::Device dev :
+         {engine::Device::kWaveCore, engine::Device::kSystolic}) {
+      engine::Scenario s;
+      s.network = "vit_small";
+      s.seq = seq;
+      s.config = sched::ExecConfig::kMbs2;
+      s.device = dev;
+      grid.push_back(std::move(s));
+    }
+
+  engine::Evaluator serial_eval;
+  engine::SweepRunner serial(engine::SweepOptions{1, true});
+  const auto reference = serial.run(grid, serial_eval);
+
+  engine::Evaluator threaded_eval;
+  engine::SweepRunner threaded(engine::SweepOptions{8, true});
+  const auto parallel = threaded.run(grid, threaded_eval);
+
+  engine::Evaluator shard_evals[2];
+  engine::SweepRunner runner{engine::SweepOptions{2, true}};
+  const auto shard0 =
+      runner.run_sharded(grid, shard_evals[0], engine::ShardPlan{0, 2});
+  const auto shard1 =
+      runner.run_sharded(grid, shard_evals[1], engine::ShardPlan{1, 2});
+
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    const auto& ref = reference[i];
+    for (const engine::ScenarioResult* other :
+         {&parallel[i], &(i % 2 == 0 ? shard0 : shard1)[i]}) {
+      EXPECT_EQ(ref.step.time_s, other->step.time_s) << i;
+      EXPECT_EQ(ref.step.dram_bytes, other->step.dram_bytes) << i;
+      EXPECT_EQ(ref.systolic.time_s, other->systolic.time_s) << i;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace mbs

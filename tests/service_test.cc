@@ -157,6 +157,25 @@ TEST(SpoolQueueDeathTest, ManifestGridMismatchAborts) {
   fs::remove_all(dir);
 }
 
+TEST(SpoolQueueDeathTest, SeqAxisChangesGridFingerprint) {
+  // A seq override changes every member cache key, and with it the drain
+  // fingerprint — so a worker draining a seq=256 grid pointed at the
+  // default grid's queue directory refuses rather than mixing the grids.
+  Scenario base = mbs2_scenario("vit_small");
+  Scenario longer = base;
+  longer.seq = 256;
+  const std::uint64_t fp_base = util::fnv1a64(base.cache_key());
+  const std::uint64_t fp_longer = util::fnv1a64(longer.cache_key());
+  ASSERT_NE(fp_base, fp_longer);
+
+  const std::string dir = test_dir("spool_seq");
+  SpoolQueue q(dir, fp_base, 1);
+  q.init();
+  SpoolQueue other(dir, fp_longer, 1);
+  EXPECT_DEATH(other.init(), "different grid");
+  fs::remove_all(dir);
+}
+
 TEST(SpoolQueue, DeadOwnersClaimIsReclaimed) {
   const std::string dir = test_dir("spool_reclaim");
   SpoolQueue q(dir, 0x77u, 1);
@@ -386,6 +405,7 @@ TEST(ServeCore, AnswersAreBitIdenticalToBatchEvaluator) {
       "net=alexnet;cfg=MBS2;stage=schedule",
       "net=alexnet;cfg=MBS2;stage=traffic",
       "net=alexnet;stage=network",
+      "net=vit_small;seq=256;cfg=MBS2;stage=traffic",
   };
   Evaluator batch;
   ServeCore core(nullptr);
@@ -464,8 +484,17 @@ TEST(ServeCore, MalformedAndUnknownQueriesAreCleanErrors) {
   EXPECT_NE(a.text.find("notanet"), std::string::npos);
   a = core.query("net=alexnet;dev=abacus");
   EXPECT_FALSE(a.ok);
-  EXPECT_EQ(core.stats().errors, 3u);
-  EXPECT_EQ(core.stats().queries, 3u);
+  // seq validation is a serve-side check: the parse accepts any
+  // non-negative token count, but the query must fail cleanly when the
+  // network cannot take it.
+  a = core.query("net=vit_small;seq=200;cfg=MBS2");  // not a perfect square
+  EXPECT_FALSE(a.ok);
+  EXPECT_NE(a.text.find("perfect square"), std::string::npos);
+  a = core.query("net=alexnet;seq=16");  // CNNs have no sequence axis
+  EXPECT_FALSE(a.ok);
+  EXPECT_NE(a.text.find("no sequence-length axis"), std::string::npos);
+  EXPECT_EQ(core.stats().errors, 5u);
+  EXPECT_EQ(core.stats().queries, 5u);
 }
 
 // ---- CacheStore save-failure propagation ------------------------------------

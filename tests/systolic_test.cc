@@ -210,6 +210,50 @@ TEST(SystolicStep, MacsMatchAnalyticBackend) {
   }
 }
 
+TEST(SystolicStep, AttentionMatchesAnalyticBackendUnconstrained) {
+  // The attention kind's activation-activation GEMMs (Q.K^T, P.V and their
+  // four backward shapes) and softmax vector work are modeled twice —
+  // analytically (sim::simulate_step) and at cycle level. With
+  // unconstrained DRAM both backends must agree exactly on useful
+  // arithmetic and bytes moved, for every dataflow and sequence length.
+  // This is the differential gate for the attention traffic model: a
+  // one-sided change to either backend breaks it.
+  for (const char* name : {"vit_small", "transformer_base"})
+    for (int seq : {0, 256}) {
+      const core::Network net = models::make_network(name, seq);
+      int attention_layers = 0;
+      for (const core::Block& b : net.blocks)
+        b.for_each_layer([&](const core::Layer& l, int) {
+          attention_layers += (l.kind == core::LayerKind::kAttention) ? 1 : 0;
+        });
+      ASSERT_GT(attention_layers, 0) << name;
+
+      const sched::Schedule schedule =
+          sched::build_schedule(net, sched::ExecConfig::kMbs2);
+      const sched::Traffic traffic = sched::compute_traffic(net, schedule);
+      const sim::StepResult analytic =
+          sim::simulate_step(net, schedule, sim::WaveCoreConfig{});
+
+      for (Dataflow df : {Dataflow::kOutputStationary,
+                          Dataflow::kWeightStationary,
+                          Dataflow::kInputStationary}) {
+        SystolicSimParams p;
+        p.options.dataflow = df;
+        p.dram_bw_bytes_per_s = 0;  // unconstrained
+        p.buffer_bw_bytes = 5e11;
+        p.vector_flops = 2.87e12;
+        const SystolicStepResult r =
+            simulate_systolic_step(net, schedule, traffic, p);
+        EXPECT_EQ(r.stats.stall_cycles, 0)
+            << name << " seq=" << seq << " " << to_string(df);
+        EXPECT_DOUBLE_EQ(r.total_macs, analytic.total_macs)
+            << name << " seq=" << seq << " " << to_string(df);
+        EXPECT_DOUBLE_EQ(r.dram_bytes, analytic.dram_bytes)
+            << name << " seq=" << seq << " " << to_string(df);
+      }
+    }
+}
+
 TEST(SystolicStep, TinyScratchpadSerializesGemmTransfers) {
   // A single-conv network (no vector layers, and its one GEMM skips the
   // data-grad pass): with a scratchpad smaller than any fold, every DRAM
